@@ -1,0 +1,52 @@
+"""Ablation: incremental Merkle updates vs full rebuilds (DESIGN.md).
+
+Figures 14 and 15 hinge on the per-commit Merkle Hash Tree maintenance cost.
+Fides servers keep their shard tree incrementally (O(log n) re-hashes per
+written item); the naive alternative rebuilds the whole tree on every commit
+(O(n)).  This ablation quantifies the gap at the paper's shard size (10 000
+items, 100 writes per block) -- the incremental strategy is what makes
+100-transaction blocks practical.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.merkle import MerkleTree
+
+
+_SHARD_SIZE = 10_000
+_WRITES_PER_BLOCK = 100
+
+
+def _shard_items():
+    return {f"item-{i:08d}": i for i in range(_SHARD_SIZE)}
+
+
+def _writes(offset: int):
+    return {
+        f"item-{(offset * 37 + i * 97) % _SHARD_SIZE:08d}": offset + i
+        for i in range(_WRITES_PER_BLOCK)
+    }
+
+
+def bench_merkle_incremental_block_update(benchmark):
+    """Apply one block's writes via incremental per-leaf updates."""
+    tree = MerkleTree.from_items(_shard_items())
+    offsets = iter(range(1, 10_000_000))
+
+    def apply_block():
+        tree.update_many(_writes(next(offsets)))
+
+    benchmark(apply_block)
+
+
+def bench_merkle_full_rebuild_block_update(benchmark):
+    """Apply one block's writes by rebuilding the whole shard tree."""
+    items = _shard_items()
+    tree = MerkleTree.from_items(items)
+    offsets = iter(range(1, 10_000_000))
+
+    def apply_block():
+        items.update(_writes(next(offsets)))
+        tree.rebuild(items)
+
+    benchmark(apply_block)

@@ -1,0 +1,71 @@
+"""Micro-benchmarks of the cryptographic substrate.
+
+Not a figure from the paper, but these are the primitives whose cost drives
+every TFCommit data point: Schnorr signing/verification, one full CoSi round,
+collective-signature verification, Merkle tree construction, incremental leaf
+updates, and Verification Object checks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.cosi import CoSiWitness, cosi_verify, run_cosi_round
+from repro.crypto.keys import keypair_for
+from repro.crypto.merkle import MerkleTree, verify_inclusion
+from repro.crypto.schnorr import schnorr_sign, schnorr_verify
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return keypair_for("bench-signer")
+
+
+def bench_schnorr_sign(benchmark, keypair):
+    benchmark(lambda: schnorr_sign(keypair.private, b"benchmark message"))
+
+
+def bench_schnorr_verify(benchmark, keypair):
+    signature = schnorr_sign(keypair.private, b"benchmark message")
+    result = benchmark(lambda: schnorr_verify(keypair.public, b"benchmark message", signature))
+    assert result
+
+
+def bench_cosi_round_5_witnesses(benchmark):
+    witnesses = [CoSiWitness(f"s{i}", keypair_for(f"s{i}")) for i in range(5)]
+    benchmark(lambda: run_cosi_round(b"benchmark block digest", witnesses))
+
+
+def bench_cosi_verify_5_witnesses(benchmark):
+    witnesses = [CoSiWitness(f"s{i}", keypair_for(f"s{i}")) for i in range(5)]
+    cosign = run_cosi_round(b"benchmark block digest", witnesses)
+    public_keys = {w.identity: w.keypair.public for w in witnesses}
+    result = benchmark(lambda: cosi_verify(cosign, b"benchmark block digest", public_keys))
+    assert result
+
+
+def bench_merkle_build_10k(benchmark):
+    items = {f"item-{i:08d}": i for i in range(10_000)}
+    benchmark(lambda: MerkleTree.from_items(items))
+
+
+def bench_merkle_incremental_update_10k(benchmark):
+    items = {f"item-{i:08d}": i for i in range(10_000)}
+    tree = MerkleTree.from_items(items)
+    counter = iter(range(10_000_000))
+
+    def update_one():
+        tree.update("item-00005000", next(counter))
+
+    benchmark(update_one)
+
+
+def bench_merkle_verification_object_10k(benchmark):
+    items = {f"item-{i:08d}": i for i in range(10_000)}
+    tree = MerkleTree.from_items(items)
+
+    def prove_and_verify():
+        proof = tree.verification_object("item-00000123")
+        assert verify_inclusion("item-00000123", 123, proof, tree.root)
+
+    benchmark(prove_and_verify)

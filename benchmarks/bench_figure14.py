@@ -1,0 +1,36 @@
+"""Figure 14: scalability with the number of database servers (100 txns/block).
+
+Paper result: going from 3 to 9 servers raises throughput ~47% and cuts
+commit latency ~33%, because the block's 500 operations spread across more
+shards and each server's Merkle Hash Tree update work shrinks.
+Expected shape here: throughput does not fall and latency does not rise as
+servers increase, and the per-block MHT update time at 9 servers is lower
+than at 3 servers.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench.experiments import figure14_number_of_servers
+
+
+def bench_figure14_sweep(benchmark):
+    """Regenerate the Figure 14 series (reduced size) and check its shape."""
+    results, rows = run_once(
+        benchmark,
+        figure14_number_of_servers,
+        server_counts=(3, 6, 9),
+        num_requests=200,
+        items_per_shard=1000,
+        txns_per_block=100,
+        return_results=True,
+    )
+    by_servers = {r.config.num_servers: r for r in results}
+    three, six, nine = by_servers[3], by_servers[6], by_servers[9]
+    assert three.committed_txns == nine.committed_txns > 0
+    # The per-shard MHT work shrinks as the same operations spread over more shards.
+    assert nine.mht_update_ms < three.mht_update_ms
+    # Latency improves (or at worst stays flat) and throughput does not degrade.
+    assert nine.txn_latency_ms <= three.txn_latency_ms * 1.05
+    assert nine.throughput_tps >= three.throughput_tps * 0.95

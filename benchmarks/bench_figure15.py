@@ -1,0 +1,35 @@
+"""Figure 15: varying the number of data items per shard (5 servers, 100/block).
+
+Paper result: growing each shard from 1k to 10k items increases commit
+latency ~15% and reduces throughput ~14% because the Merkle Hash Tree gets
+deeper (each leaf update re-hashes ~10 nodes at 1k items vs ~14 at 10k).
+Expected shape here: latency is higher and throughput lower at 10k items per
+shard than at 1k, by a modest factor (well under 2x).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench.experiments import figure15_items_per_shard
+
+
+def bench_figure15_sweep(benchmark):
+    """Regenerate the Figure 15 series (reduced size) and check its shape."""
+    results, rows = run_once(
+        benchmark,
+        figure15_items_per_shard,
+        shard_sizes=(1000, 4000, 10000),
+        num_requests=100,
+        txns_per_block=100,
+        return_results=True,
+    )
+    by_items = {r.config.items_per_shard: r for r in results}
+    small, large = by_items[1000], by_items[10000]
+    assert small.committed_txns == large.committed_txns > 0
+    # Deeper trees -> more hashing per committed write.
+    assert large.mht_update_ms >= small.mht_update_ms
+    # The effect on end-to-end latency is real but modest (paper: ~15%).
+    assert large.txn_latency_ms >= small.txn_latency_ms * 0.95
+    assert large.txn_latency_ms <= small.txn_latency_ms * 2.5
+    assert large.throughput_tps <= small.throughput_tps * 1.05

@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark suite.
+
+Every ``bench_figureXX`` module regenerates one figure of the paper's
+evaluation (Section 6) at a reduced request count so the whole suite runs in
+minutes on a laptop; ``python -m repro.bench <figure> --requests 1000``
+reproduces the paper-sized sweeps.  Shape assertions (who wins, what goes up
+or down) are deliberately loose so they hold on any machine.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark timing.
+
+    The figure sweeps are long-running macro-benchmarks; a single iteration
+    is representative and keeps the suite's total run time bounded.
+    """
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def small_cluster_config():
+    """A small but non-trivial cluster used by the micro-benchmarks."""
+    from repro.common.config import SystemConfig
+
+    return SystemConfig(
+        num_servers=5,
+        items_per_shard=500,
+        txns_per_block=1,
+        ops_per_txn=5,
+        multi_versioned=False,
+        message_signing="hash",
+    )

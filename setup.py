@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that ``pip install -e .`` works in the
+offline reproduction environment, which lacks the ``wheel`` package needed
+for PEP 660 editable installs.
+"""
+
+from setuptools import setup
+
+setup()

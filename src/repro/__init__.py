@@ -1,0 +1,43 @@
+"""repro: a reproduction of "Fides: Managing Data on Untrusted Infrastructure".
+
+The package implements the Fides auditable data management system and the
+TFCommit trust-free atomic commitment protocol (Maiyya et al., ICDCS 2020),
+together with every substrate the paper depends on -- Schnorr signatures and
+Collective Signing, Merkle Hash Trees, a sharded versioned datastore, a
+tamper-proof replicated log, a signed message network, the 2PC baseline, the
+auditor, a YCSB-like workload generator, and the benchmark harness that
+regenerates the paper's evaluation figures.
+
+Quickstart::
+
+    from repro import FidesSystem, SystemConfig
+    from repro.txn.operations import ReadOp, WriteOp
+
+    system = FidesSystem(SystemConfig(num_servers=3, items_per_shard=100, txns_per_block=1))
+    outcome = system.run_transaction([ReadOp("item-00000000"), WriteOp("item-00000000", 42)])
+    assert outcome.committed
+    assert system.audit().ok
+"""
+
+from repro.common.config import SystemConfig
+from repro.common.timestamps import Timestamp
+from repro.core.fides import FidesSystem
+from repro.core.tfcommit import TFCommitCoordinator
+from repro.core.twopc import TwoPhaseCommitCoordinator
+from repro.audit.auditor import Auditor
+from repro.audit.report import AuditReport
+from repro.workload.ycsb import YcsbWorkload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AuditReport",
+    "Auditor",
+    "FidesSystem",
+    "SystemConfig",
+    "TFCommitCoordinator",
+    "Timestamp",
+    "TwoPhaseCommitCoordinator",
+    "YcsbWorkload",
+    "__version__",
+]

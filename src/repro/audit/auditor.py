@@ -1,0 +1,400 @@
+"""The external auditor (Sections 3.3, 4.2.2, 4.3.2, 4.4, 4.5).
+
+The auditor is a powerful external entity that, during each audit:
+
+1. gathers the tamper-proof logs from all servers;
+2. identifies the correct and complete log (at least one server is correct,
+   so verifying hash pointers and collective signatures and picking the
+   longest valid copy always succeeds -- Lemmas 6 and 7);
+3. replays that log to detect incorrect reads (Lemma 1), isolation
+   violations (Lemma 3), malformed or forked blocks (Lemma 5), and, by
+   requesting Verification Objects from the servers, datastore corruption
+   (Lemma 2).
+
+Every detected anomaly is reported as a
+:class:`~repro.audit.violations.Violation` carrying the block height (the
+precise point in the transaction history) and the culprit server(s).
+
+Note on the datastore check (Lemma 2): the auditor asks the audited server
+for the item's value *as stored at the audited version* together with the
+Verification Object, recomputes the Merkle root from that value and the VO,
+and compares it against the co-signed root in the block; it additionally
+cross-checks the stored value against the value recorded in the block's write
+set.  A server whose datastore diverges from the co-signed state cannot pass
+both checks (collision-free hash functions), which is the guarantee Lemma 2
+states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.audit.report import AuditReport
+from repro.audit.serialization_graph import SerializationGraph
+from repro.audit.violations import Violation, ViolationType
+from repro.common.errors import AuditError
+from repro.common.timestamps import Timestamp
+from repro.crypto.keys import KeyPair, keypair_for
+from repro.crypto.merkle import verify_inclusion
+from repro.ledger.block import Block, BlockDecision
+from repro.ledger.log import TransactionLog
+from repro.net.message import MessageType
+from repro.net.network import Network
+from repro.storage.shard import ShardMap
+from repro.txn.occ import classify_conflicts
+from repro.txn.transaction import Transaction
+
+#: Identity under which the auditor registers on the network.
+AUDITOR_ID = "auditor"
+
+
+class Auditor:
+    """Offline auditor for a Fides deployment."""
+
+    def __init__(
+        self,
+        network: Network,
+        server_ids: Sequence[str],
+        shard_map: ShardMap,
+        keypair: Optional[KeyPair] = None,
+    ) -> None:
+        self.network = network
+        self.server_ids = list(server_ids)
+        self.shard_map = shard_map
+        self.keypair = keypair or keypair_for(AUDITOR_ID)
+        if AUDITOR_ID not in network.participants:
+            network.register_observer(AUDITOR_ID, self.keypair)
+
+    # -- log collection and selection (Lemmas 6 & 7) ---------------------------------
+
+    def collect_logs(self) -> Dict[str, TransactionLog]:
+        """Gather every server's log copy over the network."""
+        logs: Dict[str, TransactionLog] = {}
+        for server_id in self.server_ids:
+            response = self.network.send(
+                AUDITOR_ID, server_id, MessageType.AUDIT_LOG_REQUEST, {"full": True}
+            )
+            logs[server_id] = response["log"]
+        return logs
+
+    def check_logs(
+        self, logs: Mapping[str, TransactionLog], report: AuditReport
+    ) -> Optional[TransactionLog]:
+        """Verify every copy, pick the reference log, and record log-level violations."""
+        public_keys = self.network.public_key_directory()
+        results = {server_id: log.verify(public_keys) for server_id, log in logs.items()}
+        report.log_results = dict(results)
+
+        valid = {
+            server_id: logs[server_id] for server_id, result in results.items() if result.valid
+        }
+        if not valid:
+            raise AuditError(
+                "no server produced a verifiable log copy; the failure model assumes at "
+                "least one correct server"
+            )
+        reference_server = max(valid, key=lambda sid: (len(valid[sid]), sid))
+        reference = valid[reference_server]
+        report.reference_log_server = reference_server
+        report.reference_log_length = len(reference)
+
+        for server_id, result in results.items():
+            if not result.valid:
+                block_height = result.first_invalid_height
+                kind = ViolationType.LOG_TAMPERED
+                description = f"log copy failed verification: {result.reason}"
+                # A block at the same height with a *different decision* than
+                # the reference points at a forked commit/abort outcome
+                # (coordinator equivocation, Lemma 5) rather than plain
+                # after-the-fact tampering (Lemma 6).
+                if (
+                    block_height is not None
+                    and block_height < len(reference)
+                    and block_height < len(logs[server_id])
+                    and "signature" in result.reason
+                    and logs[server_id][block_height].decision
+                    is not reference[block_height].decision
+                ):
+                    kind = ViolationType.ATOMICITY_VIOLATION
+                    description = (
+                        "log copy holds a block with a conflicting decision that is not "
+                        "covered by a valid collective signature (possible coordinator "
+                        "equivocation)"
+                    )
+                report.add(
+                    Violation(
+                        kind=kind,
+                        description=description,
+                        culprits=(server_id,),
+                        block_height=block_height,
+                    )
+                )
+            elif len(logs[server_id]) < len(reference):
+                report.add(
+                    Violation(
+                        kind=ViolationType.LOG_INCOMPLETE,
+                        description=(
+                            f"log copy has {len(logs[server_id])} blocks, reference has "
+                            f"{len(reference)} (missing tail)"
+                        ),
+                        culprits=(server_id,),
+                        block_height=len(logs[server_id]),
+                    )
+                )
+            elif not logs[server_id].is_prefix_of(reference):
+                report.add(
+                    Violation(
+                        kind=ViolationType.ATOMICITY_VIOLATION,
+                        description="log copy diverges from the reference log",
+                        culprits=(server_id,),
+                    )
+                )
+        return reference
+
+    # -- replay checks (Lemmas 1, 3, 5) --------------------------------------------------
+
+    def check_transactions(self, reference: TransactionLog, report: AuditReport) -> None:
+        """Replay the reference log and detect read/isolation/structure anomalies."""
+        expected_values: Dict[str, object] = {}
+        last_writer_ts: Dict[str, Timestamp] = {}
+        committed: List[Transaction] = []
+
+        for block in reference:
+            report.blocks_audited += 1
+            self._check_block_structure(block, report)
+            if not block.is_commit:
+                continue
+            for txn in sorted(block.transactions, key=lambda t: t.commit_ts):
+                report.transactions_audited += 1
+                committed.append(txn)
+                self._check_reads(txn, block, expected_values, last_writer_ts, report)
+                self._check_timestamp_order(txn, block, report)
+                for entry in txn.write_set:
+                    expected_values[entry.item_id] = entry.new_value
+                    last_writer_ts[entry.item_id] = txn.commit_ts
+
+        graph = SerializationGraph.from_transactions(committed)
+        cycle = graph.find_cycle()
+        if cycle:
+            report.add(
+                Violation(
+                    kind=ViolationType.ISOLATION_VIOLATION,
+                    description=f"serialization graph contains a cycle: {' -> '.join(cycle)}",
+                    culprits=(),
+                )
+            )
+
+    def _check_block_structure(self, block: Block, report: AuditReport) -> None:
+        """A commit block must carry a root from every involved server (Section 4.3.2)."""
+        involved = set()
+        for txn in block.transactions:
+            involved.update(self.shard_map.servers_for(txn.items_accessed()))
+        recorded = set(block.roots)
+        if block.decision is BlockDecision.COMMIT and not involved <= recorded:
+            missing = sorted(involved - recorded)
+            report.add(
+                Violation(
+                    kind=ViolationType.MALFORMED_BLOCK,
+                    description=f"commit block is missing MHT roots from {missing}",
+                    culprits=tuple(missing),
+                    block_height=block.height,
+                )
+            )
+        if block.decision is BlockDecision.ABORT and involved and involved <= recorded:
+            report.add(
+                Violation(
+                    kind=ViolationType.MALFORMED_BLOCK,
+                    description="abort block carries roots from every involved server",
+                    culprits=(),
+                    block_height=block.height,
+                )
+            )
+
+    def _check_reads(
+        self,
+        txn: Transaction,
+        block: Block,
+        expected_values: Dict[str, object],
+        last_writer_ts: Dict[str, Timestamp],
+        report: AuditReport,
+    ) -> None:
+        """Lemma 1: every read must reflect the latest logged write of that item."""
+        for entry in txn.read_set:
+            if entry.item_id not in expected_values:
+                continue
+            if entry.value != expected_values[entry.item_id]:
+                report.add(
+                    Violation(
+                        kind=ViolationType.INCORRECT_READ,
+                        description=(
+                            f"transaction {txn.txn_id} read {entry.value!r} for "
+                            f"{entry.item_id} but the last committed write was "
+                            f"{expected_values[entry.item_id]!r}"
+                        ),
+                        culprits=(self.shard_map.server_for(entry.item_id),),
+                        block_height=block.height,
+                        item_id=entry.item_id,
+                        txn_id=txn.txn_id,
+                    )
+                )
+            expected_wts = last_writer_ts.get(entry.item_id)
+            if expected_wts is not None and entry.wts != expected_wts:
+                report.add(
+                    Violation(
+                        kind=ViolationType.ISOLATION_VIOLATION,
+                        description=(
+                            f"transaction {txn.txn_id} read {entry.item_id} with write "
+                            f"timestamp {entry.wts} but the latest committed write was at "
+                            f"{expected_wts} (stale or fabricated timestamp)"
+                        ),
+                        culprits=(self.shard_map.server_for(entry.item_id),),
+                        block_height=block.height,
+                        item_id=entry.item_id,
+                        txn_id=txn.txn_id,
+                    )
+                )
+
+    def _check_timestamp_order(
+        self, txn: Transaction, block: Block, report: AuditReport
+    ) -> None:
+        """Lemma 3: conflicting accesses must respect the commit-timestamp order."""
+        for conflict in classify_conflicts(txn):
+            report.add(
+                Violation(
+                    kind=ViolationType.ISOLATION_VIOLATION,
+                    description=f"transaction {txn.txn_id}: {conflict.describe()}",
+                    culprits=(self.shard_map.server_for(conflict.item_id),),
+                    block_height=block.height,
+                    item_id=conflict.item_id,
+                    txn_id=txn.txn_id,
+                )
+            )
+
+    # -- datastore authentication (Lemma 2) -------------------------------------------------
+
+    def check_datastores(
+        self,
+        reference: TransactionLog,
+        report: AuditReport,
+        mode: str = "latest",
+    ) -> None:
+        """Authenticate each server's datastore against the co-signed MHT roots.
+
+        ``mode`` is ``"latest"`` (audit each server at the latest block where
+        it recorded a root -- the single-versioned policy of Section 4.2.2) or
+        ``"all"`` (exhaustively audit every commit block -- the multi-versioned
+        policy, which also pinpoints the precise version at which corruption
+        started).
+        """
+        if mode not in ("latest", "all"):
+            raise AuditError(f"unknown datastore audit mode {mode!r}")
+        per_server_blocks: Dict[str, List[Block]] = {}
+        for block in reference:
+            if not block.is_commit:
+                continue
+            for server_id in block.roots:
+                per_server_blocks.setdefault(server_id, []).append(block)
+        for server_id, blocks in per_server_blocks.items():
+            targets = blocks if mode == "all" else [blocks[-1]]
+            for block in targets:
+                self.audit_datastore_block(server_id, block, report)
+
+    def audit_datastore_block(
+        self, server_id: str, block: Block, report: AuditReport
+    ) -> bool:
+        """Audit one server's shard at one block; returns True if it authenticated."""
+        expected_root = block.roots.get(server_id)
+        if expected_root is None:
+            return True
+        audited_ok = True
+        audit_ts = block.max_commit_ts
+        for txn in block.transactions:
+            for entry in txn.write_set:
+                if self.shard_map.server_for(entry.item_id) != server_id:
+                    continue
+                response = self.network.send(
+                    AUDITOR_ID,
+                    server_id,
+                    MessageType.AUDIT_VO_REQUEST,
+                    {"item_id": entry.item_id, "at": audit_ts.as_tuple()},
+                )
+                if not response.get("ok"):
+                    audited_ok = False
+                    report.add(
+                        Violation(
+                            kind=ViolationType.DATASTORE_CORRUPTION,
+                            description=(
+                                f"server refused to produce a verification object for "
+                                f"{entry.item_id}: {response.get('reason', 'unknown')}"
+                            ),
+                            culprits=(server_id,),
+                            block_height=block.height,
+                            item_id=entry.item_id,
+                        )
+                    )
+                    continue
+                stored_value = response["value"]
+                proof_ok = verify_inclusion(
+                    entry.item_id, stored_value, response["vo"], expected_root
+                )
+                if not proof_ok or stored_value != entry.new_value:
+                    audited_ok = False
+                    report.add(
+                        Violation(
+                            kind=ViolationType.DATASTORE_CORRUPTION,
+                            description=(
+                                f"datastore state for {entry.item_id} at version "
+                                f"{audit_ts} does not authenticate against the co-signed "
+                                f"MHT root (stored {stored_value!r}, logged "
+                                f"{entry.new_value!r})"
+                            ),
+                            culprits=(server_id,),
+                            block_height=block.height,
+                            item_id=entry.item_id,
+                            txn_id=txn.txn_id,
+                        )
+                    )
+        return audited_ok
+
+    def find_corruption_version(self, server_id: str, reference: TransactionLog) -> Optional[int]:
+        """Exhaustive per-version audit: return the first block height whose state fails.
+
+        Implements the multi-versioned policy of Lemma 2 ("the auditor
+        identifies the precise version at which data corruption occurred by
+        systematically authenticating all blocks in the log").
+        """
+        for block in reference:
+            if not block.is_commit or server_id not in block.roots:
+                continue
+            probe = AuditReport()
+            if not self.audit_datastore_block(server_id, block, probe):
+                return block.height
+        return None
+
+    # -- the full audit -----------------------------------------------------------------------
+
+    def run_audit(
+        self,
+        servers=None,
+        logs: Optional[Mapping[str, TransactionLog]] = None,
+        check_datastore: bool = True,
+        datastore_mode: str = "latest",
+    ) -> AuditReport:
+        """Run a complete offline audit and return the report.
+
+        ``servers`` is accepted (and ignored beyond convenience) so callers
+        holding a :class:`~repro.core.fides.FidesSystem` can simply pass its
+        server map; logs and verification objects are always fetched over the
+        network so the audit exercises the same signed message paths a real
+        external auditor would.
+        """
+        report = AuditReport()
+        collected = dict(logs) if logs is not None else self.collect_logs()
+        reference = self.check_logs(collected, report)
+        if reference is None:
+            return report
+        self.check_transactions(reference, report)
+        if check_datastore:
+            self.check_datastores(reference, report, mode=datastore_mode)
+        return report

@@ -1,0 +1,74 @@
+"""Audit reports.
+
+The output of a full audit: which log copy was chosen as correct and
+complete, how each server's copy verified, and every violation detected,
+classified per the lemmas of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.audit.violations import Violation, ViolationType
+from repro.ledger.log import LogVerificationResult, TransactionLog
+
+
+@dataclass
+class AuditReport:
+    """The result of one offline audit."""
+
+    #: Server whose log copy was selected as correct and complete (Lemma 7).
+    reference_log_server: Optional[str] = None
+    #: Length of the selected reference log.
+    reference_log_length: int = 0
+    #: Per-server log verification outcomes (Lemma 6).
+    log_results: Dict[str, LogVerificationResult] = field(default_factory=dict)
+    #: Every violation detected, in detection order.
+    violations: List[Violation] = field(default_factory=list)
+    #: Number of blocks / transactions examined (for reporting).
+    blocks_audited: int = 0
+    transactions_audited: int = 0
+
+    # -- convenience ------------------------------------------------------------
+
+    @property
+    def ok(self) -> bool:
+        """True iff the audit found no violations of any kind."""
+        return not self.violations
+
+    def add(self, violation: Violation) -> None:
+        self.violations.append(violation)
+
+    def violations_of(self, kind: ViolationType) -> List[Violation]:
+        return [violation for violation in self.violations if violation.kind is kind]
+
+    def culprit_servers(self) -> Tuple[str, ...]:
+        """Every server implicated by at least one violation."""
+        culprits = sorted({server for violation in self.violations for server in violation.culprits})
+        return tuple(culprits)
+
+    def first_violation_height(self) -> Optional[int]:
+        """The earliest block height at which any violation occurred.
+
+        The paper notes that once the first violation is found, everything
+        after it "can be incorrect and hence irrelevant to a correct
+        execution" (Theorem 1); this accessor gives that cut-off point.
+        """
+        heights = [v.block_height for v in self.violations if v.block_height is not None]
+        return min(heights) if heights else None
+
+    def summary(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = [
+            "Fides audit report",
+            "==================",
+            f"reference log: {self.reference_log_server!r} ({self.reference_log_length} blocks)",
+            f"blocks audited: {self.blocks_audited}, transactions audited: {self.transactions_audited}",
+            f"violations: {len(self.violations)}",
+        ]
+        for violation in self.violations:
+            lines.append(f"  - {violation.summary()}")
+        if self.ok:
+            lines.append("  (no violations detected: servers upheld verifiable ACID)")
+        return "\n".join(lines)

@@ -1,0 +1,30 @@
+"""Benchmark harness: regenerates every figure of the paper's evaluation.
+
+* :mod:`repro.bench.harness` -- run one experiment configuration and report
+  throughput / latency with the simulated-time model described in DESIGN.md.
+* :mod:`repro.bench.experiments` -- the parameter sweeps behind Figures 12-15
+  plus the ablation studies.
+* :mod:`repro.bench.reporting` -- plain-text tables mirroring the paper's plots.
+* ``python -m repro.bench <figure>`` -- command-line entry point.
+"""
+
+from repro.bench.harness import ExperimentConfig, ExperimentResult, run_experiment
+from repro.bench.experiments import (
+    figure12_2pc_vs_tfcommit,
+    figure13_txns_per_block,
+    figure14_number_of_servers,
+    figure15_items_per_shard,
+)
+from repro.bench.reporting import format_table, rows_to_csv
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "figure12_2pc_vs_tfcommit",
+    "figure13_txns_per_block",
+    "figure14_number_of_servers",
+    "figure15_items_per_shard",
+    "format_table",
+    "rows_to_csv",
+    "run_experiment",
+]

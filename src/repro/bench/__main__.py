@@ -1,0 +1,65 @@
+"""Command-line entry point: ``python -m repro.bench <experiment>``.
+
+Examples
+--------
+Run the reduced-size Figure 13 sweep::
+
+    python -m repro.bench figure13
+
+Run the paper-sized Figure 12 sweep (slow; pure-Python crypto)::
+
+    python -m repro.bench figure12 --requests 1000
+
+List available experiments::
+
+    python -m repro.bench --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench.experiments import EXPERIMENT_REGISTRY
+from repro.bench.reporting import format_table, rows_to_csv
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the evaluation figures of the Fides/TFCommit paper.",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        choices=sorted(EXPERIMENT_REGISTRY),
+        help="which figure / ablation to run",
+    )
+    parser.add_argument("--requests", type=int, default=None, help="client requests per point")
+    parser.add_argument("--csv", action="store_true", help="emit CSV instead of a table")
+    parser.add_argument("--list", action="store_true", help="list available experiments")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list or not args.experiment:
+        print("available experiments:")
+        for name in sorted(EXPERIMENT_REGISTRY):
+            print(f"  {name}")
+        return 0
+    runner = EXPERIMENT_REGISTRY[args.experiment]
+    kwargs = {}
+    if args.requests is not None:
+        kwargs["num_requests"] = args.requests
+    rows = runner(**kwargs)
+    if args.csv:
+        print(rows_to_csv(rows), end="")
+    else:
+        print(format_table(rows, title=args.experiment))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,197 @@
+"""The parameter sweeps behind every figure of the paper's evaluation (Section 6).
+
+Each ``figureXX_*`` function reproduces one plot: it sweeps the same
+parameter the paper sweeps, runs the experiment at each point, and returns a
+list of result rows (plus the raw :class:`ExperimentResult` objects when
+``return_results=True``).  The sweeps default to a reduced request count so
+they finish quickly under pytest-benchmark; pass ``num_requests=1000`` (the
+paper's size) for a full run via ``python -m repro.bench``.
+
+Ablation sweeps (latency regime, signing scheme, Merkle maintenance strategy)
+live here as well; they back the design-choice discussion in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.bench.harness import ExperimentConfig, ExperimentResult, run_experiment
+from repro.core.fides import PROTOCOL_2PC, PROTOCOL_TFCOMMIT
+from repro.net.latency import lan_latency, wan_latency
+
+
+def _rows(results: Sequence[ExperimentResult]) -> List[Dict[str, object]]:
+    return [result.as_row() for result in results]
+
+
+# ---------------------------------------------------------------------------
+# Figure 12: 2PC vs TFCommit (3-7 servers, one transaction per block)
+# ---------------------------------------------------------------------------
+
+def figure12_2pc_vs_tfcommit(
+    server_counts: Iterable[int] = (3, 4, 5, 6, 7),
+    num_requests: int = 60,
+    items_per_shard: int = 1000,
+    return_results: bool = False,
+):
+    """2PC vs TFCommit commit latency and throughput, one txn per block.
+
+    The paper finds TFCommit ~1.8x slower and ~2.1x lower-throughput than 2PC
+    because of the extra phase, the collective signature, and the MHT update.
+    """
+    results: List[ExperimentResult] = []
+    for protocol in (PROTOCOL_2PC, PROTOCOL_TFCOMMIT):
+        for servers in server_counts:
+            config = ExperimentConfig(
+                label=f"fig12-{protocol}-{servers}s",
+                protocol=protocol,
+                num_servers=servers,
+                items_per_shard=items_per_shard,
+                txns_per_block=1,
+                num_requests=num_requests,
+            )
+            results.append(run_experiment(config))
+    return (results, _rows(results)) if return_results else _rows(results)
+
+
+# ---------------------------------------------------------------------------
+# Figure 13: varying the number of transactions per block (5 servers)
+# ---------------------------------------------------------------------------
+
+def figure13_txns_per_block(
+    batch_sizes: Iterable[int] = (2, 20, 40, 60, 80, 100, 120),
+    num_requests: int = 240,
+    items_per_shard: int = 1000,
+    return_results: bool = False,
+):
+    """Latency and throughput as the block batch grows from 2 to 120 (5 servers).
+
+    The paper reports per-transaction latency dropping ~2.6x and throughput
+    rising ~2.5x once >= 80 transactions share a block.
+    """
+    results: List[ExperimentResult] = []
+    for batch in batch_sizes:
+        config = ExperimentConfig(
+            label=f"fig13-batch-{batch}",
+            protocol=PROTOCOL_TFCOMMIT,
+            num_servers=5,
+            items_per_shard=items_per_shard,
+            txns_per_block=batch,
+            num_requests=max(num_requests, batch),
+        )
+        results.append(run_experiment(config))
+    return (results, _rows(results)) if return_results else _rows(results)
+
+
+# ---------------------------------------------------------------------------
+# Figure 14: varying the number of servers / shards (100 txns per block)
+# ---------------------------------------------------------------------------
+
+def figure14_number_of_servers(
+    server_counts: Iterable[int] = (3, 4, 5, 6, 7, 8, 9),
+    num_requests: int = 300,
+    items_per_shard: int = 1000,
+    txns_per_block: int = 100,
+    return_results: bool = False,
+):
+    """Scalability with the number of database servers at 100 txns per block.
+
+    The paper reports throughput up ~47% and latency down ~33% from 3 to 9
+    servers, driven by the per-shard MHT update work shrinking as the block's
+    operations spread over more shards.
+    """
+    results: List[ExperimentResult] = []
+    for servers in server_counts:
+        config = ExperimentConfig(
+            label=f"fig14-{servers}s",
+            protocol=PROTOCOL_TFCOMMIT,
+            num_servers=servers,
+            items_per_shard=items_per_shard,
+            txns_per_block=txns_per_block,
+            num_requests=num_requests,
+        )
+        results.append(run_experiment(config))
+    return (results, _rows(results)) if return_results else _rows(results)
+
+
+# ---------------------------------------------------------------------------
+# Figure 15: varying the number of data items per shard (5 servers, 100/block)
+# ---------------------------------------------------------------------------
+
+def figure15_items_per_shard(
+    shard_sizes: Iterable[int] = (1000, 2000, 3000, 4000, 5000, 6000, 7000, 8000, 9000, 10000),
+    num_requests: int = 200,
+    txns_per_block: int = 100,
+    return_results: bool = False,
+):
+    """Sensitivity to shard size: deeper Merkle trees make commits slightly slower.
+
+    The paper reports latency rising ~15% and throughput dropping ~14% from
+    1k to 10k items per shard (tree depth grows from ~10 to ~14 levels).
+    """
+    results: List[ExperimentResult] = []
+    for items in shard_sizes:
+        config = ExperimentConfig(
+            label=f"fig15-{items}items",
+            protocol=PROTOCOL_TFCOMMIT,
+            num_servers=5,
+            items_per_shard=items,
+            txns_per_block=txns_per_block,
+            num_requests=num_requests,
+        )
+        results.append(run_experiment(config))
+    return (results, _rows(results)) if return_results else _rows(results)
+
+
+# ---------------------------------------------------------------------------
+# Ablations (design-choice studies referenced in DESIGN.md)
+# ---------------------------------------------------------------------------
+
+def ablation_latency_regime(
+    num_requests: int = 60,
+    return_results: bool = False,
+):
+    """LAN vs WAN latency: where TFCommit shifts from compute- to network-bound."""
+    results: List[ExperimentResult] = []
+    for name, latency in (("lan", lan_latency()), ("wan", wan_latency())):
+        config = ExperimentConfig(
+            label=f"ablation-latency-{name}",
+            protocol=PROTOCOL_TFCOMMIT,
+            num_servers=5,
+            items_per_shard=1000,
+            txns_per_block=20,
+            num_requests=num_requests,
+        )
+        results.append(run_experiment(config, latency=latency))
+    return (results, _rows(results)) if return_results else _rows(results)
+
+
+def ablation_signing_scheme(
+    num_requests: int = 40,
+    return_results: bool = False,
+):
+    """Real Schnorr vs keyed-hash message envelopes (co-signing always Schnorr)."""
+    results: List[ExperimentResult] = []
+    for scheme in ("hash", "schnorr"):
+        config = ExperimentConfig(
+            label=f"ablation-signing-{scheme}",
+            protocol=PROTOCOL_TFCOMMIT,
+            num_servers=4,
+            items_per_shard=500,
+            txns_per_block=10,
+            num_requests=num_requests,
+            message_signing=scheme,
+        )
+        results.append(run_experiment(config))
+    return (results, _rows(results)) if return_results else _rows(results)
+
+
+#: Registry used by the CLI entry point.
+EXPERIMENT_REGISTRY = {
+    "figure12": figure12_2pc_vs_tfcommit,
+    "figure13": figure13_txns_per_block,
+    "figure14": figure14_number_of_servers,
+    "figure15": figure15_items_per_shard,
+    "ablation-latency": ablation_latency_regime,
+    "ablation-signing": ablation_signing_scheme,
+}

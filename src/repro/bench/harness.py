@@ -1,0 +1,177 @@
+"""Single-experiment runner and the simulated-time performance model.
+
+The paper measures two quantities (Section 6): *commit latency* -- the time
+to terminate a transaction once the client sends ``end_transaction`` -- and
+*throughput* -- committed transactions per second.  On the paper's testbed
+those come from wall clocks on EC2 VMs; here they come from the
+simulated-time model described in DESIGN.md:
+
+* every TFCommit / 2PC phase costs one outbound network delay + the slowest
+  participant's *measured* compute + one inbound delay (participants work in
+  parallel on real hardware, so the max is the right aggregate);
+* blocks are produced sequentially (as in the paper's implementation), so the
+  total run time is the sum of per-block latencies and the throughput is
+  ``committed transactions / total simulated time``.
+
+Commit latency per transaction is the block latency amortised over the
+transactions batched in the block -- this is what Figure 13 reports when it
+shows latency dropping as the batch grows.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.config import SystemConfig
+from repro.core.fides import PROTOCOL_2PC, PROTOCOL_TFCOMMIT, FidesSystem
+from repro.net.latency import LatencyModel, lan_latency
+from repro.workload.ycsb import YcsbWorkload
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One point in an evaluation sweep.
+
+    Defaults mirror the paper's setup: 5 servers, 10 000 items per shard,
+    5 operations per transaction, 100 transactions per block, 1000 client
+    requests, and the Transactional-YCSB-like workload.  ``num_requests`` is
+    deliberately configurable because the pure-Python crypto makes the full
+    1000-request sweeps slow in CI; the benchmark defaults use a few hundred
+    requests, and ``python -m repro.bench`` can run the full size.
+    """
+
+    label: str = "experiment"
+    protocol: str = PROTOCOL_TFCOMMIT
+    num_servers: int = 5
+    items_per_shard: int = 10_000
+    txns_per_block: int = 100
+    ops_per_txn: int = 5
+    num_requests: int = 1000
+    message_signing: str = "hash"
+    multi_versioned: bool = False
+    seed: int = 2020
+
+    def system_config(self) -> SystemConfig:
+        return SystemConfig(
+            num_servers=self.num_servers,
+            items_per_shard=self.items_per_shard,
+            txns_per_block=self.txns_per_block,
+            ops_per_txn=self.ops_per_txn,
+            multi_versioned=self.multi_versioned,
+            message_signing=self.message_signing,
+            seed=self.seed,
+        )
+
+
+@dataclass
+class ExperimentResult:
+    """Measurements for one experiment configuration."""
+
+    config: ExperimentConfig
+    committed_txns: int = 0
+    aborted_txns: int = 0
+    blocks: int = 0
+    total_time_s: float = 0.0
+    throughput_tps: float = 0.0
+    block_latency_ms: float = 0.0
+    txn_latency_ms: float = 0.0
+    mht_update_ms: float = 0.0
+    network_ms_per_block: float = 0.0
+    compute_ms_per_block: float = 0.0
+    phase_ms: Dict[str, float] = field(default_factory=dict)
+
+    def as_row(self) -> Dict[str, object]:
+        """Flatten into a table row for reporting."""
+        return {
+            "label": self.config.label,
+            "protocol": self.config.protocol,
+            "servers": self.config.num_servers,
+            "items/shard": self.config.items_per_shard,
+            "txns/block": self.config.txns_per_block,
+            "requests": self.config.num_requests,
+            "committed": self.committed_txns,
+            "throughput (txns/s)": round(self.throughput_tps, 1),
+            "txn latency (ms)": round(self.txn_latency_ms, 3),
+            "block latency (ms)": round(self.block_latency_ms, 3),
+            "MHT update (ms)": round(self.mht_update_ms, 3),
+        }
+
+
+def run_experiment(
+    config: ExperimentConfig, latency: Optional[LatencyModel] = None
+) -> ExperimentResult:
+    """Execute one experiment configuration and return its measurements."""
+    system = FidesSystem(
+        config=config.system_config(),
+        protocol=config.protocol,
+        latency=latency or lan_latency(seed=config.seed),
+    )
+    workload = YcsbWorkload(
+        item_ids=system.shard_map.all_items(),
+        ops_per_txn=config.ops_per_txn,
+        conflict_free_window=config.txns_per_block,
+        seed=config.seed,
+    )
+    specs = workload.generate(config.num_requests)
+    outcome = system.run_workload(specs)
+
+    result = ExperimentResult(config=config)
+    result.committed_txns = outcome.committed
+    result.aborted_txns = outcome.aborted
+    block_results = [r for r in outcome.block_results if r.status in ("committed", "aborted")]
+    result.blocks = len(block_results)
+    if not block_results:
+        return result
+
+    block_latencies = [r.timing.total for r in block_results]
+    txn_latencies = [r.timing.per_txn_latency for r in block_results]
+    result.total_time_s = sum(block_latencies)
+    result.block_latency_ms = statistics.mean(block_latencies) * 1000.0
+    result.txn_latency_ms = statistics.mean(txn_latencies) * 1000.0
+    result.mht_update_ms = statistics.mean(r.timing.mht_time for r in block_results) * 1000.0
+    result.network_ms_per_block = (
+        statistics.mean(r.timing.network_time for r in block_results) * 1000.0
+    )
+    result.compute_ms_per_block = (
+        statistics.mean(r.timing.compute_time for r in block_results) * 1000.0
+    )
+    if result.total_time_s > 0:
+        result.throughput_tps = result.committed_txns / result.total_time_s
+
+    phase_names = {name for r in block_results for name in r.timing.phases}
+    for name in sorted(phase_names):
+        samples = [r.timing.phases.get(name, 0.0) for r in block_results]
+        result.phase_ms[name] = statistics.mean(samples) * 1000.0
+    return result
+
+
+def run_average(config: ExperimentConfig, repeats: int = 1) -> ExperimentResult:
+    """Run ``repeats`` independent runs (different seeds) and average the metrics.
+
+    The paper averages 3 runs per data point; tests and quick benchmarks use
+    1 to stay fast.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    runs: List[ExperimentResult] = []
+    for repeat in range(repeats):
+        cfg = ExperimentConfig(
+            **{**config.__dict__, "seed": config.seed + repeat}
+        )
+        runs.append(run_experiment(cfg))
+    if len(runs) == 1:
+        return runs[0]
+    merged = ExperimentResult(config=config)
+    merged.committed_txns = round(statistics.mean(r.committed_txns for r in runs))
+    merged.aborted_txns = round(statistics.mean(r.aborted_txns for r in runs))
+    merged.blocks = round(statistics.mean(r.blocks for r in runs))
+    merged.total_time_s = statistics.mean(r.total_time_s for r in runs)
+    merged.throughput_tps = statistics.mean(r.throughput_tps for r in runs)
+    merged.block_latency_ms = statistics.mean(r.block_latency_ms for r in runs)
+    merged.txn_latency_ms = statistics.mean(r.txn_latency_ms for r in runs)
+    merged.mht_update_ms = statistics.mean(r.mht_update_ms for r in runs)
+    merged.network_ms_per_block = statistics.mean(r.network_ms_per_block for r in runs)
+    merged.compute_ms_per_block = statistics.mean(r.compute_ms_per_block for r in runs)
+    return merged

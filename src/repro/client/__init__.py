@@ -1,0 +1,14 @@
+"""Client-side run-time library.
+
+Clients in Fides link against a small run-time library that provides a lookup
+/ directory service for the database partitions and lets the application
+read and write data by talking directly to the relevant database server
+(Section 4.1).  :class:`~repro.client.client.FidesClient` is that library;
+:class:`~repro.client.session.TransactionSession` is one in-flight
+transaction.
+"""
+
+from repro.client.client import CommitOutcome, FidesClient
+from repro.client.session import TransactionSession
+
+__all__ = ["CommitOutcome", "FidesClient", "TransactionSession"]

@@ -1,0 +1,207 @@
+"""The Fides client run-time library.
+
+A :class:`FidesClient` is how an application accesses data stored on the
+untrusted servers (Figure 4): it locates the server owning each item via the
+shard map, sends signed begin / read / write requests directly to that
+server, and sends the signed ``end_transaction`` request -- carrying the full
+read and write sets -- to the designated coordinator.  When the coordinator
+returns a decision, the client verifies the collective signature before
+accepting it (Section 4.3.1: "even an aborted transaction must be signed by
+all the servers"); a failed verification is an anomaly that should trigger an
+audit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.common.errors import SignatureError
+from repro.common.timestamps import Timestamp, TimestampGenerator
+from repro.common.types import ClientId, ItemId, Value
+from repro.crypto.cosi import CollectiveSignature, cosi_verify
+from repro.crypto.keys import KeyPair
+from repro.net.message import MessageType
+from repro.net.network import Network
+from repro.client.session import TransactionSession
+from repro.storage.shard import ShardMap
+from repro.txn.transaction import Transaction
+
+
+@dataclass(frozen=True)
+class CommitOutcome:
+    """What the client learns about a terminated transaction."""
+
+    txn_id: str
+    status: str  # "committed", "aborted", "queued", or "failed"
+    block_height: Optional[int] = None
+    reason: str = ""
+    cosign_verified: bool = False
+
+    @property
+    def committed(self) -> bool:
+        return self.status == "committed"
+
+    @property
+    def pending(self) -> bool:
+        return self.status == "queued"
+
+
+class FidesClient:
+    """Application-facing client: begin / read / write / commit."""
+
+    def __init__(
+        self,
+        client_id: ClientId,
+        keypair: KeyPair,
+        network: Network,
+        shard_map: ShardMap,
+        coordinator_id: str,
+    ) -> None:
+        self.client_id = client_id
+        self.keypair = keypair
+        self._network = network
+        self._shard_map = shard_map
+        self._coordinator_id = coordinator_id
+        self._clock = TimestampGenerator(client_id)
+        self._txn_counter = 0
+        network.register_observer(client_id, keypair)
+
+    # -- transaction life-cycle (Figure 5) ------------------------------------------
+
+    def begin(self) -> TransactionSession:
+        """Start a new transaction and return its session."""
+        self._txn_counter += 1
+        txn_id = f"{self.client_id}-txn-{self._txn_counter}"
+        return TransactionSession(txn_id=txn_id, client_id=self.client_id)
+
+    def read(self, session: TransactionSession, item_id: ItemId) -> Value:
+        """Read ``item_id`` within ``session``; returns the value reported by the server."""
+        server_id = self._shard_map.server_for(item_id)
+        self._ensure_begun(session, server_id)
+        response = self._network.send(
+            self.client_id,
+            server_id,
+            MessageType.READ,
+            {"txn_id": session.txn_id, "item_id": item_id},
+        )
+        rts = Timestamp(*response["rts"])
+        wts = Timestamp(*response["wts"])
+        self._clock.observe(rts)
+        self._clock.observe(wts)
+        session.record_read(item_id, response["value"], rts, wts)
+        return response["value"]
+
+    def write(self, session: TransactionSession, item_id: ItemId, value: Value) -> None:
+        """Write ``value`` to ``item_id`` within ``session`` (buffered server-side)."""
+        server_id = self._shard_map.server_for(item_id)
+        self._ensure_begun(session, server_id)
+        response = self._network.send(
+            self.client_id,
+            server_id,
+            MessageType.WRITE,
+            {"txn_id": session.txn_id, "item_id": item_id, "value": value},
+        )
+        old = response["old"]
+        rts = Timestamp(*old["rts"])
+        wts = Timestamp(*old["wts"])
+        self._clock.observe(rts)
+        self._clock.observe(wts)
+        session.record_write(item_id, value, old["value"], rts, wts)
+
+    def commit(self, session: TransactionSession) -> CommitOutcome:
+        """Terminate the transaction: send ``end_transaction`` to the coordinator.
+
+        The returned outcome is ``queued`` when the coordinator batches
+        transactions into blocks and the current block is not yet full; the
+        caller then learns the final outcome from a later flush (see
+        :class:`~repro.core.fides.FidesSystem`).
+        """
+        outcome, _ = self.commit_with_response(session)
+        return outcome
+
+    def commit_with_response(self, session: TransactionSession):
+        """Like :meth:`commit` but also return the coordinator's raw response.
+
+        The raw response may carry outcomes of *other* queued transactions
+        that were flushed as part of the same block; batch drivers (the
+        workload runner, the benchmark harness) use it to resolve those.
+        """
+        for stamp in session.observed_timestamps():
+            self._clock.observe(stamp)
+        commit_ts = self._clock.next()
+        txn = session.build_transaction(commit_ts)
+        envelope = self._network.sign_envelope(
+            self._end_transaction_envelope(txn)
+        )
+        response = self._network.send(
+            self.client_id,
+            self._coordinator_id,
+            MessageType.END_TRANSACTION,
+            envelope.payload,
+            presigned=envelope,
+        )
+        return self.interpret_outcome(txn.txn_id, response), response
+
+    def _end_transaction_envelope(self, txn: Transaction):
+        from repro.net.message import Envelope
+
+        return Envelope(
+            sender=self.client_id,
+            recipient=self._coordinator_id,
+            message_type=MessageType.END_TRANSACTION,
+            payload={"transaction": txn, "commit_ts": txn.commit_ts.as_tuple()},
+        )
+
+    # -- outcome handling ----------------------------------------------------------------
+
+    def interpret_outcome(self, txn_id: str, response: Dict) -> CommitOutcome:
+        """Turn a coordinator response into a :class:`CommitOutcome`.
+
+        If the response carries the block digest and collective signature the
+        client verifies it against the public keys of all servers before
+        accepting the decision.
+        """
+        status = response.get("status", "failed")
+        if status == "queued":
+            return CommitOutcome(txn_id=txn_id, status="queued")
+        results = response.get("results", {})
+        mine = results.get(txn_id)
+        if mine is None:
+            return CommitOutcome(txn_id=txn_id, status="failed", reason="no outcome for txn")
+        verified = False
+        cosign = mine.get("cosign")
+        digest = mine.get("block_digest")
+        if cosign is not None and digest is not None:
+            verified = cosi_verify(cosign, digest, self._network.public_key_directory())
+            if not verified:
+                # An invalid co-sign on a decision is itself an anomaly the
+                # client reports (it would trigger an audit, Section 4.3.1).
+                raise SignatureError(
+                    f"client {self.client_id}: decision for {txn_id} carries an invalid co-sign"
+                )
+        return CommitOutcome(
+            txn_id=txn_id,
+            status=mine["status"],
+            block_height=mine.get("block_height"),
+            reason=mine.get("reason", ""),
+            cosign_verified=verified,
+        )
+
+    # -- helpers ------------------------------------------------------------------------------
+
+    def _ensure_begun(self, session: TransactionSession, server_id: str) -> None:
+        """Send Begin Transaction to a server the first time the session touches it."""
+        if server_id in session.servers_contacted:
+            return
+        self._network.send(
+            self.client_id,
+            server_id,
+            MessageType.BEGIN_TRANSACTION,
+            {"txn_id": session.txn_id, "client_id": self.client_id},
+        )
+        session.record_server(server_id)
+
+    @property
+    def clock(self) -> TimestampGenerator:
+        return self._clock

@@ -1,0 +1,94 @@
+"""Canonical, deterministic byte encoding.
+
+Every object that is hashed or signed in Fides (blocks, messages, read/write
+sets, Merkle leaves) must have a single canonical byte representation, or two
+correct servers could compute different hashes for the same logical content
+and falsely accuse each other.  This module provides a small, dependency-free
+canonical encoder:
+
+* ``None``, ``bool``, ``int``, ``float``, ``str``, ``bytes`` are encoded with a
+  one-byte type tag followed by a length-prefixed payload.
+* ``list`` / ``tuple`` encode their length then each element.
+* ``dict`` encodes entries sorted by the encoded key, making the encoding
+  independent of insertion order.
+* Objects exposing ``to_wire()`` (returning any of the above) are encoded via
+  that method, which lets higher layers opt in without import cycles.
+
+The format is not meant to be a general interchange format -- only to be
+deterministic, unambiguous (length-prefixed, so no delimiter injection), and
+cheap.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any
+
+_TAG_NONE = b"N"
+_TAG_TRUE = b"T"
+_TAG_FALSE = b"F"
+_TAG_INT = b"I"
+_TAG_FLOAT = b"D"
+_TAG_STR = b"S"
+_TAG_BYTES = b"B"
+_TAG_LIST = b"L"
+_TAG_DICT = b"M"
+
+
+def encode_str(text: str) -> bytes:
+    """UTF-8 encode ``text`` (tiny convenience wrapper)."""
+    return text.encode("utf-8")
+
+
+def decode_str(data: bytes) -> str:
+    """UTF-8 decode ``data`` (tiny convenience wrapper)."""
+    return data.decode("utf-8")
+
+
+def _length_prefixed(payload: bytes) -> bytes:
+    return struct.pack(">I", len(payload)) + payload
+
+
+def canonical_encode(value: Any) -> bytes:
+    """Return the canonical byte encoding of ``value``.
+
+    Raises
+    ------
+    TypeError
+        If ``value`` (or anything nested inside it) is of an unsupported type
+        and does not provide a ``to_wire()`` method.
+    """
+    if value is None:
+        return _TAG_NONE
+    if value is True:
+        return _TAG_TRUE
+    if value is False:
+        return _TAG_FALSE
+    if isinstance(value, int):
+        payload = str(value).encode("ascii")
+        return _TAG_INT + _length_prefixed(payload)
+    if isinstance(value, float):
+        # repr() round-trips floats exactly in Python 3 and is deterministic.
+        payload = repr(value).encode("ascii")
+        return _TAG_FLOAT + _length_prefixed(payload)
+    if isinstance(value, str):
+        return _TAG_STR + _length_prefixed(value.encode("utf-8"))
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        return _TAG_BYTES + _length_prefixed(bytes(value))
+    if isinstance(value, (list, tuple)):
+        parts = [_TAG_LIST, struct.pack(">I", len(value))]
+        parts.extend(canonical_encode(item) for item in value)
+        return b"".join(parts)
+    if isinstance(value, dict):
+        encoded_items = sorted(
+            (canonical_encode(key), canonical_encode(val)) for key, val in value.items()
+        )
+        parts = [_TAG_DICT, struct.pack(">I", len(encoded_items))]
+        for key_bytes, val_bytes in encoded_items:
+            parts.append(key_bytes)
+            parts.append(val_bytes)
+        return b"".join(parts)
+    to_wire = getattr(value, "to_wire", None)
+    if callable(to_wire):
+        return canonical_encode(to_wire())
+    raise TypeError(f"cannot canonically encode object of type {type(value).__name__}")

@@ -1,0 +1,54 @@
+"""Exception hierarchy for the Fides reproduction.
+
+All library-raised exceptions derive from :class:`FidesError` so callers can
+catch the whole family with a single ``except`` clause while still being able
+to distinguish protocol failures from storage or audit failures.
+"""
+
+from __future__ import annotations
+
+
+class FidesError(Exception):
+    """Base class of every exception raised by the ``repro`` library."""
+
+
+class ConfigurationError(FidesError):
+    """A :class:`~repro.common.config.SystemConfig` (or similar) is invalid."""
+
+
+class SignatureError(FidesError):
+    """A digital signature, collective signature, or MAC failed verification."""
+
+
+class ValidationError(FidesError):
+    """A message, block, or transaction failed structural validation."""
+
+
+class ProtocolError(FidesError):
+    """A protocol participant received a message it cannot process.
+
+    Raised, for example, when a cohort receives a challenge whose hash does not
+    match the block it was asked to sign, or when a coordinator receives a vote
+    for an unknown transaction.
+    """
+
+
+class StorageError(FidesError):
+    """A datastore or shard operation failed (unknown item, bad version...)."""
+
+
+class AuditError(FidesError):
+    """The auditor could not complete an audit (e.g. no correct log exists)."""
+
+
+class TransactionAborted(FidesError):
+    """A transaction was aborted by the commit protocol.
+
+    Carries the abort ``reason`` and the offending ``txn_id`` so client code
+    can decide whether to retry.
+    """
+
+    def __init__(self, txn_id, reason: str = "") -> None:
+        super().__init__(f"transaction {txn_id} aborted: {reason}")
+        self.txn_id = txn_id
+        self.reason = reason

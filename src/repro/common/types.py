@@ -1,0 +1,43 @@
+"""Identifier types shared across the system.
+
+Identifiers are thin ``str`` / ``int`` aliases plus small helpers.  Keeping
+them as plain built-ins keeps every data structure trivially hashable and
+serialisable, which matters because almost everything in Fides ends up inside
+a canonical byte encoding that is hashed or signed.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+# A data item identifier, e.g. "user:42" or "item-0007".
+ItemId = str
+
+# A stored value.  Fides treats values opaquely; we allow the common scalar
+# types so the canonical encoding stays deterministic.
+Value = Union[int, float, str, bytes, None]
+
+# Server identifiers, e.g. "s0", "s1"...
+ServerId = str
+
+# Client identifiers, e.g. "c0", "c1"...
+ClientId = str
+
+# Transaction identifiers.  The paper identifies a transaction by its commit
+# timestamp; we additionally carry a client-unique id string for readability.
+TxnId = str
+
+
+def make_server_id(index: int) -> ServerId:
+    """Return the canonical server id for server number ``index``."""
+    return f"s{index}"
+
+
+def make_client_id(index: int) -> ClientId:
+    """Return the canonical client id for client number ``index``."""
+    return f"c{index}"
+
+
+def make_item_id(index: int) -> ItemId:
+    """Return the canonical item id for item number ``index``."""
+    return f"item-{index:08d}"

@@ -1,0 +1,229 @@
+"""Fides: assembling servers, clients, coordinator, and auditor into a system.
+
+:class:`FidesSystem` is the top-level convenience API of the library: it
+builds the whole deployment of Figure 4 from a
+:class:`~repro.common.config.SystemConfig` -- the sharded servers, the signed
+network, the designated coordinator (running either TFCommit or the 2PC
+baseline), and client handles -- and exposes the operations examples,
+tests, and benchmarks need: executing transactions, injecting faults,
+collecting logs, and running audits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.client.client import CommitOutcome, FidesClient
+from repro.common.config import SystemConfig
+from repro.common.errors import ConfigurationError
+from repro.common.types import ClientId, ServerId, Value, make_client_id
+from repro.core.tfcommit import BlockCommitResult, TFCommitCoordinator
+from repro.core.twopc import TwoPhaseCommitCoordinator
+from repro.crypto.keys import keypair_for
+from repro.crypto.signing import make_signing_scheme
+from repro.ledger.log import TransactionLog
+from repro.net.latency import LatencyModel, lan_latency
+from repro.net.network import Network
+from repro.server.faults import FaultPolicy
+from repro.server.server import DatabaseServer
+from repro.storage.shard import ShardMap, build_uniform_partition
+from repro.txn.operations import Operation
+from repro.workload.ycsb import TransactionSpec
+
+
+#: Supported commit protocols.
+PROTOCOL_TFCOMMIT = "tfcommit"
+PROTOCOL_2PC = "2pc"
+
+
+@dataclass
+class WorkloadResult:
+    """Aggregate outcome of executing a list of transaction specs."""
+
+    outcomes: List[CommitOutcome] = field(default_factory=list)
+    block_results: List[BlockCommitResult] = field(default_factory=list)
+
+    @property
+    def committed(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.committed)
+
+    @property
+    def aborted(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.status == "aborted")
+
+
+class FidesSystem:
+    """A complete in-process Fides deployment."""
+
+    def __init__(
+        self,
+        config: Optional[SystemConfig] = None,
+        protocol: str = PROTOCOL_TFCOMMIT,
+        latency: Optional[LatencyModel] = None,
+        initial_value: Value = 0,
+    ) -> None:
+        self.config = config or SystemConfig()
+        if protocol not in (PROTOCOL_TFCOMMIT, PROTOCOL_2PC):
+            raise ConfigurationError(f"unknown protocol {protocol!r}")
+        self.protocol = protocol
+        self.latency = latency or lan_latency(seed=self.config.seed)
+        self.network = Network(
+            signing_scheme=make_signing_scheme(self.config.message_signing),
+            latency=self.latency,
+        )
+
+        per_server_items, self.shard_map = build_uniform_partition(self.config, initial_value)
+        self.servers: Dict[ServerId, DatabaseServer] = {}
+        for server_id in self.config.server_ids:
+            server = DatabaseServer(
+                server_id=server_id,
+                keypair=keypair_for(server_id, seed=self.config.seed),
+                items=per_server_items[server_id],
+                multi_versioned=self.config.multi_versioned,
+            )
+            server.attach(self.network)
+            self.servers[server_id] = server
+
+        self.coordinator_id = self.config.server_ids[0]
+        coordinator_server = self.servers[self.coordinator_id]
+        if protocol == PROTOCOL_TFCOMMIT:
+            self.coordinator = TFCommitCoordinator(
+                server=coordinator_server,
+                network=self.network,
+                server_ids=self.config.server_ids,
+                txns_per_block=self.config.txns_per_block,
+                latency=self.latency,
+            )
+        else:
+            self.coordinator = TwoPhaseCommitCoordinator(
+                server=coordinator_server,
+                network=self.network,
+                server_ids=self.config.server_ids,
+                txns_per_block=self.config.txns_per_block,
+                latency=self.latency,
+            )
+        coordinator_server.set_coordinator_role(self.coordinator)
+
+        self._clients: Dict[ClientId, FidesClient] = {}
+
+    # -- clients ----------------------------------------------------------------------
+
+    def client(self, index: int = 0) -> FidesClient:
+        """Return (creating on first use) the client with the given index."""
+        client_id = make_client_id(index)
+        if client_id not in self._clients:
+            self._clients[client_id] = FidesClient(
+                client_id=client_id,
+                keypair=keypair_for(client_id, seed=self.config.seed),
+                network=self.network,
+                shard_map=self.shard_map,
+                coordinator_id=self.coordinator_id,
+            )
+        return self._clients[client_id]
+
+    # -- transaction execution ----------------------------------------------------------
+
+    def run_transaction(
+        self, operations: Sequence[Operation], client_index: int = 0
+    ) -> CommitOutcome:
+        """Execute one transaction (a list of read/write operations) end to end."""
+        outcome, _ = self._run_transaction_raw(operations, client_index)
+        return outcome
+
+    def _run_transaction_raw(self, operations: Sequence[Operation], client_index: int = 0):
+        client = self.client(client_index)
+        session = client.begin()
+        for op in operations:
+            if op.is_read:
+                client.read(session, op.item_id)
+            else:
+                client.write(session, op.item_id, op.value)
+        return client.commit_with_response(session)
+
+    def run_workload(
+        self, specs: Sequence[TransactionSpec], client_index: int = 0
+    ) -> WorkloadResult:
+        """Execute a list of workload transaction specs and flush pending batches.
+
+        With batching enabled most ``commit`` calls return ``queued``; their
+        final outcomes arrive in the coordinator response that flushed the
+        block containing them, and the runner resolves them from there.
+        """
+        result = WorkloadResult()
+        client = self.client(client_index)
+        queued: List[str] = []
+
+        def resolve_from(response: Dict) -> None:
+            remaining = []
+            for txn_id in queued:
+                if txn_id in response.get("results", {}):
+                    result.outcomes.append(client.interpret_outcome(txn_id, response))
+                else:
+                    remaining.append(txn_id)
+            queued[:] = remaining
+
+        for spec in specs:
+            outcome, response = self._run_transaction_raw(spec.operations, client_index)
+            if outcome.pending:
+                queued.append(outcome.txn_id)
+            else:
+                result.outcomes.append(outcome)
+            if response.get("status") == "flushed":
+                resolve_from(response)
+        if queued or self.coordinator.pending_count:
+            flushed = self.coordinator.flush()
+            resolve_from(flushed)
+            for txn_id in queued:
+                result.outcomes.append(
+                    CommitOutcome(txn_id=txn_id, status="failed", reason="never flushed")
+                )
+        result.block_results = list(self.coordinator.results)
+        return result
+
+    def flush(self) -> Dict:
+        """Force the coordinator to commit any partially filled batch."""
+        return self.coordinator.flush()
+
+    # -- fault injection and audits ---------------------------------------------------------
+
+    def inject_fault(self, server_id: ServerId, policy: FaultPolicy) -> None:
+        """Make ``server_id`` behave according to ``policy`` from now on."""
+        self.servers[server_id].set_faults(policy)
+
+    def collect_logs(self) -> Dict[ServerId, TransactionLog]:
+        """Gather (copies of) every server's log, as the auditor would."""
+        return {server_id: server.log.copy() for server_id, server in self.servers.items()}
+
+    def auditor(self):
+        """Build an :class:`~repro.audit.auditor.Auditor` for this system."""
+        from repro.audit.auditor import Auditor
+
+        return Auditor(
+            network=self.network,
+            server_ids=list(self.config.server_ids),
+            shard_map=self.shard_map,
+        )
+
+    def audit(self):
+        """Run a full offline audit and return the report."""
+        return self.auditor().run_audit(self.servers)
+
+    # -- introspection -------------------------------------------------------------------------
+
+    @property
+    def server_ids(self) -> List[ServerId]:
+        return list(self.config.server_ids)
+
+    def server(self, server_id: ServerId) -> DatabaseServer:
+        return self.servers[server_id]
+
+    def log_heights(self) -> Dict[ServerId, int]:
+        return {server_id: len(server.log) for server_id, server in self.servers.items()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FidesSystem(protocol={self.protocol!r}, servers={len(self.servers)}, "
+            f"items_per_shard={self.config.items_per_shard}, "
+            f"txns_per_block={self.config.txns_per_block})"
+        )

@@ -1,0 +1,85 @@
+"""Dynamic server groups for scaled TFCommit (Section 4.6).
+
+To avoid dragging every server into every termination, "servers are divided
+into small dynamic groups.  The servers accessed by a transaction form one
+group, in which one server acts as the coordinator to terminate that
+transaction."  Each group runs TFCommit internally; the resulting blocks are
+handed to the ordering service (:mod:`repro.core.ordserv`) which broadcasts a
+single consistently ordered block stream to all servers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Sequence, Set, Tuple
+
+from repro.storage.shard import ShardMap
+from repro.txn.transaction import Transaction
+
+
+@dataclass(frozen=True)
+class ServerGroup:
+    """One dynamic group: the servers a transaction (or batch) touches."""
+
+    members: FrozenSet[str]
+    coordinator: str
+
+    def __post_init__(self) -> None:
+        if self.coordinator not in self.members:
+            raise ValueError("coordinator must be a member of its group")
+
+    def overlaps(self, other: "ServerGroup") -> bool:
+        """True iff the two groups share at least one server (Gi ∩ Gj ≠ ∅)."""
+        return bool(self.members & other.members)
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def to_wire(self):
+        return {"members": sorted(self.members), "coordinator": self.coordinator}
+
+
+def group_for_transaction(txn: Transaction, shard_map: ShardMap) -> ServerGroup:
+    """Form the dynamic group of a transaction: the servers storing its items.
+
+    The group's coordinator is chosen deterministically (smallest server id)
+    so that all participants agree on it without extra coordination.
+    """
+    servers = shard_map.servers_for(txn.items_accessed())
+    if not servers:
+        raise ValueError(f"transaction {txn.txn_id} accesses no known items")
+    return ServerGroup(members=frozenset(servers), coordinator=min(servers))
+
+
+def group_for_batch(transactions: Sequence[Transaction], shard_map: ShardMap) -> ServerGroup:
+    """Form the group covering a whole batch of transactions."""
+    servers: Set[str] = set()
+    for txn in transactions:
+        servers.update(shard_map.servers_for(txn.items_accessed()))
+    if not servers:
+        raise ValueError("batch accesses no known items")
+    return ServerGroup(members=frozenset(servers), coordinator=min(servers))
+
+
+def dependency_between(
+    earlier: Sequence[Transaction], later: Sequence[Transaction]
+) -> bool:
+    """True iff any transaction in ``later`` depends on one in ``earlier``.
+
+    Two blocks from overlapping groups may carry a data dependency (e.g. Tj
+    wrote an item after Ti read it); the ordering service must preserve the
+    order of such blocks.  Disjoint item sets mean the blocks can be ordered
+    arbitrarily.
+    """
+    earlier_items: Set[str] = set()
+    earlier_writes: Set[str] = set()
+    for txn in earlier:
+        earlier_items.update(txn.items_accessed())
+        earlier_writes.update(txn.items_written())
+    for txn in later:
+        accessed = txn.items_accessed()
+        if accessed & earlier_writes:
+            return True
+        if txn.items_written() & earlier_items:
+            return True
+    return False

@@ -1,0 +1,148 @@
+"""OrdServ: the block ordering service for scaled TFCommit (Section 4.6, Figure 9).
+
+When different server groups terminate transactions concurrently, someone has
+to merge their per-group blocks into the single, consistently ordered,
+globally replicated log.  The paper abstracts this as an ordering service
+("OrdServ") that atomically broadcasts a single stream of blocks and fills in
+the hash-of-previous-block pointers; it can be realised with PBFT among the
+coordinators, with Kafka (as in Veritas), or with a dependency-tracking
+scheme such as ParBlockchain.
+
+This module implements the abstraction directly (see the DESIGN.md
+substitution table): a sequencer that
+
+* accepts blocks published by group coordinators together with the group that
+  produced them,
+* preserves submission order between blocks of *overlapping* groups (and, more
+  strongly, between blocks with data dependencies), while freely ordering
+  blocks of disjoint groups,
+* assigns global heights, chains the blocks with hash pointers, and
+* delivers the finalised stream to every subscribed server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.common.errors import ValidationError
+from repro.core.grouping import ServerGroup, dependency_between
+from repro.crypto.hashing import EMPTY_HASH
+from repro.ledger.block import Block
+
+
+@dataclass(frozen=True)
+class OrderedBlock:
+    """A block as finalised by the ordering service."""
+
+    global_height: int
+    block: Block
+    group: ServerGroup
+
+    @property
+    def block_hash(self) -> bytes:
+        return self.block.block_hash()
+
+
+@dataclass
+class _PendingBlock:
+    block: Block
+    group: ServerGroup
+    sequence: int
+
+
+class OrderingService:
+    """A dependency-preserving atomic broadcast of per-group blocks.
+
+    ``reorder_window`` controls how aggressively independent blocks may be
+    reordered relative to submission order; 0 (the default) keeps submission
+    order, which is always dependency-safe, while larger windows let the
+    tests exercise the "disjoint groups may be ordered arbitrarily" freedom.
+    """
+
+    def __init__(self, reorder_window: int = 0) -> None:
+        self._ordered: List[OrderedBlock] = []
+        self._subscribers: List[Callable[[OrderedBlock], None]] = []
+        self._sequence = 0
+        self._reorder_window = max(0, reorder_window)
+        self._pending: List[_PendingBlock] = []
+
+    # -- publication ---------------------------------------------------------------
+
+    def publish(self, block: Block, group: ServerGroup) -> None:
+        """A group coordinator hands over a locally co-signed block."""
+        self._pending.append(_PendingBlock(block=block, group=group, sequence=self._sequence))
+        self._sequence += 1
+        if len(self._pending) > self._reorder_window:
+            self._drain()
+
+    def flush(self) -> None:
+        """Finalise every pending block."""
+        self._drain(force=True)
+
+    def _drain(self, force: bool = False) -> None:
+        while self._pending and (force or len(self._pending) > self._reorder_window):
+            candidate_index = self._pick_next()
+            pending = self._pending.pop(candidate_index)
+            self._finalize(pending)
+
+    def _pick_next(self) -> int:
+        """Pick the next pending block to finalise.
+
+        Any pending block may go next as long as no *earlier-submitted*
+        pending block has a dependency flowing into it; with the default
+        window of 0 this is always index 0.
+        """
+        for index, candidate in enumerate(self._pending):
+            earlier = self._pending[:index]
+            if not any(
+                prior.group.overlaps(candidate.group)
+                and dependency_between(prior.block.transactions, candidate.block.transactions)
+                for prior in earlier
+            ):
+                return index
+        return 0
+
+    def _finalize(self, pending: _PendingBlock) -> None:
+        previous_hash = self._ordered[-1].block_hash if self._ordered else EMPTY_HASH
+        chained = replace(
+            pending.block, height=len(self._ordered), previous_hash=previous_hash
+        )
+        ordered = OrderedBlock(
+            global_height=len(self._ordered), block=chained, group=pending.group
+        )
+        self._ordered.append(ordered)
+        for subscriber in self._subscribers:
+            subscriber(ordered)
+
+    # -- delivery --------------------------------------------------------------------
+
+    def subscribe(self, callback: Callable[[OrderedBlock], None]) -> None:
+        """Register a delivery callback (one per server, typically)."""
+        self._subscribers.append(callback)
+
+    @property
+    def ordered_blocks(self) -> List[OrderedBlock]:
+        return list(self._ordered)
+
+    @property
+    def stream_length(self) -> int:
+        return len(self._ordered)
+
+    def verify_dependency_order(self) -> bool:
+        """Check that the finalised stream never reorders dependent blocks.
+
+        Used by tests and by the auditor-style sanity check: for every pair of
+        ordered blocks from overlapping groups, the data dependencies must
+        point forward in the stream.
+        """
+        for later_index, later in enumerate(self._ordered):
+            for earlier in self._ordered[:later_index]:
+                if earlier.group.overlaps(later.group):
+                    if dependency_between(
+                        later.block.transactions, earlier.block.transactions
+                    ) and not dependency_between(
+                        earlier.block.transactions, later.block.transactions
+                    ):
+                        return False
+        return True

@@ -1,0 +1,454 @@
+"""TFCommit: the TrustFree Commitment protocol (Section 4.3).
+
+TFCommit merges Two-Phase Commit with Collective Signing so that the commit /
+abort decision of every distributed transaction is bound to a block that all
+servers validated and co-signed.  The protocol has five phases over three
+communication rounds (Figure 7):
+
+1. ``<GetVote, SchAnnouncement>`` -- the coordinator builds the partial block
+   ``[ts, R/W sets, h_prev]`` and broadcasts it with the encapsulated signed
+   client request(s).
+2. ``<Vote, SchCommitment>`` -- every cohort computes a Schnorr commitment;
+   involved cohorts validate locally and report their speculative Merkle root.
+3. ``<null, SchChallenge>`` -- the coordinator aggregates votes, fills in the
+   decision and roots, aggregates the Schnorr commitments, and derives the
+   challenge ``c = H(X || block)``.
+4. ``<null, SchResponse>`` -- cohorts check the completed block against what
+   they voted and return their Schnorr responses.
+5. ``<Decision, null>`` -- the coordinator aggregates the responses into the
+   collective signature, finalises the block, and broadcasts it; servers
+   append it to their logs and apply the writes.
+
+This module implements the *coordinator* side (the cohort side lives in
+:class:`repro.server.commitment.CommitmentLayer`), plus the batch builder
+that packs multiple non-conflicting transactions per block (Section 4.6) and
+the timing model used by the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import ProtocolError
+from repro.common.timestamps import Timestamp
+from repro.crypto.cosi import (
+    CollectiveSignature,
+    aggregate_points,
+    aggregate_scalars,
+    compute_challenge,
+    cosi_verify,
+    identify_faulty_signers,
+)
+from repro.crypto.group import Point, decompress_point
+from repro.ledger.block import Block, BlockDecision, make_partial_block
+from repro.net.latency import LatencyModel
+from repro.net.message import Envelope, MessageType
+from repro.net.network import Network
+from repro.txn.transaction import Transaction
+
+
+@dataclass
+class TimingBreakdown:
+    """Simulated-time cost of committing one block.
+
+    ``phases`` maps each communication phase to its simulated latency: the
+    network round trip for that phase plus the slowest participant's measured
+    compute.  ``mht_time`` is the largest per-cohort Merkle update time
+    (cohorts update their trees in parallel on real hardware).  See DESIGN.md
+    for the substitution rationale.
+    """
+
+    phases: Dict[str, float] = field(default_factory=dict)
+    network_time: float = 0.0
+    compute_time: float = 0.0
+    coordinator_time: float = 0.0
+    mht_time: float = 0.0
+    mht_hashes: int = 0
+    num_txns: int = 0
+
+    @property
+    def total(self) -> float:
+        """End-to-end simulated latency of the block."""
+        return sum(self.phases.values())
+
+    @property
+    def per_txn_latency(self) -> float:
+        """Amortised latency of a single transaction in the block."""
+        if self.num_txns == 0:
+            return self.total
+        return self.total / self.num_txns
+
+
+@dataclass(frozen=True)
+class TxnOutcome:
+    """Outcome of one transaction within a block."""
+
+    txn_id: str
+    status: str  # "committed" / "aborted" / "failed"
+    block_height: Optional[int] = None
+    reason: str = ""
+
+    def to_wire(self, block_digest: Optional[bytes] = None, cosign=None):
+        return {
+            "txn_id": self.txn_id,
+            "status": self.status,
+            "block_height": self.block_height,
+            "reason": self.reason,
+            "block_digest": block_digest,
+            "cosign": cosign,
+        }
+
+
+@dataclass
+class BlockCommitResult:
+    """Everything TFCommit produces for one block."""
+
+    status: str  # "committed", "aborted", or "failed"
+    block: Optional[Block]
+    outcomes: List[TxnOutcome]
+    timing: TimingBreakdown
+    abort_reasons: List[str] = field(default_factory=list)
+    refusals: List[Dict] = field(default_factory=list)
+    culprits: List[str] = field(default_factory=list)
+
+    @property
+    def committed(self) -> bool:
+        return self.status == "committed"
+
+
+class BatchBuilder:
+    """Packs pending transactions into non-conflicting batches (Section 4.6).
+
+    "The coordinator collects and inserts a set of non-conflicting client
+    generated transactions and orders them within a single block" -- the
+    builder walks the pending queue in arrival order and greedily selects
+    transactions that neither conflict with one another nor carry a commit
+    timestamp at or below the latest committed timestamp.
+    """
+
+    def __init__(self, txns_per_block: int) -> None:
+        if txns_per_block < 1:
+            raise ProtocolError("txns_per_block must be >= 1")
+        self.txns_per_block = txns_per_block
+
+    def take_batch(
+        self, pending: List[Tuple[Transaction, Envelope]]
+    ) -> List[Tuple[Transaction, Envelope]]:
+        """Remove and return the next batch from ``pending`` (in place)."""
+        batch: List[Tuple[Transaction, Envelope]] = []
+        remaining: List[Tuple[Transaction, Envelope]] = []
+        for txn, envelope in pending:
+            if len(batch) >= self.txns_per_block:
+                remaining.append((txn, envelope))
+                continue
+            if any(txn.conflicts_with(selected) for selected, _ in batch):
+                remaining.append((txn, envelope))
+                continue
+            batch.append((txn, envelope))
+        pending[:] = remaining
+        return batch
+
+
+class TFCommitCoordinator:
+    """The designated coordinator driving TFCommit rounds.
+
+    The coordinator is itself an untrusted database server with additional
+    responsibilities during termination (Section 4.1); it participates in
+    every round as a cohort via the same network messages as everyone else.
+    """
+
+    def __init__(
+        self,
+        server,
+        network: Network,
+        server_ids: Sequence[str],
+        txns_per_block: int = 1,
+        latency: Optional[LatencyModel] = None,
+    ) -> None:
+        self.server = server
+        self.network = network
+        self.server_ids = list(server_ids)
+        self.batch_builder = BatchBuilder(txns_per_block)
+        self._latency = latency or network.latency_model
+        self._pending: List[Tuple[Transaction, Envelope]] = []
+        self._latest_committed_ts = Timestamp.zero()
+        #: History of every block round driven by this coordinator.
+        self.results: List[BlockCommitResult] = []
+
+    @property
+    def coordinator_id(self) -> str:
+        return self.server.server_id
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    # -- client entry point -------------------------------------------------------
+
+    def on_end_transaction(self, envelope: Envelope) -> Dict:
+        """Handle a client's ``end_transaction`` request.
+
+        Stale requests (commit timestamp at or below the latest committed
+        timestamp) are ignored, as specified in Section 4.3.1.  Otherwise the
+        transaction is queued; once a full batch is available the coordinator
+        runs TFCommit and returns the outcomes.
+        """
+        txn: Transaction = envelope.payload["transaction"]
+        if txn.commit_ts <= self._latest_committed_ts:
+            outcome = TxnOutcome(txn.txn_id, "failed", reason="stale commit timestamp")
+            return {"status": "flushed", "results": {txn.txn_id: outcome.to_wire()}}
+        self._pending.append((txn, envelope))
+        if len(self._pending) >= self.batch_builder.txns_per_block:
+            return self.flush()
+        return {"status": "queued"}
+
+    def flush(self) -> Dict:
+        """Commit every pending transaction (possibly across several blocks)."""
+        results: Dict[str, Dict] = {}
+        while self._pending:
+            batch = self.batch_builder.take_batch(self._pending)
+            if not batch:
+                # Everything left conflicts with everything else; commit them
+                # one at a time to guarantee progress.
+                batch = [self._pending.pop(0)]
+            result = self.commit_batch(batch)
+            digest = result.block.body_digest() if result.block is not None else None
+            cosign = result.block.cosign if result.block is not None else None
+            for outcome in result.outcomes:
+                results[outcome.txn_id] = outcome.to_wire(block_digest=digest, cosign=cosign)
+        return {"status": "flushed", "results": results}
+
+    # -- the protocol ----------------------------------------------------------------
+
+    def commit_batch(self, batch: Sequence[Tuple[Transaction, Envelope]]) -> BlockCommitResult:
+        """Run one full TFCommit round over ``batch`` and return the result."""
+        transactions = [txn for txn, _ in batch]
+        client_requests = [envelope for _, envelope in batch]
+        timing = TimingBreakdown(num_txns=len(transactions))
+        faults = self.server.faults
+
+        # Phase 1+2: <GetVote, SchAnnouncement> / <Vote, SchCommitment>.
+        coordinator_started = time.perf_counter()
+        partial_block = make_partial_block(
+            height=self.server.log.height,
+            transactions=transactions,
+            previous_hash=self.server.log.head_hash,
+        )
+        # Serialising the block (and hence encoding its transactions) happens
+        # here, on the coordinator, when the get_vote message is built; the
+        # cached encodings keep the cohorts' own hashing cheap.
+        partial_block.body_digest()
+        timing.coordinator_time += time.perf_counter() - coordinator_started
+        votes = self._broadcast_phase(
+            "get_vote",
+            MessageType.GET_VOTE,
+            {"block": partial_block, "client_requests": client_requests},
+            timing,
+        )
+
+        # Phase 3: <null, SchChallenge> -- aggregate votes into the block.
+        coordinator_started = time.perf_counter()
+        decision = BlockDecision.COMMIT
+        abort_reasons: List[str] = []
+        roots: Dict[str, bytes] = {}
+        commitments: Dict[str, Point] = {}
+        for server_id, vote in votes.items():
+            commitments[server_id] = decompress_point(vote["commitment"])
+            if vote["involved"]:
+                if vote["decision"] == BlockDecision.ABORT.value:
+                    decision = BlockDecision.ABORT
+                    if vote["abort_reason"]:
+                        abort_reasons.append(f"{server_id}: {vote['abort_reason']}")
+                elif vote["root"] is not None:
+                    recorded = faults.fake_root_for(server_id, vote["root"])
+                    roots[server_id] = recorded
+            timing.mht_time = max(timing.mht_time, vote["mht_time"])
+            timing.mht_hashes += vote["mht_hashes"]
+        if decision is BlockDecision.ABORT:
+            # Aborted blocks must be missing at least one involved root
+            # (Section 4.3.2); drop the roots of servers that voted abort.
+            roots = {
+                server_id: root
+                for server_id, root in roots.items()
+                if votes[server_id]["decision"] == BlockDecision.COMMIT.value
+            }
+        block = partial_block.with_decision(decision, roots)
+        aggregate_commitment = aggregate_points(commitments.values())
+        challenge = compute_challenge(aggregate_commitment, block.body_digest())
+        timing.coordinator_time += time.perf_counter() - coordinator_started
+        timing.phases["aggregate"] = timing.coordinator_time
+
+        # Phase 4: <null, SchResponse>.
+        if faults.equivocate() and decision is BlockDecision.COMMIT:
+            responses = self._equivocate_challenge(
+                block, aggregate_commitment, challenge, timing
+            )
+        else:
+            responses = self._broadcast_phase(
+                "challenge",
+                MessageType.CHALLENGE,
+                {
+                    "challenge": challenge,
+                    "aggregate_commitment": aggregate_commitment.encode(),
+                    "block": block,
+                },
+                timing,
+            )
+        refusals = [resp for resp in responses.values() if not resp["ok"]]
+        if refusals:
+            return self._failed_result(
+                transactions, timing, block, abort_reasons, refusals, []
+            )
+
+        # Phase 5: <Decision, null> -- aggregate the collective signature.
+        coordinator_started = time.perf_counter()
+        response_scalars = {sid: resp["response"] for sid, resp in responses.items()}
+        cosign = CollectiveSignature(
+            challenge=challenge,
+            response=aggregate_scalars(response_scalars.values()),
+            signer_ids=tuple(sorted(response_scalars)),
+        )
+        final_block = block.with_cosign(cosign)
+        public_keys = self.network.public_key_directory()
+        if not cosi_verify(cosign, final_block.body_digest(), public_keys):
+            # Lemma 4: the coordinator checks partial signatures to identify
+            # exactly which server(s) sent bogus cryptographic values.
+            culprits = identify_faulty_signers(
+                commitments, response_scalars, challenge, public_keys
+            )
+            timing.coordinator_time += time.perf_counter() - coordinator_started
+            return self._failed_result(
+                transactions, timing, block, abort_reasons, [], culprits
+            )
+        timing.coordinator_time += time.perf_counter() - coordinator_started
+
+        decisions = self._broadcast_phase(
+            "decision", MessageType.DECISION, {"block": final_block}, timing
+        )
+        decision_failures = [resp for resp in decisions.values() if not resp.get("ok")]
+
+        if final_block.is_commit:
+            self._latest_committed_ts = max(
+                self._latest_committed_ts, final_block.max_commit_ts
+            )
+        status = "committed" if final_block.is_commit else "aborted"
+        outcomes = [
+            TxnOutcome(
+                txn_id=txn.txn_id,
+                status=status,
+                block_height=final_block.height,
+                reason="; ".join(abort_reasons),
+            )
+            for txn in transactions
+        ]
+        result = BlockCommitResult(
+            status=status,
+            block=final_block,
+            outcomes=outcomes,
+            timing=timing,
+            abort_reasons=abort_reasons,
+            refusals=decision_failures,
+        )
+        self.results.append(result)
+        return result
+
+    # -- helpers -------------------------------------------------------------------------
+
+    def _broadcast_phase(
+        self, phase: str, message_type: MessageType, payload: Dict, timing: TimingBreakdown
+    ) -> Dict[str, Dict]:
+        """Send one phase's message to every server and collect the responses.
+
+        Simulated-time accounting: the phase costs one outbound delay, the
+        slowest cohort's measured compute, and one inbound delay (cohorts
+        work in parallel on real hardware).
+        """
+        outbound = max(self._latency.sample() for _ in self.server_ids)
+        responses = self.network.broadcast(
+            self.coordinator_id, self.server_ids, message_type, payload
+        )
+        inbound = max(self._latency.sample() for _ in self.server_ids)
+        slowest_compute = max(
+            (resp.get("compute_time", 0.0) or 0.0) for resp in responses.values()
+        )
+        timing.phases[phase] = outbound + slowest_compute + inbound
+        timing.network_time += outbound + inbound
+        timing.compute_time += slowest_compute
+        return responses
+
+    def _equivocate_challenge(
+        self,
+        commit_block: Block,
+        aggregate_commitment: Point,
+        challenge: int,
+        timing: TimingBreakdown,
+    ) -> Dict[str, Dict]:
+        """Fault injection: send a commit block to one half and an abort block to the other.
+
+        This reproduces Figure 8 (Case 1: the same challenge is sent to both
+        groups).  Correct cohorts in the abort group detect that the
+        challenge does not correspond to the block they received and refuse
+        to respond, so the round cannot produce a valid signature.
+        """
+        abort_block = commit_block.with_decision(BlockDecision.ABORT, {})
+        half = len(self.server_ids) // 2 or 1
+        commit_group = self.server_ids[:half]
+        abort_group = self.server_ids[half:]
+        responses: Dict[str, Dict] = {}
+        outbound = max(self._latency.sample() for _ in self.server_ids)
+        for server_id in commit_group:
+            responses[server_id] = self.network.send(
+                self.coordinator_id,
+                server_id,
+                MessageType.CHALLENGE,
+                {
+                    "challenge": challenge,
+                    "aggregate_commitment": aggregate_commitment.encode(),
+                    "block": commit_block,
+                },
+            )
+        for server_id in abort_group:
+            responses[server_id] = self.network.send(
+                self.coordinator_id,
+                server_id,
+                MessageType.CHALLENGE,
+                {
+                    "challenge": challenge,
+                    "aggregate_commitment": aggregate_commitment.encode(),
+                    "block": abort_block,
+                },
+            )
+        inbound = max(self._latency.sample() for _ in self.server_ids)
+        slowest = max((resp.get("compute_time", 0.0) or 0.0) for resp in responses.values())
+        timing.phases["challenge"] = outbound + slowest + inbound
+        timing.network_time += outbound + inbound
+        timing.compute_time += slowest
+        return responses
+
+    def _failed_result(
+        self,
+        transactions: Sequence[Transaction],
+        timing: TimingBreakdown,
+        block: Optional[Block],
+        abort_reasons: List[str],
+        refusals: List[Dict],
+        culprits: List[str],
+    ) -> BlockCommitResult:
+        reasons = [r.get("reason", "") for r in refusals] or abort_reasons
+        outcomes = [
+            TxnOutcome(txn_id=txn.txn_id, status="failed", reason="; ".join(filter(None, reasons)))
+            for txn in transactions
+        ]
+        result = BlockCommitResult(
+            status="failed",
+            block=None,
+            outcomes=outcomes,
+            timing=timing,
+            abort_reasons=abort_reasons,
+            refusals=refusals,
+            culprits=culprits,
+        )
+        self.results.append(result)
+        return result

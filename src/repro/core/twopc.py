@@ -1,0 +1,157 @@
+"""The trusted baseline: Two-Phase Commit (Section 6.1).
+
+The paper contrasts TFCommit with its trusted counterpart 2PC to quantify the
+overhead of operating in an untrusted setting.  This implementation mirrors
+the structure of :class:`~repro.core.tfcommit.TFCommitCoordinator` -- same
+batching, same block-sequential execution, same timing model -- but performs
+none of the cryptographic work: no Merkle roots, no collective signing, and
+only two communication rounds (prepare/vote and decision).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.timestamps import Timestamp
+from repro.core.tfcommit import (
+    BatchBuilder,
+    BlockCommitResult,
+    TimingBreakdown,
+    TxnOutcome,
+)
+from repro.ledger.block import Block, BlockDecision, make_partial_block
+from repro.net.latency import LatencyModel
+from repro.net.message import Envelope, MessageType
+from repro.net.network import Network
+from repro.txn.transaction import Transaction
+
+
+class TwoPhaseCommitCoordinator:
+    """Classic 2PC over the same servers, clients, and network as TFCommit."""
+
+    def __init__(
+        self,
+        server,
+        network: Network,
+        server_ids: Sequence[str],
+        txns_per_block: int = 1,
+        latency: Optional[LatencyModel] = None,
+    ) -> None:
+        self.server = server
+        self.network = network
+        self.server_ids = list(server_ids)
+        self.batch_builder = BatchBuilder(txns_per_block)
+        self._latency = latency or network.latency_model
+        self._pending: List[Tuple[Transaction, Envelope]] = []
+        self._latest_committed_ts = Timestamp.zero()
+        self.results: List[BlockCommitResult] = []
+
+    @property
+    def coordinator_id(self) -> str:
+        return self.server.server_id
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    # -- client entry point -----------------------------------------------------------
+
+    def on_end_transaction(self, envelope: Envelope) -> Dict:
+        """Queue a terminated transaction; commit a block once the batch is full."""
+        txn: Transaction = envelope.payload["transaction"]
+        if txn.commit_ts <= self._latest_committed_ts:
+            outcome = TxnOutcome(txn.txn_id, "failed", reason="stale commit timestamp")
+            return {"status": "flushed", "results": {txn.txn_id: outcome.to_wire()}}
+        self._pending.append((txn, envelope))
+        if len(self._pending) >= self.batch_builder.txns_per_block:
+            return self.flush()
+        return {"status": "queued"}
+
+    def flush(self) -> Dict:
+        """Commit every pending transaction."""
+        results: Dict[str, Dict] = {}
+        while self._pending:
+            batch = self.batch_builder.take_batch(self._pending)
+            if not batch:
+                batch = [self._pending.pop(0)]
+            result = self.commit_batch(batch)
+            for outcome in result.outcomes:
+                results[outcome.txn_id] = outcome.to_wire()
+        return {"status": "flushed", "results": results}
+
+    # -- the protocol -------------------------------------------------------------------
+
+    def commit_batch(self, batch: Sequence[Tuple[Transaction, Envelope]]) -> BlockCommitResult:
+        """One 2PC round: prepare/vote then decision."""
+        transactions = [txn for txn, _ in batch]
+        timing = TimingBreakdown(num_txns=len(transactions))
+
+        coordinator_started = time.perf_counter()
+        block = make_partial_block(
+            height=self.server.log.height,
+            transactions=transactions,
+            previous_hash=self.server.log.head_hash,
+        )
+        timing.coordinator_time += time.perf_counter() - coordinator_started
+
+        votes = self._broadcast_phase("prepare", MessageType.PREPARE, {"block": block}, timing)
+
+        coordinator_started = time.perf_counter()
+        decision = BlockDecision.COMMIT
+        abort_reasons: List[str] = []
+        for server_id, vote in votes.items():
+            if vote["involved"] and vote["decision"] == BlockDecision.ABORT.value:
+                decision = BlockDecision.ABORT
+                if vote["reason"]:
+                    abort_reasons.append(f"{server_id}: {vote['reason']}")
+        final_block = block.with_decision(decision, {})
+        timing.coordinator_time += time.perf_counter() - coordinator_started
+        timing.phases["aggregate"] = timing.coordinator_time
+
+        self._broadcast_phase(
+            "decision", MessageType.COMMIT_DECISION, {"block": final_block}, timing
+        )
+
+        if final_block.is_commit:
+            self._latest_committed_ts = max(
+                self._latest_committed_ts, final_block.max_commit_ts
+            )
+        status = "committed" if final_block.is_commit else "aborted"
+        outcomes = [
+            TxnOutcome(
+                txn_id=txn.txn_id,
+                status=status,
+                block_height=final_block.height,
+                reason="; ".join(abort_reasons),
+            )
+            for txn in transactions
+        ]
+        result = BlockCommitResult(
+            status=status,
+            block=final_block,
+            outcomes=outcomes,
+            timing=timing,
+            abort_reasons=abort_reasons,
+        )
+        self.results.append(result)
+        return result
+
+    # -- helpers ---------------------------------------------------------------------------
+
+    def _broadcast_phase(
+        self, phase: str, message_type: MessageType, payload: Dict, timing: TimingBreakdown
+    ) -> Dict[str, Dict]:
+        outbound = max(self._latency.sample() for _ in self.server_ids)
+        responses = self.network.broadcast(
+            self.coordinator_id, self.server_ids, message_type, payload
+        )
+        inbound = max(self._latency.sample() for _ in self.server_ids)
+        slowest_compute = max(
+            (resp.get("compute_time", 0.0) or 0.0) for resp in responses.values()
+        )
+        timing.phases[phase] = outbound + slowest_compute + inbound
+        timing.network_time += outbound + inbound
+        timing.compute_time += slowest_compute
+        return responses

@@ -1,0 +1,124 @@
+"""Pluggable per-message signing schemes.
+
+Every message exchanged in Fides is "digitally signed by the sender and
+verified by the receiver" (Section 3.1).  Two interchangeable schemes are
+provided behind the :class:`SigningScheme` interface:
+
+* :class:`SchnorrSigningScheme` -- real public-key Schnorr signatures
+  (the default; used by all tests and examples).
+* :class:`HashSigningScheme` -- a keyed-hash MAC standing in for a signature.
+  This is a *benchmark-only* substitution (documented in DESIGN.md): it keeps
+  very large parameter sweeps tractable in pure Python while preserving the
+  protocol's message flow.  It is not unforgeable against other key holders,
+  so it is never used for block co-signing, which always uses real
+  Schnorr/CoSi.
+
+The scheme signs canonical encodings of arbitrary payload objects so callers
+never handle raw bytes directly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any
+
+from repro.common.encoding import canonical_encode
+from repro.common.errors import ConfigurationError
+from repro.crypto.keys import KeyPair, PublicKey
+from repro.crypto.schnorr import SchnorrSignature, schnorr_sign, schnorr_verify
+
+
+class SigningScheme(ABC):
+    """Interface for per-message authentication."""
+
+    #: Human-readable name (matches ``SystemConfig.message_signing``).
+    name: str = "abstract"
+
+    @abstractmethod
+    def sign(self, keypair: KeyPair, payload: Any) -> bytes:
+        """Return a signature over the canonical encoding of ``payload``."""
+
+    @abstractmethod
+    def verify(self, public: PublicKey, payload: Any, signature: bytes) -> bool:
+        """Return True iff ``signature`` authenticates ``payload`` under ``public``."""
+
+
+class SchnorrSigningScheme(SigningScheme):
+    """Real Schnorr public-key signatures (Section 2.1)."""
+
+    name = "schnorr"
+
+    def sign(self, keypair: KeyPair, payload: Any) -> bytes:
+        message = canonical_encode(payload)
+        return schnorr_sign(keypair.private, message).encode()
+
+    def verify(self, public: PublicKey, payload: Any, signature: bytes) -> bool:
+        if not isinstance(signature, (bytes, bytearray)) or len(signature) != 65:
+            return False
+        message = canonical_encode(payload)
+        decoded = _decode_schnorr(bytes(signature))
+        if decoded is None:
+            return False
+        return schnorr_verify(public, message, decoded)
+
+
+def _decode_schnorr(blob: bytes) -> SchnorrSignature:
+    """Decode the 65-byte wire form produced by ``SchnorrSignature.encode``."""
+    from repro.crypto.group import decompress_point
+
+    try:
+        nonce_point = decompress_point(blob[0:33])
+    except ValueError:
+        return None
+    return SchnorrSignature(nonce_point, int.from_bytes(blob[33:65], "big"))
+
+
+class HashSigningScheme(SigningScheme):
+    """Keyed-hash MAC standing in for a public-key signature.
+
+    The MAC key is derived from the signer's *public* key so any participant
+    can verify; this trades unforgeability for speed and is therefore only
+    enabled for benchmark sweeps (see DESIGN.md substitution table).
+    """
+
+    name = "hash"
+
+    @staticmethod
+    def _mac_key(public: PublicKey) -> bytes:
+        return hashlib.sha256(b"fides-mac:" + public.encode()).digest()
+
+    def sign(self, keypair: KeyPair, payload: Any) -> bytes:
+        message = canonical_encode(payload)
+        return hmac.new(self._mac_key(keypair.public), message, hashlib.sha256).digest()
+
+    def verify(self, public: PublicKey, payload: Any, signature: bytes) -> bool:
+        if not isinstance(signature, (bytes, bytearray)):
+            return False
+        message = canonical_encode(payload)
+        expected = hmac.new(self._mac_key(public), message, hashlib.sha256).digest()
+        return hmac.compare_digest(expected, bytes(signature))
+
+
+@dataclass(frozen=True)
+class _SchemeRegistryEntry:
+    name: str
+    factory: type
+
+
+_SCHEMES = {
+    SchnorrSigningScheme.name: SchnorrSigningScheme,
+    HashSigningScheme.name: HashSigningScheme,
+}
+
+
+def make_signing_scheme(name: str) -> SigningScheme:
+    """Instantiate the signing scheme registered under ``name``."""
+    try:
+        return _SCHEMES[name]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown signing scheme {name!r}; available: {sorted(_SCHEMES)}"
+        ) from None

@@ -1,0 +1,189 @@
+"""Blocks of the tamper-proof log.
+
+Each block stores exactly the fields of Table 1 of the paper:
+
+=============  ==============================================================
+``TxnId``      the commit timestamp(s) of the transaction(s) in the block
+``R_set``      list of ``<id : value, rts, wts>`` read-set entries
+``W_set``      list of ``<id : new_val, old_val, rts, wts>`` write-set entries
+``sum roots``  the Merkle Hash Tree roots of the shards involved
+``decision``   commit or abort
+``h``          hash of the previous block
+``co-sign``    a collective signature of the participants
+=============  ==============================================================
+
+A block can store multiple transactions (Section 4.6); the single-transaction
+case used for exposition in the paper is simply a batch of size one.  The
+collective signature covers the *body digest* -- every field except the
+co-sign itself -- so any post-hoc modification of the block invalidates the
+signature (Lemma 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.common.errors import ValidationError
+from repro.common.timestamps import Timestamp
+from repro.common.types import ServerId
+from repro.crypto.cosi import CollectiveSignature
+from repro.crypto.hashing import EMPTY_HASH, hash_concat, hash_object
+from repro.txn.transaction import Transaction
+
+
+class BlockDecision(Enum):
+    """The commit/abort decision recorded in a block."""
+
+    COMMIT = "commit"
+    ABORT = "abort"
+
+
+@dataclass(frozen=True)
+class Block:
+    """One entry of the tamper-proof log.
+
+    ``roots`` maps each involved server to the Merkle root its shard would
+    have with the block's transactions applied; for an aborted block at least
+    one root is missing (Section 4.3.2).
+    """
+
+    height: int
+    transactions: Tuple[Transaction, ...]
+    roots: Mapping[ServerId, bytes]
+    decision: BlockDecision
+    previous_hash: bytes
+    cosign: Optional[CollectiveSignature] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "transactions", tuple(self.transactions))
+        object.__setattr__(self, "roots", dict(self.roots))
+        if self.height < 0:
+            raise ValidationError("block height must be >= 0")
+
+    # -- Table 1 accessors ----------------------------------------------------
+
+    @property
+    def txn_ids(self) -> Tuple[str, ...]:
+        """The ``TxnId`` field: commit timestamps (stringified) of the batched txns."""
+        return tuple(str(txn.commit_ts) for txn in self.transactions)
+
+    @property
+    def commit_timestamps(self) -> Tuple[Timestamp, ...]:
+        return tuple(txn.commit_ts for txn in self.transactions)
+
+    @property
+    def read_set(self):
+        """The concatenated read sets of every transaction in the block."""
+        return tuple(entry for txn in self.transactions for entry in txn.read_set)
+
+    @property
+    def write_set(self):
+        """The concatenated write sets of every transaction in the block."""
+        return tuple(entry for txn in self.transactions for entry in txn.write_set)
+
+    @property
+    def is_commit(self) -> bool:
+        return self.decision is BlockDecision.COMMIT
+
+    @property
+    def max_commit_ts(self) -> Timestamp:
+        """Largest commit timestamp in the block (used for log ordering checks)."""
+        if not self.transactions:
+            return Timestamp.zero()
+        return max(txn.commit_ts for txn in self.transactions)
+
+    def involved_servers(self) -> Tuple[ServerId, ...]:
+        return tuple(sorted(self.roots))
+
+    # -- hashing / signing ----------------------------------------------------
+
+    def body(self) -> dict:
+        """Every field except the co-sign, in canonical-encoding-friendly form."""
+        return {
+            "height": self.height,
+            "transactions": [txn.to_wire() for txn in self.transactions],
+            "roots": {server: root for server, root in sorted(self.roots.items())},
+            "decision": self.decision.value,
+            "previous_hash": self.previous_hash,
+        }
+
+    def body_digest(self) -> bytes:
+        """The digest the participants collectively sign.
+
+        Computed from the cached per-transaction encodings plus the block's
+        own fields, and cached per block instance: every server hashes the
+        block it received exactly once, no matter how many phases touch it.
+        """
+        cached = getattr(self, "_digest_cache", None)
+        if cached is not None:
+            return cached
+        parts = [
+            str(self.height).encode("ascii"),
+            self.previous_hash,
+            self.decision.value.encode("ascii"),
+        ]
+        for server_id, root in sorted(self.roots.items()):
+            parts.append(server_id.encode("utf-8"))
+            parts.append(root)
+        for txn in self.transactions:
+            parts.append(txn.encoded())
+        digest = hash_concat(*parts)
+        object.__setattr__(self, "_digest_cache", digest)
+        return digest
+
+    def block_hash(self) -> bytes:
+        """Hash-pointer value used as the next block's ``previous_hash``.
+
+        The pointer covers the body *and* the collective signature so that
+        replacing a signature (even with another valid-looking one) breaks
+        the chain.
+        """
+        cosign_bytes = self.cosign.encode() if self.cosign is not None else b""
+        return hash_concat(self.body_digest(), cosign_bytes)
+
+    # -- builders -------------------------------------------------------------
+
+    def with_decision(self, decision: BlockDecision, roots: Mapping[ServerId, bytes]) -> "Block":
+        """Return a copy with the decision and the aggregated MHT roots filled in."""
+        return replace(self, decision=decision, roots=dict(roots))
+
+    def with_cosign(self, cosign: CollectiveSignature) -> "Block":
+        """Return the finalised block carrying the collective signature."""
+        return replace(self, cosign=cosign)
+
+    def to_wire(self):
+        return {
+            "body": self.body(),
+            "cosign": self.cosign.to_wire() if self.cosign is not None else None,
+        }
+
+
+def make_partial_block(
+    height: int,
+    transactions: Sequence[Transaction],
+    previous_hash: bytes,
+) -> Block:
+    """The partially filled block the coordinator builds in TFCommit phase 1.
+
+    Contains the commit timestamps, read/write sets, and the hash of the
+    previous block; roots, decision, and co-sign are filled in later phases.
+    """
+    return Block(
+        height=height,
+        transactions=tuple(transactions),
+        roots={},
+        decision=BlockDecision.ABORT,
+        previous_hash=previous_hash,
+    )
+
+
+def genesis_previous_hash() -> bytes:
+    """The ``previous_hash`` value of the first block in a log."""
+    return EMPTY_HASH
+
+
+def block_body_digest(block: Block) -> bytes:
+    """Convenience wrapper (kept for a stable public API)."""
+    return block.body_digest()

@@ -1,0 +1,166 @@
+"""Log checkpointing: bounding the storage cost of the tamper-proof log.
+
+Section 3.3 of the paper notes that "optimizations such as checkpointing can
+be used to minimize the log storage space at each server".  This module
+implements that optimisation in the spirit of Fides: a checkpoint must itself
+be *auditable*, so it is a collectively signed summary of a log prefix rather
+than a bare truncation.
+
+A :class:`Checkpoint` captures, for a prefix of the log:
+
+* the height and hash of the last block covered (so the remaining log chains
+  onto the checkpoint exactly like it chained onto that block);
+* the Merkle root of every shard as of that block (so per-version datastore
+  audits can restart from the checkpoint instead of block 0);
+* the largest commit timestamp covered (so timestamp-ordering checks keep
+  working across the boundary); and
+* a collective signature by all servers over all of the above.
+
+``build_checkpoint`` / ``cosign_checkpoint`` create and sign a checkpoint,
+``TransactionLog`` prefixes can then be dropped with
+:func:`apply_checkpoint`, and the auditor-side :func:`verify_checkpoint`
+checks the co-sign and the chaining of the remaining log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence
+
+from repro.common.errors import ValidationError
+from repro.common.timestamps import Timestamp
+from repro.crypto.cosi import CollectiveSignature, CoSiWitness, cosi_verify, run_cosi_round
+from repro.crypto.hashing import hash_concat
+from repro.crypto.keys import KeyPair, PublicKey
+from repro.ledger.log import TransactionLog
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """A collectively signed summary of a log prefix."""
+
+    #: Height of the last block covered by this checkpoint.
+    height: int
+    #: ``block_hash()`` of that block; the first retained block must point at it.
+    head_hash: bytes
+    #: Merkle root of each shard as of the covered prefix (server id -> root).
+    shard_roots: Mapping[str, bytes]
+    #: Largest commit timestamp covered by the prefix.
+    latest_commit_ts: Timestamp
+    #: Number of transactions summarised (informational).
+    transactions_covered: int
+    #: Collective signature of all servers over the digest of the above.
+    cosign: Optional[CollectiveSignature] = None
+
+    def digest(self) -> bytes:
+        """The byte string the servers collectively sign."""
+        parts = [
+            str(self.height).encode("ascii"),
+            self.head_hash,
+            str(self.transactions_covered).encode("ascii"),
+            str(self.latest_commit_ts.counter).encode("ascii"),
+            self.latest_commit_ts.client_id.encode("utf-8"),
+        ]
+        for server_id, root in sorted(self.shard_roots.items()):
+            parts.append(server_id.encode("utf-8"))
+            parts.append(root)
+        return hash_concat(*parts)
+
+    def with_cosign(self, cosign: CollectiveSignature) -> "Checkpoint":
+        return Checkpoint(
+            height=self.height,
+            head_hash=self.head_hash,
+            shard_roots=dict(self.shard_roots),
+            latest_commit_ts=self.latest_commit_ts,
+            transactions_covered=self.transactions_covered,
+            cosign=cosign,
+        )
+
+
+def build_checkpoint(log: TransactionLog, shard_roots: Mapping[str, bytes]) -> Checkpoint:
+    """Summarise the full current contents of ``log`` into an (unsigned) checkpoint.
+
+    ``shard_roots`` are the current Merkle roots of every shard (each server
+    contributes its own root; the coordinator aggregates them, exactly like
+    the vote phase of TFCommit aggregates per-shard roots into a block).
+    """
+    if len(log) == 0:
+        raise ValidationError("cannot checkpoint an empty log")
+    last_block = log.last_block()
+    latest_ts = Timestamp.zero()
+    transactions = 0
+    for block in log:
+        if block.is_commit:
+            transactions += len(block.transactions)
+            if block.max_commit_ts > latest_ts:
+                latest_ts = block.max_commit_ts
+    return Checkpoint(
+        height=last_block.height,
+        head_hash=last_block.block_hash(),
+        shard_roots=dict(shard_roots),
+        latest_commit_ts=latest_ts,
+        transactions_covered=transactions,
+    )
+
+
+def cosign_checkpoint(checkpoint: Checkpoint, keypairs: Mapping[str, KeyPair]) -> Checkpoint:
+    """Have every server co-sign the checkpoint (in-process CoSi round)."""
+    witnesses = [CoSiWitness(server_id, kp) for server_id, kp in sorted(keypairs.items())]
+    cosign = run_cosi_round(checkpoint.digest(), witnesses)
+    return checkpoint.with_cosign(cosign)
+
+
+def verify_checkpoint(checkpoint: Checkpoint, public_keys: Dict[str, PublicKey]) -> bool:
+    """Verify the checkpoint's collective signature."""
+    if checkpoint.cosign is None:
+        return False
+    return cosi_verify(checkpoint.cosign, checkpoint.digest(), public_keys)
+
+
+def apply_checkpoint(log: TransactionLog, checkpoint: Checkpoint) -> int:
+    """Drop every block covered by ``checkpoint`` from ``log``.
+
+    Returns the number of blocks removed.  The retained suffix still chains
+    correctly: its first block's ``previous_hash`` equals
+    ``checkpoint.head_hash``.
+    """
+    if checkpoint.cosign is None:
+        raise ValidationError("refusing to apply an unsigned checkpoint")
+    if checkpoint.height >= len(log):
+        raise ValidationError("checkpoint covers blocks this log does not have")
+    covered_block = log[checkpoint.height]
+    if covered_block.block_hash() != checkpoint.head_hash:
+        raise ValidationError("checkpoint head hash does not match the local log")
+    return log.drop_prefix(checkpoint.height + 1)
+
+
+def verify_log_against_checkpoint(
+    log: TransactionLog,
+    checkpoint: Checkpoint,
+    public_keys: Dict[str, PublicKey],
+) -> bool:
+    """Auditor-side check of a checkpointed log copy.
+
+    The checkpoint's co-sign must verify, the first retained block must chain
+    onto the checkpoint's head hash, and the retained suffix must be
+    internally consistent (hash pointers + per-block co-signs).
+    """
+    if not verify_checkpoint(checkpoint, public_keys):
+        return False
+    if len(log) == 0:
+        return True
+    first = log[0]
+    if first.previous_hash != checkpoint.head_hash:
+        return False
+    if first.height != checkpoint.height + 1:
+        return False
+    expected_prev = first.previous_hash
+    for block in log:
+        if block.previous_hash != expected_prev:
+            return False
+        if block.cosign is None or not cosi_verify(
+            block.cosign, block.body_digest(), public_keys
+        ):
+            return False
+        expected_prev = block.block_hash()
+    return True

@@ -1,0 +1,195 @@
+"""The tamper-proof transaction log kept by every server.
+
+The log is "a linked-list of transaction blocks linked using cryptographic
+hash pointers" (Section 3.1).  Every server appends the same co-signed block
+after a successful TFCommit round, producing a globally replicated log.
+
+Besides the honest operations (append, iterate, verify) this module exposes
+*tampering helpers* -- ``tamper_replace``, ``tamper_reorder``, ``truncate`` --
+used by the fault-injection tests to produce exactly the malicious logs of
+Lemmas 6 and 7 so the auditor's detection can be exercised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.common.errors import ValidationError
+from repro.crypto.cosi import cosi_verify
+from repro.crypto.keys import PublicKey
+from repro.ledger.block import Block, genesis_previous_hash
+
+
+@dataclass(frozen=True)
+class LogVerificationResult:
+    """Outcome of verifying one server's log copy.
+
+    ``valid_prefix_length`` is the number of leading blocks that verify; the
+    first invalid block (if any) is reported with the reason.
+    """
+
+    valid: bool
+    length: int
+    valid_prefix_length: int
+    first_invalid_height: Optional[int] = None
+    reason: str = ""
+
+
+class TransactionLog:
+    """One server's copy of the globally replicated block log."""
+
+    def __init__(self, blocks: Optional[Sequence[Block]] = None) -> None:
+        self._blocks: List[Block] = list(blocks) if blocks else []
+
+    # -- honest operations ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __iter__(self) -> Iterator[Block]:
+        return iter(self._blocks)
+
+    def __getitem__(self, index: int) -> Block:
+        return self._blocks[index]
+
+    @property
+    def blocks(self) -> List[Block]:
+        return list(self._blocks)
+
+    @property
+    def head_hash(self) -> bytes:
+        """Hash pointer to be embedded in the next block."""
+        if not self._blocks:
+            return genesis_previous_hash()
+        return self._blocks[-1].block_hash()
+
+    @property
+    def height(self) -> int:
+        """Height the *next* block should carry."""
+        return len(self._blocks)
+
+    def last_block(self) -> Optional[Block]:
+        return self._blocks[-1] if self._blocks else None
+
+    def append(self, block: Block, verify_link: bool = True) -> None:
+        """Append a finalised block.
+
+        A correct server checks the hash pointer before appending; fault
+        injection can disable the check to model sloppy/malicious servers.
+        """
+        if verify_link:
+            if block.height != len(self._blocks):
+                raise ValidationError(
+                    f"block height {block.height} does not extend log of length {len(self._blocks)}"
+                )
+            if block.previous_hash != self.head_hash:
+                raise ValidationError("block previous_hash does not match log head")
+            if block.cosign is None:
+                raise ValidationError("refusing to append a block without a collective signature")
+        self._blocks.append(block)
+
+    def committed_transactions(self):
+        """Yield ``(height, transaction)`` for every transaction in committed blocks."""
+        for block in self._blocks:
+            if block.is_commit:
+                for txn in block.transactions:
+                    yield block.height, txn
+
+    def copy(self) -> "TransactionLog":
+        return TransactionLog(self._blocks)
+
+    # -- verification ---------------------------------------------------------
+
+    def verify(self, public_keys: Dict[str, PublicKey]) -> LogVerificationResult:
+        """Verify hash chaining and every block's collective signature.
+
+        This is the procedure the auditor runs on each collected log copy to
+        decide whether it is correct (Lemma 6) before picking the longest
+        correct copy (Lemma 7).
+        """
+        expected_prev = genesis_previous_hash()
+        for index, block in enumerate(self._blocks):
+            if block.height != index:
+                return LogVerificationResult(
+                    False, len(self._blocks), index, index, "block height out of sequence"
+                )
+            if block.previous_hash != expected_prev:
+                return LogVerificationResult(
+                    False, len(self._blocks), index, index, "broken hash pointer"
+                )
+            if block.cosign is None:
+                return LogVerificationResult(
+                    False, len(self._blocks), index, index, "missing collective signature"
+                )
+            if not cosi_verify(block.cosign, block.body_digest(), public_keys):
+                return LogVerificationResult(
+                    False, len(self._blocks), index, index, "invalid collective signature"
+                )
+            expected_prev = block.block_hash()
+        return LogVerificationResult(True, len(self._blocks), len(self._blocks))
+
+    def is_prefix_of(self, other: "TransactionLog") -> bool:
+        """True if this log is a (possibly equal) prefix of ``other``."""
+        if len(self) > len(other):
+            return False
+        return all(
+            mine.block_hash() == theirs.block_hash()
+            for mine, theirs in zip(self._blocks, other._blocks)
+        )
+
+    # -- tampering helpers (fault injection only) ------------------------------
+
+    def tamper_replace(self, height: int, block: Block) -> None:
+        """Replace the block at ``height`` without any checks (malicious)."""
+        self._blocks[height] = block
+
+    def tamper_reorder(self, height_a: int, height_b: int) -> None:
+        """Swap two blocks in place (malicious reordering of history)."""
+        self._blocks[height_a], self._blocks[height_b] = (
+            self._blocks[height_b],
+            self._blocks[height_a],
+        )
+
+    def truncate(self, keep: int) -> None:
+        """Drop every block after the first ``keep`` blocks (tail omission)."""
+        if keep < 0:
+            raise ValidationError("cannot keep a negative number of blocks")
+        del self._blocks[keep:]
+
+    def drop_prefix(self, count: int) -> int:
+        """Drop the first ``count`` blocks (checkpointing support).
+
+        Unlike the tampering helpers this is an *honest* operation: it is only
+        safe when the dropped prefix is covered by a collectively signed
+        checkpoint (see :mod:`repro.ledger.checkpoint`).  Returns the number
+        of blocks removed.
+        """
+        if count < 0:
+            raise ValidationError("cannot drop a negative number of blocks")
+        count = min(count, len(self._blocks))
+        del self._blocks[:count]
+        return count
+
+
+def select_correct_log(
+    logs: Dict[str, TransactionLog], public_keys: Dict[str, PublicKey]
+) -> tuple:
+    """Pick the correct and complete log out of the copies collected from all servers.
+
+    Implements the auditor's first step (Section 3.3 / Lemma 7): verify every
+    copy, keep the valid ones, and return the longest (ties broken by server
+    id for determinism).  Returns ``(server_id, log, per_server_results)``.
+
+    Raises
+    ------
+    ValidationError
+        If no copy verifies -- which the failure model rules out (at least one
+        server is correct), so hitting this means the audit inputs are bad.
+    """
+    results = {server: log.verify(public_keys) for server, log in logs.items()}
+    valid = [(server, logs[server]) for server, result in results.items() if result.valid]
+    if not valid:
+        raise ValidationError("no correct log copy found among the collected logs")
+    best_server, best_log = max(valid, key=lambda pair: (len(pair[1]), pair[0]))
+    return best_server, best_log, results

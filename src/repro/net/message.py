@@ -1,0 +1,86 @@
+"""Message types and signed envelopes.
+
+Every protocol message is wrapped in an :class:`Envelope`: sender, recipient,
+type, payload, and the sender's signature over the canonical encoding of all
+of it.  Receivers verify the signature before processing (Section 3.1); an
+envelope that fails verification is rejected with
+:class:`~repro.common.errors.SignatureError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Optional
+
+
+class MessageType(Enum):
+    """All message kinds exchanged in Fides.
+
+    The names follow the transaction life-cycle of Figure 5 and the TFCommit
+    phases of Figure 7.
+    """
+
+    # Transaction execution (client <-> server), Figure 6.
+    BEGIN_TRANSACTION = "begin_transaction"
+    READ = "read"
+    READ_RESPONSE = "read_response"
+    WRITE = "write"
+    WRITE_ACK = "write_ack"
+    END_TRANSACTION = "end_transaction"
+    TXN_OUTCOME = "txn_outcome"
+
+    # TFCommit phases (coordinator <-> cohorts), Figure 7.
+    GET_VOTE = "get_vote"
+    VOTE = "vote"
+    CHALLENGE = "challenge"
+    RESPONSE = "response"
+    DECISION = "decision"
+
+    # 2PC baseline phases.
+    PREPARE = "prepare"
+    PREPARE_VOTE = "prepare_vote"
+    COMMIT_DECISION = "commit_decision"
+
+    # Audit traffic (auditor <-> servers).
+    AUDIT_LOG_REQUEST = "audit_log_request"
+    AUDIT_LOG_RESPONSE = "audit_log_response"
+    AUDIT_VO_REQUEST = "audit_vo_request"
+    AUDIT_VO_RESPONSE = "audit_vo_response"
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A signed protocol message.
+
+    ``signature`` covers the canonical encoding of
+    ``(sender, recipient, message_type, payload)`` under the sender's key; it
+    is ``None`` only transiently while the envelope is being built.
+    """
+
+    sender: str
+    recipient: str
+    message_type: MessageType
+    payload: Any
+    signature: Optional[bytes] = None
+
+    def signed_content(self):
+        """The portion of the envelope covered by the signature."""
+        return {
+            "sender": self.sender,
+            "recipient": self.recipient,
+            "type": self.message_type.value,
+            "payload": self.payload,
+        }
+
+    def with_signature(self, signature: bytes) -> "Envelope":
+        return Envelope(
+            sender=self.sender,
+            recipient=self.recipient,
+            message_type=self.message_type,
+            payload=self.payload,
+            signature=signature,
+        )
+
+    def to_wire(self):
+        return {"content": self.signed_content(), "signature": self.signature}

@@ -1,0 +1,159 @@
+"""The in-process message bus connecting clients, servers, and the auditor.
+
+The :class:`Network` plays the role of the datacenter network in the paper's
+deployment.  It:
+
+* looks up the recipient's registered handler and delivers the envelope;
+* signs every outgoing envelope with the sender's key and verifies every
+  incoming envelope with the sender's public key (Section 3.1) -- unless the
+  sender deliberately sends an unsigned/forged envelope, which receivers then
+  reject;
+* keeps per-message-type traffic statistics and accumulates the simulated
+  network delay each message would have cost on the configured
+  :class:`~repro.net.latency.LatencyModel` (the benchmark harness reads these
+  to cost out protocol rounds).
+
+Delivery is synchronous: ``send`` returns the recipient handler's response
+payload, which keeps the protocol implementations easy to read while the
+latency model keeps the timing realistic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from repro.common.errors import ConfigurationError, SignatureError
+from repro.crypto.keys import KeyPair, PublicKey
+from repro.crypto.signing import SigningScheme, make_signing_scheme
+from repro.net.latency import LatencyModel, lan_latency
+from repro.net.message import Envelope, MessageType
+
+#: A message handler: receives the verified envelope, returns a response payload.
+Handler = Callable[[Envelope], Any]
+
+
+@dataclass
+class NetworkStats:
+    """Counters the benchmark harness and tests read back."""
+
+    messages_sent: int = 0
+    messages_rejected: int = 0
+    simulated_delay: float = 0.0
+    per_type: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, message_type: MessageType, delay: float) -> None:
+        self.messages_sent += 1
+        self.simulated_delay += delay
+        self.per_type[message_type.value] = self.per_type.get(message_type.value, 0) + 1
+
+
+class Network:
+    """Signed, synchronous, in-process message delivery between participants."""
+
+    def __init__(
+        self,
+        signing_scheme: Optional[SigningScheme] = None,
+        latency: Optional[LatencyModel] = None,
+    ) -> None:
+        self._scheme = signing_scheme or make_signing_scheme("schnorr")
+        self._latency = latency or lan_latency()
+        self._handlers: Dict[str, Handler] = {}
+        self._keypairs: Dict[str, KeyPair] = {}
+        self._public_keys: Dict[str, PublicKey] = {}
+        self.stats = NetworkStats()
+
+    # -- membership -----------------------------------------------------------
+
+    def register(self, identity: str, keypair: KeyPair, handler: Handler) -> None:
+        """Register a participant: its key pair and its message handler."""
+        self._handlers[identity] = handler
+        self._keypairs[identity] = keypair
+        self._public_keys[identity] = keypair.public
+
+    def register_observer(self, identity: str, keypair: KeyPair) -> None:
+        """Register a participant that only sends (e.g. a client or the auditor)."""
+        self._keypairs[identity] = keypair
+        self._public_keys[identity] = keypair.public
+
+    def public_key_of(self, identity: str) -> PublicKey:
+        try:
+            return self._public_keys[identity]
+        except KeyError:
+            raise ConfigurationError(f"unknown participant {identity!r}") from None
+
+    def public_key_directory(self) -> Dict[str, PublicKey]:
+        """The system-wide directory of public keys (Section 3.1)."""
+        return dict(self._public_keys)
+
+    @property
+    def participants(self):
+        return sorted(self._public_keys)
+
+    @property
+    def signing_scheme(self) -> SigningScheme:
+        return self._scheme
+
+    @property
+    def latency_model(self) -> LatencyModel:
+        return self._latency
+
+    # -- delivery -------------------------------------------------------------
+
+    def sign_envelope(self, envelope: Envelope) -> Envelope:
+        """Sign an envelope with the sender's registered key."""
+        keypair = self._keypairs.get(envelope.sender)
+        if keypair is None:
+            raise ConfigurationError(f"sender {envelope.sender!r} has no registered key")
+        signature = self._scheme.sign(keypair, envelope.signed_content())
+        return envelope.with_signature(signature)
+
+    def verify_envelope(self, envelope: Envelope) -> bool:
+        """Verify an envelope's signature against the sender's public key."""
+        if envelope.signature is None:
+            return False
+        public = self._public_keys.get(envelope.sender)
+        if public is None:
+            return False
+        return self._scheme.verify(public, envelope.signed_content(), envelope.signature)
+
+    def send(
+        self,
+        sender: str,
+        recipient: str,
+        message_type: MessageType,
+        payload: Any,
+        presigned: Optional[Envelope] = None,
+    ) -> Any:
+        """Deliver one signed message and return the recipient's response payload.
+
+        ``presigned`` lets fault injection pass an envelope whose signature was
+        produced over different content (forgery attempt); the receiver-side
+        verification then rejects it.
+        """
+        envelope = presigned or self.sign_envelope(
+            Envelope(sender=sender, recipient=recipient, message_type=message_type, payload=payload)
+        )
+        handler = self._handlers.get(recipient)
+        if handler is None:
+            raise ConfigurationError(f"recipient {recipient!r} has no registered handler")
+        if not self.verify_envelope(envelope):
+            self.stats.messages_rejected += 1
+            raise SignatureError(
+                f"envelope from {envelope.sender!r} to {recipient!r} failed signature verification"
+            )
+        self.stats.record(message_type, self._latency.sample())
+        return handler(envelope)
+
+    def broadcast(
+        self,
+        sender: str,
+        recipients,
+        message_type: MessageType,
+        payload: Any,
+    ) -> Dict[str, Any]:
+        """Send the same payload to several recipients; returns responses by id."""
+        return {
+            recipient: self.send(sender, recipient, message_type, payload)
+            for recipient in recipients
+        }

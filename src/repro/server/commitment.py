@@ -1,0 +1,343 @@
+"""The commitment layer of a database server: the cohort side of TFCommit.
+
+This module implements the per-phase behaviour of a cohort in TFCommit
+(Section 4.3.1) and, for the baseline comparison of Section 6.1, the cohort
+side of plain Two-Phase Commit:
+
+* ``handle_get_vote`` -- <Vote, SchCommitment>: verify the coordinator's
+  request and the encapsulated client request(s), compute the Schnorr
+  commitment, locally validate the transactions touching this shard, and (if
+  voting commit) compute the in-memory Merkle root reflecting the block's
+  writes.
+* ``handle_challenge`` -- <null, SchResponse>: check that the completed block
+  is consistent with what this cohort voted (its own root is recorded
+  verbatim, the decision matches the presence/absence of roots), recompute
+  the Schnorr challenge from the block actually received, and produce the
+  Schnorr response.
+* ``handle_decision`` -- <Decision, null>: verify the collective signature on
+  the finalised block, append it to the tamper-proof log, and apply the
+  writes to the datastore.
+
+Every handler measures its own compute time and reports it in the response
+payload; the benchmark harness uses those measurements for simulated-time
+latency accounting (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.errors import ProtocolError
+from repro.common.types import ServerId
+from repro.crypto.cosi import CoSiWitness, compute_challenge, cosi_verify
+from repro.crypto.group import Point, decompress_point
+from repro.crypto.keys import KeyPair, PublicKey
+from repro.ledger.block import Block, BlockDecision
+from repro.ledger.log import TransactionLog
+from repro.server.faults import FaultPolicy, HonestBehavior
+from repro.storage.datastore import DataStore
+from repro.txn.occ import OccValidator
+from repro.txn.transaction import Transaction
+
+
+@dataclass
+class RoundState:
+    """Per-block state a cohort keeps between TFCommit phases."""
+
+    height: int
+    witness: CoSiWitness
+    involved: bool
+    local_decision: BlockDecision
+    reported_root: Optional[bytes] = None
+    block: Optional[Block] = None
+    mht_hashes: int = 0
+
+
+@dataclass
+class VoteResult:
+    """What a cohort returns from the vote phase."""
+
+    server_id: ServerId
+    involved: bool
+    decision: str
+    commitment: bytes
+    root: Optional[bytes]
+    compute_time: float
+    mht_time: float
+    mht_hashes: int
+    abort_reason: str = ""
+
+    def to_wire(self):
+        return {
+            "server_id": self.server_id,
+            "involved": self.involved,
+            "decision": self.decision,
+            "commitment": self.commitment,
+            "root": self.root,
+            "compute_time": self.compute_time,
+            "mht_time": self.mht_time,
+            "mht_hashes": self.mht_hashes,
+            "abort_reason": self.abort_reason,
+        }
+
+
+class CommitmentLayer:
+    """Cohort-side commit logic for one database server."""
+
+    def __init__(
+        self,
+        server_id: ServerId,
+        keypair: KeyPair,
+        store: DataStore,
+        log: TransactionLog,
+        faults: Optional[FaultPolicy] = None,
+    ) -> None:
+        self.server_id = server_id
+        self._keypair = keypair
+        self._store = store
+        self._log = log
+        self._faults = faults or HonestBehavior()
+        self._validator = OccValidator(store)
+        self._rounds: Dict[int, RoundState] = {}
+
+    @property
+    def log(self) -> TransactionLog:
+        return self._log
+
+    @property
+    def store(self) -> DataStore:
+        return self._store
+
+    @property
+    def faults(self) -> FaultPolicy:
+        return self._faults
+
+    def set_faults(self, faults: FaultPolicy) -> None:
+        self._faults = faults
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _local_items(self, txn: Transaction) -> bool:
+        return any(item in self._store for item in txn.items_accessed())
+
+    def _local_writes(self, transactions) -> Dict[str, object]:
+        """Writes from the batch that land on this shard, latest timestamp wins."""
+        writes: Dict[str, object] = {}
+        for txn in sorted(transactions, key=lambda t: t.commit_ts):
+            for entry in txn.write_set:
+                if entry.item_id in self._store:
+                    writes[entry.item_id] = entry.new_value
+        return writes
+
+    # -- TFCommit phase 2: <Vote, SchCommitment> ----------------------------------
+
+    def handle_get_vote(self, partial_block: Block, force_abort_reason: str = "") -> VoteResult:
+        """Validate the partial block and produce this cohort's vote.
+
+        Every server (involved or not) computes a Schnorr commitment because
+        every server co-signs the block; only involved servers validate and
+        report a Merkle root (Section 4.3.1).  ``force_abort_reason`` is set
+        by the server front-end when the encapsulated client request failed
+        signature verification: the cohort still co-signs (the abort must be
+        signed too) but votes abort.
+        """
+        started = time.perf_counter()
+        if partial_block.height != self._log.height:
+            raise ProtocolError(
+                f"{self.server_id}: partial block height {partial_block.height} does not extend "
+                f"local log of height {self._log.height}"
+            )
+        witness = CoSiWitness(self.server_id, self._keypair)
+        witness.on_announcement(partial_block.body_digest())
+        commitment = self._faults.corrupt_commitment(witness.commit())
+
+        involved = any(self._local_items(txn) for txn in partial_block.transactions)
+        decision = BlockDecision.COMMIT
+        abort_reason = ""
+        root: Optional[bytes] = None
+        mht_time = 0.0
+        mht_hashes = 0
+        if force_abort_reason:
+            decision = BlockDecision.ABORT
+            abort_reason = force_abort_reason
+        elif involved:
+            if not self._faults.skip_validation():
+                for txn in partial_block.transactions:
+                    if not self._local_items(txn):
+                        continue
+                    outcome = self._validator.validate(txn)
+                    if outcome.abort:
+                        decision = BlockDecision.ABORT
+                        abort_reason = outcome.reason()
+                        break
+            if decision is BlockDecision.COMMIT:
+                mht_started = time.perf_counter()
+                speculative_root, mht_hashes = self._store.speculative_root(
+                    self._local_writes(partial_block.transactions)
+                )
+                mht_time = time.perf_counter() - mht_started
+                root = self._faults.corrupt_root(speculative_root)
+
+        self._rounds[partial_block.height] = RoundState(
+            height=partial_block.height,
+            witness=witness,
+            involved=involved,
+            local_decision=decision,
+            reported_root=root,
+            mht_hashes=mht_hashes,
+        )
+        return VoteResult(
+            server_id=self.server_id,
+            involved=involved,
+            decision=decision.value,
+            commitment=commitment.encode(),
+            root=root,
+            compute_time=time.perf_counter() - started,
+            mht_time=mht_time,
+            mht_hashes=mht_hashes,
+            abort_reason=abort_reason,
+        )
+
+    # -- TFCommit phase 4: <null, SchResponse> ------------------------------------
+
+    def handle_challenge(
+        self, challenge: int, aggregate_commitment: bytes, block: Block
+    ) -> Dict[str, object]:
+        """Check the completed block and produce the Schnorr response.
+
+        A correct cohort refuses to respond (returns ``ok=False``) when:
+
+        * the block's decision is inconsistent with the recorded roots
+          (commit must carry a root from every involved server, abort must be
+          missing at least one -- Section 4.3.2);
+        * its own root in the block differs from the one it sent in its vote
+          (Scenario 2, incorrect block creation);
+        * the challenge does not equal ``H(X_sch || block)`` for the block it
+          actually received (Lemma 5, equivocation detection).
+        """
+        started = time.perf_counter()
+        state = self._rounds.get(block.height)
+        if state is None:
+            raise ProtocolError(f"{self.server_id}: challenge for unknown round {block.height}")
+        state.block = block
+
+        def refusal(reason: str) -> Dict[str, object]:
+            return {
+                "server_id": self.server_id,
+                "ok": False,
+                "reason": reason,
+                "response": None,
+                "compute_time": time.perf_counter() - started,
+            }
+
+        involved_servers = set(block.roots)
+        if block.decision is BlockDecision.COMMIT and state.involved:
+            if self.server_id not in involved_servers:
+                return refusal("commit block is missing this cohort's root")
+            if state.reported_root is not None and block.roots[self.server_id] != state.reported_root:
+                return refusal("coordinator recorded a different root than this cohort sent")
+        if block.decision is BlockDecision.COMMIT and state.local_decision is BlockDecision.ABORT:
+            return refusal("coordinator decided commit although this cohort voted abort")
+
+        expected_challenge = compute_challenge(
+            decompress_point(aggregate_commitment), block.body_digest()
+        )
+        if expected_challenge != challenge:
+            return refusal("challenge does not correspond to the received block")
+
+        response = self._faults.corrupt_response(state.witness.respond(challenge))
+        return {
+            "server_id": self.server_id,
+            "ok": True,
+            "reason": "",
+            "response": response,
+            "compute_time": time.perf_counter() - started,
+        }
+
+    # -- TFCommit phase 5: <Decision, null> ----------------------------------------
+
+    def handle_decision(
+        self, block: Block, public_keys: Dict[str, PublicKey]
+    ) -> Dict[str, object]:
+        """Verify the finalised block's co-sign, log it, and apply its writes."""
+        started = time.perf_counter()
+        state = self._rounds.pop(block.height, None)
+        if block.cosign is None or not cosi_verify(block.cosign, block.body_digest(), public_keys):
+            return {
+                "server_id": self.server_id,
+                "ok": False,
+                "reason": "invalid collective signature on final block",
+                "compute_time": time.perf_counter() - started,
+            }
+        self._log.append(block)
+        mht_hashes = 0
+        if block.is_commit:
+            mht_hashes = self._apply_block(block)
+        corruption = self._faults.post_commit_corruption()
+        for item_id, value in corruption.items():
+            if item_id in self._store:
+                self._store.corrupt(item_id, value)
+        self._faults.tamper_log(self._log)
+        return {
+            "server_id": self.server_id,
+            "ok": True,
+            "reason": "",
+            "mht_hashes": mht_hashes,
+            "compute_time": time.perf_counter() - started,
+            "state_known": state is not None,
+        }
+
+    def _apply_block(self, block: Block) -> int:
+        """Apply every transaction in a committed block to the local shard."""
+        mht_hashes = 0
+        for txn in sorted(block.transactions, key=lambda t: t.commit_ts):
+            local_writes = {
+                entry.item_id: entry.new_value
+                for entry in txn.write_set
+                if entry.item_id in self._store
+            }
+            local_reads = [
+                entry.item_id for entry in txn.read_set if entry.item_id in self._store
+            ]
+            if local_writes or local_reads:
+                mht_hashes += self._store.apply_commit(txn.commit_ts, local_writes, local_reads)
+        return mht_hashes
+
+    # -- 2PC baseline (Section 6.1) --------------------------------------------------
+
+    def handle_prepare(self, block: Block) -> Dict[str, object]:
+        """2PC prepare: validate the transactions touching this shard and vote."""
+        started = time.perf_counter()
+        decision = BlockDecision.COMMIT
+        reason = ""
+        involved = any(self._local_items(txn) for txn in block.transactions)
+        if involved and not self._faults.skip_validation():
+            for txn in block.transactions:
+                if not self._local_items(txn):
+                    continue
+                outcome = self._validator.validate(txn)
+                if outcome.abort:
+                    decision = BlockDecision.ABORT
+                    reason = outcome.reason()
+                    break
+        return {
+            "server_id": self.server_id,
+            "involved": involved,
+            "decision": decision.value,
+            "reason": reason,
+            "compute_time": time.perf_counter() - started,
+        }
+
+    def handle_2pc_decision(self, block: Block) -> Dict[str, object]:
+        """2PC decision: append the (unsigned) block and apply writes if commit."""
+        started = time.perf_counter()
+        self._log.append(block, verify_link=False)
+        if block.is_commit:
+            self._apply_block(block)
+        return {
+            "server_id": self.server_id,
+            "ok": True,
+            "compute_time": time.perf_counter() - started,
+        }

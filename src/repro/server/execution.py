@@ -1,0 +1,105 @@
+"""The transaction execution layer of a database server.
+
+Responsibilities (Section 4.2.1):
+
+* answer read requests with the item's value and its ``rts``/``wts``;
+* buffer write requests and acknowledge them (including the old value and
+  timestamps for blind writes);
+* keep an archive of the signed client requests so a server can defend
+  itself against a malicious client's falsified blame (Section 3.2).
+
+The layer consults the server's :class:`~repro.server.faults.FaultPolicy`
+so malicious behaviours (returning wrong read values, dropping buffered
+writes) can be injected without touching the honest code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.errors import StorageError
+from repro.common.types import ClientId, ItemId, TxnId, Value
+from repro.net.message import Envelope
+from repro.server.faults import FaultPolicy, HonestBehavior
+from repro.storage.datastore import DataStore, ReadResult
+
+
+@dataclass
+class ActiveTransaction:
+    """Per-transaction execution state kept while a client is still working."""
+
+    txn_id: TxnId
+    client_id: ClientId
+    items_read: List[ItemId] = field(default_factory=list)
+    buffered_writes: Dict[ItemId, Value] = field(default_factory=dict)
+
+
+class ExecutionLayer:
+    """Executes transactional reads and buffers writes for one shard."""
+
+    def __init__(self, store: DataStore, faults: Optional[FaultPolicy] = None) -> None:
+        self._store = store
+        self._faults = faults or HonestBehavior()
+        self._active: Dict[TxnId, ActiveTransaction] = {}
+        #: Archive of signed client envelopes, the server's defence against
+        #: falsified client accusations (Section 3.2).
+        self._client_message_log: List[Envelope] = []
+
+    @property
+    def store(self) -> DataStore:
+        return self._store
+
+    @property
+    def faults(self) -> FaultPolicy:
+        return self._faults
+
+    def set_faults(self, faults: FaultPolicy) -> None:
+        self._faults = faults
+
+    def archive_client_message(self, envelope: Envelope) -> None:
+        self._client_message_log.append(envelope)
+
+    @property
+    def client_message_log(self) -> List[Envelope]:
+        return list(self._client_message_log)
+
+    # -- transaction life-cycle -------------------------------------------------
+
+    def begin(self, txn_id: TxnId, client_id: ClientId) -> None:
+        """Start tracking a client transaction (Begin Transaction, Figure 5)."""
+        if txn_id not in self._active:
+            self._active[txn_id] = ActiveTransaction(txn_id=txn_id, client_id=client_id)
+
+    def read(self, txn_id: TxnId, item_id: ItemId) -> ReadResult:
+        """Serve a read: latest value + timestamps from the local shard."""
+        if item_id not in self._store:
+            raise StorageError(f"item {item_id!r} is not stored on this server")
+        active = self._active.setdefault(txn_id, ActiveTransaction(txn_id, client_id=""))
+        active.items_read.append(item_id)
+        result = self._store.read(item_id)
+        reported_value = self._faults.corrupt_read_value(item_id, result.value)
+        return ReadResult(
+            item_id=item_id, value=reported_value, rts=result.rts, wts=result.wts
+        )
+
+    def write(self, txn_id: TxnId, item_id: ItemId, value: Value) -> ReadResult:
+        """Buffer a write and return the *old* value + timestamps (blind-write support)."""
+        if item_id not in self._store:
+            raise StorageError(f"item {item_id!r} is not stored on this server")
+        active = self._active.setdefault(txn_id, ActiveTransaction(txn_id, client_id=""))
+        if not self._faults.drop_buffered_write(item_id):
+            active.buffered_writes[item_id] = value
+        return self._store.read(item_id)
+
+    def buffered_writes(self, txn_id: TxnId) -> Dict[ItemId, Value]:
+        """The writes buffered so far for ``txn_id`` (empty if none)."""
+        active = self._active.get(txn_id)
+        return dict(active.buffered_writes) if active else {}
+
+    def finish(self, txn_id: TxnId) -> None:
+        """Forget the per-transaction state once the transaction terminated."""
+        self._active.pop(txn_id, None)
+
+    def active_transactions(self) -> List[TxnId]:
+        return list(self._active)

@@ -1,0 +1,216 @@
+"""Fault injection: the malicious behaviours of Sections 3.2 and 5.
+
+A server "that fails maliciously can behave arbitrarily"; Fides does not
+prevent these failures, it detects them in an audit.  Each fault class below
+models one concrete misbehaviour from the paper so that the audit tests can
+inject it and assert that the auditor (or a correct cohort) detects it and
+pins it on the right server.
+
+The hooks are consulted by :class:`~repro.server.execution.ExecutionLayer`,
+:class:`~repro.server.commitment.CommitmentLayer`, and the TFCommit
+coordinator; :class:`HonestBehavior` is the no-op default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.common.types import ItemId, ServerId, Value
+from repro.crypto.group import CURVE_ORDER, Point, generator_multiply
+
+
+class FaultPolicy:
+    """Base class: every hook implements the *honest* behaviour.
+
+    Subclasses override individual hooks to misbehave.  Hooks receive enough
+    context to act and return the (possibly falsified) value the server will
+    actually use or send.
+    """
+
+    #: Human-readable fault name recorded by tests and examples.
+    name = "honest"
+
+    # -- execution-layer hooks -------------------------------------------------
+
+    def corrupt_read_value(self, item_id: ItemId, value: Value) -> Value:
+        """Value returned for a read request (Scenario 1: incorrect reads)."""
+        return value
+
+    def drop_buffered_write(self, item_id: ItemId) -> bool:
+        """Return True to silently discard a buffered write (incorrect writes)."""
+        return False
+
+    # -- commitment-layer hooks ------------------------------------------------
+
+    def skip_validation(self) -> bool:
+        """Return True to vote commit without running OCC validation (Lemma 3)."""
+        return False
+
+    def corrupt_commitment(self, commitment: Point) -> Point:
+        """Schnorr commitment sent in the vote phase (Lemma 4)."""
+        return commitment
+
+    def corrupt_response(self, response: int) -> int:
+        """Schnorr response sent in the response phase (Lemma 4)."""
+        return response
+
+    def corrupt_root(self, root: bytes) -> bytes:
+        """MHT root the cohort reports in its vote."""
+        return root
+
+    # -- datastore hooks ---------------------------------------------------------
+
+    def post_commit_corruption(self) -> Dict[ItemId, Value]:
+        """Items to silently overwrite in the datastore after a commit (Scenario 3)."""
+        return {}
+
+    # -- coordinator hooks -------------------------------------------------------
+
+    def equivocate(self) -> bool:
+        """Return True to send different decisions to different cohorts (Lemma 5)."""
+        return False
+
+    def fake_root_for(self, server_id: ServerId, root: Optional[bytes]) -> Optional[bytes]:
+        """Root the coordinator records for ``server_id`` in the block (Scenario 2)."""
+        return root
+
+    # -- log hooks -----------------------------------------------------------------
+
+    def tamper_log(self, log) -> None:
+        """Arbitrary post-hoc mutation of the local log copy (Lemmas 6-7)."""
+
+
+class HonestBehavior(FaultPolicy):
+    """The default policy: every hook behaves correctly."""
+
+    name = "honest"
+
+
+@dataclass
+class StaleReadFault(FaultPolicy):
+    """Return a wrong/stale value for reads of ``target_item`` (Scenario 1).
+
+    If ``wrong_value`` is None the fault replays the given ``stale_value``
+    captured earlier (e.g. the pre-update balance in the paper's bank
+    example); otherwise it returns ``wrong_value`` verbatim.
+    """
+
+    target_item: ItemId
+    wrong_value: Value = None
+    trigger_after: int = 0
+
+    name = "stale-read"
+    _reads_seen: int = 0
+
+    def corrupt_read_value(self, item_id: ItemId, value: Value) -> Value:
+        if item_id != self.target_item:
+            return value
+        self._reads_seen += 1
+        if self._reads_seen <= self.trigger_after:
+            return value
+        return self.wrong_value
+
+
+@dataclass
+class DatastoreCorruptionFault(FaultPolicy):
+    """Silently overwrite ``corruptions`` in the datastore after the next commit."""
+
+    corruptions: Dict[ItemId, Value] = field(default_factory=dict)
+    name = "datastore-corruption"
+    _fired: bool = False
+
+    def post_commit_corruption(self) -> Dict[ItemId, Value]:
+        if self._fired:
+            return {}
+        self._fired = True
+        return dict(self.corruptions)
+
+
+class IsolationViolationFault(FaultPolicy):
+    """Vote commit without validating, letting non-serializable txns through."""
+
+    name = "isolation-violation"
+
+    def skip_validation(self) -> bool:
+        return True
+
+
+@dataclass
+class BadCosiFault(FaultPolicy):
+    """Send incorrect cryptographic values during co-signing (Lemma 4)."""
+
+    corrupt_commit: bool = False
+    corrupt_resp: bool = True
+    name = "bad-cosi"
+
+    def corrupt_commitment(self, commitment: Point) -> Point:
+        if not self.corrupt_commit:
+            return commitment
+        return generator_multiply(12345)
+
+    def corrupt_response(self, response: int) -> int:
+        if not self.corrupt_resp:
+            return response
+        return (response + 1) % CURVE_ORDER
+
+
+class EquivocatingCoordinatorFault(FaultPolicy):
+    """Coordinator sends commit to some cohorts and abort to others (Figure 8)."""
+
+    name = "equivocating-coordinator"
+
+    def equivocate(self) -> bool:
+        return True
+
+
+@dataclass
+class FakeRootFault(FaultPolicy):
+    """Coordinator records a bogus MHT root for ``victim`` in the block (Scenario 2)."""
+
+    victim: ServerId
+    fake_root: bytes = b"\x00" * 32
+    name = "fake-root"
+
+    def fake_root_for(self, server_id: ServerId, root: Optional[bytes]) -> Optional[bytes]:
+        if server_id == self.victim:
+            return self.fake_root
+        return root
+
+
+@dataclass
+class LogTamperFault(FaultPolicy):
+    """After the fact, overwrite a value inside an already-logged block (Lemma 6)."""
+
+    target_height: int = 0
+    name = "log-tamper"
+
+    def tamper_log(self, log) -> None:
+        from dataclasses import replace as dc_replace
+
+        if len(log) <= self.target_height:
+            return
+        block = log[self.target_height]
+        if not block.transactions:
+            return
+        txn = block.transactions[0]
+        if not txn.write_set:
+            return
+        entry = txn.write_set[0]
+        forged_entry = dc_replace(entry, new_value="__forged__")
+        forged_txn = dc_replace(txn, write_set=(forged_entry,) + tuple(txn.write_set[1:]))
+        forged_block = dc_replace(
+            block, transactions=(forged_txn,) + tuple(block.transactions[1:])
+        )
+        log.tamper_replace(self.target_height, forged_block)
+
+
+@dataclass
+class LogTruncationFault(FaultPolicy):
+    """Drop the tail of the local log, keeping only ``keep_blocks`` blocks (Lemma 7)."""
+
+    keep_blocks: int = 1
+    name = "log-truncation"
+
+    def tamper_log(self, log) -> None:
+        log.truncate(min(self.keep_blocks, len(log)))

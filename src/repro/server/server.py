@@ -1,0 +1,199 @@
+"""The Fides database server.
+
+A :class:`DatabaseServer` bundles the four components of Figure 3 -- the
+execution layer, the commitment layer, the datastore, and the tamper-proof
+log -- behind one network handler that dispatches on message type.  The
+server is deliberately simple ("we choose a simplified design for a database
+server to minimize the potential for failure", Section 3.1): it has no
+front-end transaction manager; clients talk to it directly for data access,
+and the designated coordinator talks to it during transaction termination.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.common.errors import ProtocolError, ValidationError
+from repro.common.timestamps import Timestamp
+from repro.common.types import ServerId, Value
+from repro.crypto.keys import KeyPair
+from repro.ledger.log import TransactionLog
+from repro.net.message import Envelope, MessageType
+from repro.net.network import Network
+from repro.server.commitment import CommitmentLayer
+from repro.server.execution import ExecutionLayer
+from repro.server.faults import FaultPolicy, HonestBehavior
+from repro.storage.datastore import DataStore
+
+
+class DatabaseServer:
+    """One untrusted database server storing a single shard."""
+
+    def __init__(
+        self,
+        server_id: ServerId,
+        keypair: KeyPair,
+        items: Mapping[str, Value],
+        multi_versioned: bool = True,
+        faults: Optional[FaultPolicy] = None,
+    ) -> None:
+        self.server_id = server_id
+        self.keypair = keypair
+        faults = faults or HonestBehavior()
+        self.store = DataStore(items, multi_versioned=multi_versioned)
+        self.log = TransactionLog()
+        self.execution = ExecutionLayer(self.store, faults)
+        self.commitment = CommitmentLayer(server_id, keypair, self.store, self.log, faults)
+        self._network: Optional[Network] = None
+        #: Coordinator role (TFCommit or 2PC) if this server is the designated
+        #: coordinator; set via :meth:`set_coordinator_role`.
+        self.coordinator_role = None
+
+    # -- wiring ---------------------------------------------------------------
+
+    def attach(self, network: Network) -> None:
+        """Register this server's handler and keys on the network."""
+        self._network = network
+        network.register(self.server_id, self.keypair, self.handle)
+
+    @property
+    def network(self) -> Network:
+        if self._network is None:
+            raise ProtocolError(f"server {self.server_id} is not attached to a network")
+        return self._network
+
+    @property
+    def faults(self) -> FaultPolicy:
+        return self.commitment.faults
+
+    def set_faults(self, faults: FaultPolicy) -> None:
+        """Swap in a (possibly malicious) behaviour policy for both layers."""
+        self.execution.set_faults(faults)
+        self.commitment.set_faults(faults)
+
+    def set_coordinator_role(self, role) -> None:
+        """Give this server the coordinator's extra termination duties (Section 4.1)."""
+        self.coordinator_role = role
+
+    # -- message dispatch -------------------------------------------------------
+
+    def handle(self, envelope: Envelope):
+        """Handle one verified envelope; returns the response payload."""
+        handler = {
+            MessageType.BEGIN_TRANSACTION: self._on_begin,
+            MessageType.READ: self._on_read,
+            MessageType.WRITE: self._on_write,
+            MessageType.END_TRANSACTION: self._on_end_transaction,
+            MessageType.GET_VOTE: self._on_get_vote,
+            MessageType.CHALLENGE: self._on_challenge,
+            MessageType.DECISION: self._on_decision,
+            MessageType.PREPARE: self._on_prepare,
+            MessageType.COMMIT_DECISION: self._on_2pc_decision,
+            MessageType.AUDIT_LOG_REQUEST: self._on_audit_log_request,
+            MessageType.AUDIT_VO_REQUEST: self._on_audit_vo_request,
+        }.get(envelope.message_type)
+        if handler is None:
+            raise ProtocolError(
+                f"server {self.server_id} cannot handle message type {envelope.message_type}"
+            )
+        return handler(envelope)
+
+    # -- execution-layer messages (Figure 6) --------------------------------------
+
+    def _on_begin(self, envelope: Envelope):
+        payload = envelope.payload
+        self.execution.archive_client_message(envelope)
+        self.execution.begin(payload["txn_id"], payload.get("client_id", envelope.sender))
+        return {"ok": True, "server_id": self.server_id}
+
+    def _on_read(self, envelope: Envelope):
+        payload = envelope.payload
+        self.execution.archive_client_message(envelope)
+        result = self.execution.read(payload["txn_id"], payload["item_id"])
+        return result.to_wire()
+
+    def _on_write(self, envelope: Envelope):
+        payload = envelope.payload
+        self.execution.archive_client_message(envelope)
+        old = self.execution.write(payload["txn_id"], payload["item_id"], payload["value"])
+        return {"ok": True, "old": old.to_wire(), "server_id": self.server_id}
+
+    def _on_end_transaction(self, envelope: Envelope):
+        """Route a client's termination request to the coordinator role."""
+        self.execution.archive_client_message(envelope)
+        if self.coordinator_role is None:
+            raise ProtocolError(
+                f"server {self.server_id} received end_transaction but is not the coordinator"
+            )
+        return self.coordinator_role.on_end_transaction(envelope)
+
+    # -- TFCommit cohort messages (Figure 7) ----------------------------------------
+
+    def _on_get_vote(self, envelope: Envelope):
+        payload = envelope.payload
+        block = payload["block"]
+        client_requests = payload.get("client_requests", [])
+        force_abort_reason = ""
+        for request in client_requests:
+            if not self.network.verify_envelope(request):
+                force_abort_reason = "encapsulated client request failed signature verification"
+                break
+        vote = self.commitment.handle_get_vote(block, force_abort_reason=force_abort_reason)
+        return vote.to_wire()
+
+    def _on_challenge(self, envelope: Envelope):
+        payload = envelope.payload
+        return self.commitment.handle_challenge(
+            challenge=payload["challenge"],
+            aggregate_commitment=payload["aggregate_commitment"],
+            block=payload["block"],
+        )
+
+    def _on_decision(self, envelope: Envelope):
+        payload = envelope.payload
+        return self.commitment.handle_decision(
+            payload["block"], self.network.public_key_directory()
+        )
+
+    # -- 2PC baseline messages ----------------------------------------------------------
+
+    def _on_prepare(self, envelope: Envelope):
+        return self.commitment.handle_prepare(envelope.payload["block"])
+
+    def _on_2pc_decision(self, envelope: Envelope):
+        return self.commitment.handle_2pc_decision(envelope.payload["block"])
+
+    # -- audit messages (Section 3.3) -----------------------------------------------------
+
+    def _on_audit_log_request(self, envelope: Envelope):
+        """Hand over (a copy of) the local log for an offline audit."""
+        return {"server_id": self.server_id, "log": self.log.copy()}
+
+    def _on_audit_vo_request(self, envelope: Envelope):
+        """Produce a Verification Object for one item, optionally at a version."""
+        payload = envelope.payload
+        item_id = payload["item_id"]
+        at = payload.get("at")
+        if item_id not in self.store:
+            return {"server_id": self.server_id, "ok": False, "reason": "item not stored here"}
+        if at is None or not self.store.multi_versioned:
+            vo = self.store.verification_object(item_id)
+            root = self.store.merkle_root()
+            value = self.store.read(item_id).value
+        else:
+            timestamp = Timestamp(at[0], at[1]) if isinstance(at, (tuple, list)) else at
+            vo, root = self.store.verification_object_at(item_id, timestamp)
+            value = self.store.read_version(item_id, timestamp).value
+        return {"server_id": self.server_id, "ok": True, "vo": vo, "root": root, "value": value}
+
+    # -- convenience -----------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Value]:
+        """Latest committed value of every locally stored item."""
+        return self.store.snapshot()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DatabaseServer({self.server_id!r}, items={len(self.store)}, "
+            f"log_height={self.log.height}, faults={self.faults.name!r})"
+        )

@@ -1,0 +1,209 @@
+"""The per-server datastore.
+
+A :class:`DataStore` holds the versioned records of one shard and exposes the
+operations the execution and commitment layers need:
+
+* timestamped reads (returning value + ``rts``/``wts``, Section 4.2.1);
+* atomic application of a committed transaction's buffered writes, which
+  installs new versions and advances the read/write timestamps of every item
+  the transaction accessed;
+* Merkle-tree maintenance: the datastore keeps an incremental
+  :class:`~repro.crypto.merkle.MerkleTree` over its items so TFCommit's vote
+  phase can produce an up-to-date root in memory without touching disk state
+  (Section 4.3.1), and audits can request Verification Objects at any version
+  (Section 4.2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.common.errors import StorageError
+from repro.common.timestamps import Timestamp
+from repro.common.types import ItemId, Value
+from repro.crypto.merkle import MerkleTree, VerificationObject
+from repro.storage.record import RecordVersion, VersionedRecord
+
+
+@dataclass(frozen=True)
+class ReadResult:
+    """Result of a timestamped read: the value plus its current timestamps."""
+
+    item_id: ItemId
+    value: Value
+    rts: Timestamp
+    wts: Timestamp
+
+    def to_wire(self):
+        return {
+            "item_id": self.item_id,
+            "value": self.value,
+            "rts": self.rts.as_tuple(),
+            "wts": self.wts.as_tuple(),
+        }
+
+
+class DataStore:
+    """Versioned key-value store for a single shard.
+
+    Parameters
+    ----------
+    items:
+        Initial ``item_id -> value`` contents; all initial versions carry the
+        zero timestamp.
+    multi_versioned:
+        Keep the full version chain (True, the default used in the paper's
+        audit discussion) or only the latest version.
+    """
+
+    def __init__(self, items: Mapping[ItemId, Value], multi_versioned: bool = True) -> None:
+        zero = Timestamp.zero()
+        self._multi_versioned = multi_versioned
+        self._records: Dict[ItemId, VersionedRecord] = {
+            item_id: VersionedRecord(
+                item_id=item_id,
+                versions=[RecordVersion(value=value, wts=zero, rts=zero)],
+            )
+            for item_id, value in items.items()
+        }
+        self._merkle = MerkleTree.from_items({k: v for k, v in items.items()})
+        self._mht_node_updates = 0
+
+    # -- basic queries ------------------------------------------------------
+
+    def __contains__(self, item_id: ItemId) -> bool:
+        return item_id in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def multi_versioned(self) -> bool:
+        return self._multi_versioned
+
+    def item_ids(self) -> List[ItemId]:
+        return list(self._records)
+
+    def record(self, item_id: ItemId) -> VersionedRecord:
+        """Return the full versioned record of ``item_id``."""
+        try:
+            return self._records[item_id]
+        except KeyError:
+            raise StorageError(f"unknown item {item_id!r}") from None
+
+    def read(self, item_id: ItemId) -> ReadResult:
+        """Read the latest committed value and timestamps of ``item_id``."""
+        record = self.record(item_id)
+        latest = record.latest
+        return ReadResult(item_id=item_id, value=latest.value, rts=latest.rts, wts=latest.wts)
+
+    def read_version(self, item_id: ItemId, at: Timestamp) -> ReadResult:
+        """Read the value of ``item_id`` as of commit timestamp ``at``."""
+        record = self.record(item_id)
+        version = record.version_at(at)
+        return ReadResult(item_id=item_id, value=version.value, rts=version.rts, wts=version.wts)
+
+    # -- commit-time mutation -----------------------------------------------
+
+    def apply_commit(
+        self,
+        commit_ts: Timestamp,
+        writes: Mapping[ItemId, Value],
+        reads: Iterable[ItemId] = (),
+    ) -> int:
+        """Apply a committed transaction to the datastore.
+
+        Installs a new version for every written item, advances ``rts`` of
+        every read item, and keeps the incremental Merkle tree in sync.
+        Returns the number of Merkle node hashes recomputed (the quantity the
+        benchmark harness reports as MHT update work).
+        """
+        unknown = [item for item in list(writes) + list(reads) if item not in self._records]
+        if unknown:
+            raise StorageError(f"commit touches unknown items: {unknown}")
+        mht_work = 0
+        for item_id in reads:
+            self._records[item_id].record_read(commit_ts)
+        for item_id, value in writes.items():
+            self._records[item_id].append_version(value, commit_ts, self._multi_versioned)
+            mht_work += self._merkle.update(item_id, value)
+        self._mht_node_updates += mht_work
+        return mht_work
+
+    def corrupt(self, item_id: ItemId, value: Value) -> None:
+        """Silently overwrite the latest stored value (fault injection only).
+
+        This models the "data corruption" fault of Section 5, Scenario 3: the
+        value changes in storage but the Merkle tree / log were built from the
+        correct value, so a later audit detects the mismatch.
+        """
+        record = self.record(item_id)
+        latest = record.latest
+        record.versions[-1] = RecordVersion(value=value, wts=latest.wts, rts=latest.rts)
+
+    def rollback_to(self, timestamp: Timestamp) -> int:
+        """Roll every record back to its last version at or before ``timestamp``."""
+        removed = 0
+        for record in self._records.values():
+            if record.version_count() > 1:
+                removed += record.rollback_to(timestamp)
+        self._rebuild_merkle()
+        return removed
+
+    # -- Merkle integration --------------------------------------------------
+
+    def merkle_root(self) -> bytes:
+        """Root of the incremental Merkle tree over the *stored* values."""
+        return self._merkle.root
+
+    def speculative_root(self, writes: Mapping[ItemId, Value]) -> Tuple[bytes, int]:
+        """Merkle root the shard would have if ``writes`` were applied.
+
+        Used during TFCommit's vote phase: the MHT is computed in memory with
+        the transaction's updates assumed committed, without touching the
+        datastore (Section 4.3.1).  Returns ``(root, mht_hashes_recomputed)``
+        and leaves the tree exactly as it was.
+        """
+        unknown = [item for item in writes if item not in self._records]
+        if unknown:
+            raise StorageError(f"speculative writes touch unknown items: {unknown}")
+        originals = {item_id: self._merkle.value_of(item_id) for item_id in writes}
+        work = self._merkle.update_many(writes)
+        root = self._merkle.root
+        self._merkle.update_many(originals)
+        return root, work
+
+    def verification_object(self, item_id: ItemId) -> VerificationObject:
+        """VO authenticating ``item_id`` against the *current* Merkle root."""
+        return self._merkle.verification_object(item_id)
+
+    def verification_object_at(
+        self, item_id: ItemId, at: Timestamp
+    ) -> Tuple[VerificationObject, bytes]:
+        """VO and root for the datastore state as of version ``at``.
+
+        Only meaningful for multi-versioned datastores: the server rebuilds
+        (in memory) the shard as it stood at commit timestamp ``at`` and
+        produces the VO against that historical tree, exactly what the auditor
+        asks a server for in Section 4.2.2.
+        """
+        if not self._multi_versioned:
+            raise StorageError("historical verification objects require a multi-versioned store")
+        historical = {
+            other_id: record.version_at(at).value for other_id, record in self._records.items()
+        }
+        tree = MerkleTree.from_items(historical)
+        return tree.verification_object(item_id), tree.root
+
+    def snapshot(self) -> Dict[ItemId, Value]:
+        """Latest committed value of every item (id -> value)."""
+        return {item_id: record.value for item_id, record in self._records.items()}
+
+    def _rebuild_merkle(self) -> None:
+        self._merkle = MerkleTree.from_items(self.snapshot())
+
+    @property
+    def mht_node_updates(self) -> int:
+        """Total Merkle node hashes recomputed by committed writes so far."""
+        return self._mht_node_updates

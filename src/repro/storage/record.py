@@ -1,0 +1,126 @@
+"""Versioned data records with read/write timestamps.
+
+Every data item in Fides carries an associated read timestamp ``rts`` and
+write timestamp ``wts`` -- the timestamps of the last committed transaction
+that read / wrote the item (Section 3.1).  Multi-versioned datastores keep
+one :class:`RecordVersion` per committed write so that audits can examine any
+historical version and the application can roll back to the last sanitised
+version after a detected failure (Section 4.2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.common.errors import StorageError
+from repro.common.timestamps import Timestamp
+from repro.common.types import ItemId, Value
+
+
+@dataclass(frozen=True)
+class RecordVersion:
+    """One committed version of a data item.
+
+    ``wts`` is the commit timestamp of the transaction that wrote this
+    version; ``rts`` is the largest commit timestamp of any transaction that
+    has read this version so far (it is updated in place by replacing the
+    version object, keeping the dataclass frozen).
+    """
+
+    value: Value
+    wts: Timestamp
+    rts: Timestamp
+
+    def with_rts(self, rts: Timestamp) -> "RecordVersion":
+        """Return a copy of this version with its read timestamp advanced."""
+        if rts < self.rts:
+            return self
+        return RecordVersion(self.value, self.wts, rts)
+
+    def to_wire(self):
+        return {"value": self.value, "wts": self.wts.as_tuple(), "rts": self.rts.as_tuple()}
+
+
+@dataclass
+class VersionedRecord:
+    """The full version chain of one data item.
+
+    Versions are kept in commit-timestamp order (oldest first).  For a
+    single-versioned datastore the chain is trimmed to length one after every
+    write.
+    """
+
+    item_id: ItemId
+    versions: List[RecordVersion] = field(default_factory=list)
+
+    @property
+    def latest(self) -> RecordVersion:
+        """The most recently committed version."""
+        if not self.versions:
+            raise StorageError(f"item {self.item_id!r} has no versions")
+        return self.versions[-1]
+
+    @property
+    def value(self) -> Value:
+        return self.latest.value
+
+    @property
+    def rts(self) -> Timestamp:
+        return self.latest.rts
+
+    @property
+    def wts(self) -> Timestamp:
+        return self.latest.wts
+
+    def version_count(self) -> int:
+        return len(self.versions)
+
+    def version_at(self, timestamp: Timestamp) -> RecordVersion:
+        """Return the version visible at ``timestamp``.
+
+        This is the newest version whose ``wts`` is <= ``timestamp``; used by
+        per-version audits of multi-versioned datastores.
+        """
+        candidate: Optional[RecordVersion] = None
+        for version in self.versions:
+            if version.wts <= timestamp:
+                candidate = version
+            else:
+                break
+        if candidate is None:
+            raise StorageError(
+                f"item {self.item_id!r} has no version at or before {timestamp}"
+            )
+        return candidate
+
+    def record_read(self, timestamp: Timestamp) -> None:
+        """Advance the latest version's read timestamp to ``timestamp``."""
+        self.versions[-1] = self.latest.with_rts(timestamp)
+
+    def append_version(self, value: Value, wts: Timestamp, multi_versioned: bool = True) -> None:
+        """Install a new committed version written at ``wts``.
+
+        For single-versioned datastores older versions are discarded.
+        """
+        new_version = RecordVersion(value=value, wts=wts, rts=wts)
+        if multi_versioned:
+            self.versions.append(new_version)
+        else:
+            self.versions = [new_version]
+
+    def rollback_to(self, timestamp: Timestamp) -> int:
+        """Discard every version written after ``timestamp``.
+
+        Returns the number of versions removed.  This supports the paper's
+        recoverability story: after an audit flags a corruption at some
+        version, the data can be reset to the last sanitised version.
+        """
+        kept = [v for v in self.versions if v.wts <= timestamp]
+        removed = len(self.versions) - len(kept)
+        if not kept:
+            raise StorageError(
+                f"rollback of {self.item_id!r} to {timestamp} would remove every version"
+            )
+        self.versions = kept
+        return removed

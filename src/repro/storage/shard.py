@@ -1,0 +1,90 @@
+"""Shards and the shard map (partitioning of items onto servers).
+
+The data is "partitioned into multiple shards and distributed on these
+servers" (Section 3.1).  A :class:`Shard` couples a shard id with its
+:class:`~repro.storage.datastore.DataStore`; a :class:`ShardMap` is the
+directory clients use to find which server stores which item -- the paper's
+"lookup and directory service for the database partitions" (Section 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping
+
+from repro.common.config import SystemConfig
+from repro.common.errors import StorageError
+from repro.common.types import ItemId, ServerId, Value, make_item_id
+from repro.storage.datastore import DataStore
+
+
+@dataclass
+class Shard:
+    """One data shard: an id, the owning server, and its datastore."""
+
+    shard_id: str
+    server_id: ServerId
+    store: DataStore
+
+    def __contains__(self, item_id: ItemId) -> bool:
+        return item_id in self.store
+
+    def __len__(self) -> int:
+        return len(self.store)
+
+
+class ShardMap:
+    """Directory mapping every item id to the server that stores it."""
+
+    def __init__(self, assignment: Mapping[ItemId, ServerId]) -> None:
+        self._assignment: Dict[ItemId, ServerId] = dict(assignment)
+        self._by_server: Dict[ServerId, List[ItemId]] = {}
+        for item_id, server_id in self._assignment.items():
+            self._by_server.setdefault(server_id, []).append(item_id)
+
+    def server_for(self, item_id: ItemId) -> ServerId:
+        """Return the server storing ``item_id``."""
+        try:
+            return self._assignment[item_id]
+        except KeyError:
+            raise StorageError(f"no server stores item {item_id!r}") from None
+
+    def items_of(self, server_id: ServerId) -> List[ItemId]:
+        """Return the item ids stored by ``server_id``."""
+        return list(self._by_server.get(server_id, []))
+
+    def servers_for(self, item_ids: Iterable[ItemId]) -> List[ServerId]:
+        """Return the distinct servers covering ``item_ids`` (sorted)."""
+        return sorted({self.server_for(item_id) for item_id in item_ids})
+
+    def all_items(self) -> List[ItemId]:
+        return list(self._assignment)
+
+    def all_servers(self) -> List[ServerId]:
+        return sorted(self._by_server)
+
+    def __len__(self) -> int:
+        return len(self._assignment)
+
+
+def build_uniform_partition(config: SystemConfig, initial_value: Value = 0):
+    """Create per-server item dictionaries and the matching shard map.
+
+    Items are named ``item-00000000`` ... and assigned round-robin-free:
+    server ``i`` owns the contiguous range
+    ``[i * items_per_shard, (i+1) * items_per_shard)``, mirroring the paper's
+    setup of one shard of ``items_per_shard`` items per server.
+
+    Returns ``(per_server_items, shard_map)``.
+    """
+    per_server: Dict[ServerId, Dict[ItemId, Value]] = {}
+    assignment: Dict[ItemId, ServerId] = {}
+    for server_index, server_id in enumerate(config.server_ids):
+        items = {}
+        base = server_index * config.items_per_shard
+        for offset in range(config.items_per_shard):
+            item_id = make_item_id(base + offset)
+            items[item_id] = initial_value
+            assignment[item_id] = server_id
+        per_server[server_id] = items
+    return per_server, ShardMap(assignment)

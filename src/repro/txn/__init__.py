@@ -1,0 +1,23 @@
+"""Transactions: operations, read/write sets, and concurrency control.
+
+The structures here mirror Table 1 of the paper: a transaction is identified
+by its client-assigned commit timestamp and carries a read set of
+``<id : value, rts, wts>`` entries and a write set of
+``<id : new_val, old_val, rts, wts>`` entries.
+"""
+
+from repro.txn.operations import Operation, ReadOp, WriteOp
+from repro.txn.transaction import ReadSetEntry, Transaction, WriteSetEntry
+from repro.txn.occ import ConflictKind, OccValidator, ValidationOutcome
+
+__all__ = [
+    "ConflictKind",
+    "OccValidator",
+    "Operation",
+    "ReadOp",
+    "ReadSetEntry",
+    "Transaction",
+    "ValidationOutcome",
+    "WriteOp",
+    "WriteSetEntry",
+]

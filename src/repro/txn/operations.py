@@ -1,0 +1,54 @@
+"""Read and write operations issued by clients.
+
+Clients interact with the data "via transactions consisting of read and write
+operations" (Section 3.1).  Operations are what the workload generator
+produces and what a :class:`~repro.client.session.TransactionSession` turns
+into per-server read/write requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.common.types import ItemId, Value
+
+
+@dataclass(frozen=True)
+class ReadOp:
+    """Read the current value of ``item_id``."""
+
+    item_id: ItemId
+
+    @property
+    def is_read(self) -> bool:
+        return True
+
+    @property
+    def is_write(self) -> bool:
+        return False
+
+    def to_wire(self):
+        return {"op": "read", "item_id": self.item_id}
+
+
+@dataclass(frozen=True)
+class WriteOp:
+    """Write ``value`` to ``item_id``."""
+
+    item_id: ItemId
+    value: Value
+
+    @property
+    def is_read(self) -> bool:
+        return False
+
+    @property
+    def is_write(self) -> bool:
+        return True
+
+    def to_wire(self):
+        return {"op": "write", "item_id": self.item_id, "value": self.value}
+
+
+Operation = Union[ReadOp, WriteOp]

@@ -1,0 +1,200 @@
+"""Transactions and their read / write sets.
+
+These structures carry exactly the per-transaction information that ends up
+inside a block (Table 1 of the paper):
+
+* the commit timestamp that identifies the transaction,
+* the read set: ``<id : value, rts, wts>`` for every item read,
+* the write set: ``<id : new_val, old_val, rts, wts>`` for every item
+  written (``old_val`` is only populated for blind writes -- items written
+  without being read first).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.common.timestamps import Timestamp
+from repro.common.types import ClientId, ItemId, TxnId, Value
+
+
+@dataclass(frozen=True)
+class ReadSetEntry:
+    """One read-set entry: the value observed and its timestamps at read time."""
+
+    item_id: ItemId
+    value: Value
+    rts: Timestamp
+    wts: Timestamp
+
+    def to_wire(self):
+        return {
+            "item_id": self.item_id,
+            "value": self.value,
+            "rts": self.rts.as_tuple(),
+            "wts": self.wts.as_tuple(),
+        }
+
+
+@dataclass(frozen=True)
+class WriteSetEntry:
+    """One write-set entry: the new value and, for blind writes, the old value."""
+
+    item_id: ItemId
+    new_value: Value
+    old_value: Value = None
+    rts: Timestamp = Timestamp.zero()
+    wts: Timestamp = Timestamp.zero()
+    blind: bool = False
+
+    def to_wire(self):
+        return {
+            "item_id": self.item_id,
+            "new_value": self.new_value,
+            "old_value": self.old_value,
+            "rts": self.rts.as_tuple(),
+            "wts": self.wts.as_tuple(),
+            "blind": self.blind,
+        }
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """A terminated (ready-to-commit) transaction.
+
+    This is the object a client sends to the coordinator in its
+    ``end_transaction`` request and the unit that TFCommit batches into
+    blocks.
+    """
+
+    txn_id: TxnId
+    client_id: ClientId
+    commit_ts: Timestamp
+    read_set: Sequence[ReadSetEntry] = field(default_factory=tuple)
+    write_set: Sequence[WriteSetEntry] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "read_set", tuple(self.read_set))
+        object.__setattr__(self, "write_set", tuple(self.write_set))
+
+    # -- derived views -------------------------------------------------------
+
+    def items_read(self) -> Set[ItemId]:
+        return {entry.item_id for entry in self.read_set}
+
+    def items_written(self) -> Set[ItemId]:
+        return {entry.item_id for entry in self.write_set}
+
+    def items_accessed(self) -> Set[ItemId]:
+        return self.items_read() | self.items_written()
+
+    def writes_as_dict(self) -> Dict[ItemId, Value]:
+        """``item_id -> new_value`` for every written item."""
+        return {entry.item_id: entry.new_value for entry in self.write_set}
+
+    def read_entry(self, item_id: ItemId) -> Optional[ReadSetEntry]:
+        for entry in self.read_set:
+            if entry.item_id == item_id:
+                return entry
+        return None
+
+    def write_entry(self, item_id: ItemId) -> Optional[WriteSetEntry]:
+        for entry in self.write_set:
+            if entry.item_id == item_id:
+                return entry
+        return None
+
+    def is_read_only(self) -> bool:
+        return not self.write_set
+
+    def conflicts_with(self, other: "Transaction") -> bool:
+        """True if the two transactions access a common item and at least one writes it.
+
+        Used by the coordinator's batch builder: only *non-conflicting*
+        transactions may share a block (Section 4.6).
+        """
+        mine_w = self.items_written()
+        theirs_w = other.items_written()
+        if mine_w & theirs_w:
+            return True
+        if mine_w & other.items_read():
+            return True
+        if theirs_w & self.items_read():
+            return True
+        return False
+
+    def to_wire(self):
+        return {
+            "txn_id": self.txn_id,
+            "client_id": self.client_id,
+            "commit_ts": self.commit_ts.as_tuple(),
+            "read_set": [entry.to_wire() for entry in self.read_set],
+            "write_set": [entry.to_wire() for entry in self.write_set],
+        }
+
+    def encoded(self) -> bytes:
+        """Canonical byte encoding of this transaction, cached per instance.
+
+        Transactions are immutable once terminated, and the same transaction
+        object is hashed repeatedly while its block moves through the
+        TFCommit phases; caching the encoding keeps block hashing linear in
+        the number of *new* transactions.  The encoding is a flat,
+        length-prefixed field list (cheaper than the generic nested-dict
+        encoding of :meth:`to_wire` while remaining unambiguous).
+        """
+        cached = getattr(self, "_encoded_cache", None)
+        if cached is None:
+            from repro.common.encoding import canonical_encode
+
+            parts = [
+                self.txn_id,
+                self.client_id,
+                self.commit_ts.counter,
+                self.commit_ts.client_id,
+                len(self.read_set),
+                len(self.write_set),
+            ]
+            for entry in self.read_set:
+                parts.extend(
+                    (
+                        entry.item_id,
+                        entry.value,
+                        entry.rts.counter,
+                        entry.rts.client_id,
+                        entry.wts.counter,
+                        entry.wts.client_id,
+                    )
+                )
+            for entry in self.write_set:
+                parts.extend(
+                    (
+                        entry.item_id,
+                        entry.new_value,
+                        entry.old_value,
+                        entry.blind,
+                        entry.rts.counter,
+                        entry.rts.client_id,
+                        entry.wts.counter,
+                        entry.wts.client_id,
+                    )
+                )
+            cached = canonical_encode(parts)
+            object.__setattr__(self, "_encoded_cache", cached)
+        return cached
+
+
+def partition_by_server(txn: Transaction, shard_map) -> Dict[str, Dict[str, list]]:
+    """Split a transaction's read/write sets by owning server.
+
+    Returns ``{server_id: {"reads": [...], "writes": [...]}}`` -- the shape
+    cohorts need when validating and applying their slice of a transaction.
+    """
+    per_server: Dict[str, Dict[str, list]] = {}
+    for entry in txn.read_set:
+        server = shard_map.server_for(entry.item_id)
+        per_server.setdefault(server, {"reads": [], "writes": []})["reads"].append(entry)
+    for entry in txn.write_set:
+        server = shard_map.server_for(entry.item_id)
+        per_server.setdefault(server, {"reads": [], "writes": []})["writes"].append(entry)
+    return per_server

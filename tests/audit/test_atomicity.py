@@ -1,0 +1,71 @@
+"""Lemma 5: atomicity violations (forked decisions) are detected in the audit."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.audit.violations import ViolationType
+from repro.ledger.block import BlockDecision
+from repro.txn.operations import ReadOp, WriteOp
+
+
+class TestAtomicityViolationDetection:
+    def _fork_last_block(self, system, server_id):
+        """Give ``server_id`` a conflicting last block (commit flipped to abort).
+
+        This models the state after a coordinator equivocation where the
+        servers in one group logged a block that the rest of the cluster never
+        co-signed (Figure 8): the forged copy cannot carry a valid collective
+        signature because the signature is bound to the other block.
+        """
+        log = system.server(server_id).log
+        height = len(log) - 1
+        original = log[height]
+        forked = replace(original, decision=BlockDecision.ABORT, roots={})
+        log.tamper_replace(height, forked)
+
+    def test_forked_decision_detected(self, small_system, workload_factory):
+        workload = workload_factory(small_system, ops_per_txn=2, seed=71)
+        small_system.run_workload(workload.generate(4))
+        self._fork_last_block(small_system, "s2")
+        report = small_system.audit()
+        assert not report.ok
+        atomicity = report.violations_of(ViolationType.ATOMICITY_VIOLATION)
+        assert atomicity, report.summary()
+        assert atomicity[0].culprits == ("s2",)
+        assert atomicity[0].block_height == 3
+
+    def test_majority_fork_still_detected(self, small_system, workload_factory):
+        """Even n-1 colluding servers cannot hide the fork from the auditor."""
+        workload = workload_factory(small_system, ops_per_txn=2, seed=72)
+        small_system.run_workload(workload.generate(3))
+        self._fork_last_block(small_system, "s1")
+        self._fork_last_block(small_system, "s2")
+        report = small_system.audit()
+        assert report.reference_log_server == "s0"
+        assert set(report.culprit_servers()) == {"s1", "s2"}
+
+    def test_malformed_commit_block_detected(self, small_system):
+        """A commit block missing an involved server's root is flagged (Section 4.3.2).
+
+        Such a block can only end up in the replicated log if every server
+        colluded in signing it, so the structural check is exercised directly
+        on the reference log replay rather than via co-sign verification.
+        """
+        from repro.audit.report import AuditReport
+        from repro.ledger.log import TransactionLog
+
+        item = small_system.shard_map.items_of("s1")[0]
+        assert small_system.run_transaction([ReadOp(item), WriteOp(item, 1)]).committed
+        honest_block = small_system.server("s0").log[0]
+        malformed = replace(honest_block, roots={})
+        reference = TransactionLog([malformed])
+
+        auditor = small_system.auditor()
+        report = AuditReport()
+        auditor.check_transactions(reference, report)
+        malformed_violations = report.violations_of(ViolationType.MALFORMED_BLOCK)
+        assert malformed_violations
+        assert "s1" in malformed_violations[0].culprits

@@ -1,0 +1,64 @@
+"""Audits of honest executions must come back clean (verifiable ACID, Theorem 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.audit.violations import ViolationType
+from repro.txn.operations import ReadOp, WriteOp
+
+
+class TestHonestAudit:
+    def test_empty_history_audits_clean(self, small_system):
+        report = small_system.audit()
+        assert report.ok
+        assert report.blocks_audited == 0
+
+    def test_honest_workload_audits_clean(self, small_system, workload_factory):
+        workload = workload_factory(small_system, ops_per_txn=2, seed=21)
+        small_system.run_workload(workload.generate(6))
+        report = small_system.audit()
+        assert report.ok, report.summary()
+        assert report.blocks_audited == 6
+        assert report.transactions_audited == 6
+        assert report.culprit_servers() == ()
+
+    def test_honest_batched_workload_audits_clean(self, batched_system, workload_factory):
+        workload = workload_factory(batched_system, ops_per_txn=2, window=4, seed=22)
+        batched_system.run_workload(workload.generate(8))
+        report = batched_system.audit()
+        assert report.ok, report.summary()
+        assert report.blocks_audited == 2
+        assert report.transactions_audited == 8
+
+    def test_exhaustive_datastore_audit_of_honest_run(self, small_system, workload_factory):
+        workload = workload_factory(small_system, ops_per_txn=2, seed=23)
+        small_system.run_workload(workload.generate(4))
+        report = small_system.auditor().run_audit(datastore_mode="all")
+        assert report.ok, report.summary()
+
+    def test_aborted_transactions_do_not_trip_the_audit(self, small_system):
+        item = small_system.shard_map.all_items()[0]
+        small_system.run_transaction([ReadOp(item), WriteOp(item, 1)])
+        client = small_system.client(1)
+        session = client.begin()
+        client.read(session, item)
+        small_system.run_transaction([ReadOp(item), WriteOp(item, 2)])
+        assert client.commit(session).status == "aborted"
+        report = small_system.audit()
+        assert report.ok, report.summary()
+
+    def test_report_summary_mentions_reference_log(self, small_system, workload_factory):
+        workload = workload_factory(small_system, ops_per_txn=2, seed=24)
+        small_system.run_workload(workload.generate(3))
+        report = small_system.audit()
+        summary = report.summary()
+        assert "reference log" in summary
+        assert "violations: 0" in summary
+
+    def test_report_queries(self, small_system, workload_factory):
+        workload = workload_factory(small_system, ops_per_txn=2, seed=25)
+        small_system.run_workload(workload.generate(2))
+        report = small_system.audit()
+        assert report.violations_of(ViolationType.INCORRECT_READ) == []
+        assert report.first_violation_height() is None

@@ -1,0 +1,70 @@
+"""Lemma 2 / Scenario 3: datastore corruption is detected via MHT authentication."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.audit.violations import ViolationType
+from repro.server.faults import DatastoreCorruptionFault
+from repro.txn.operations import ReadOp, WriteOp
+
+
+def committed_item_on(system, server_id):
+    """Return an (item, block_height) pair for a write committed on ``server_id``."""
+    for block in reversed(system.server(server_id).log.blocks):
+        if not block.is_commit:
+            continue
+        for txn in block.transactions:
+            for entry in txn.write_set:
+                if system.shard_map.server_for(entry.item_id) == server_id:
+                    return entry.item_id, block.height
+    raise AssertionError(f"no committed write found on {server_id}")
+
+
+class TestDatastoreCorruptionDetection:
+    def test_direct_corruption_detected_and_attributed(self, small_system, workload_factory):
+        workload = workload_factory(small_system, ops_per_txn=2, seed=31)
+        small_system.run_workload(workload.generate(5))
+        item, height = committed_item_on(small_system, "s1")
+        small_system.server("s1").store.corrupt(item, 424242)
+        report = small_system.audit()
+        assert not report.ok
+        violations = report.violations_of(ViolationType.DATASTORE_CORRUPTION)
+        assert violations
+        assert all(v.culprits == ("s1",) for v in violations)
+        assert any(v.item_id == item for v in violations)
+
+    def test_fault_policy_corruption_detected(self, small_system):
+        item = small_system.shard_map.items_of("s2")[0]
+        small_system.inject_fault(
+            "s2", DatastoreCorruptionFault(corruptions={item: -999})
+        )
+        assert small_system.run_transaction([ReadOp(item), WriteOp(item, 7)]).committed
+        report = small_system.audit()
+        assert not report.ok
+        assert "s2" in report.culprit_servers()
+
+    def test_exhaustive_audit_pinpoints_corruption_version(self, small_system):
+        """Multi-versioned policy: the precise corrupted version is identified."""
+        item = small_system.shard_map.items_of("s1")[0]
+        small_system.run_transaction([ReadOp(item), WriteOp(item, 1)])
+        small_system.run_transaction([ReadOp(item), WriteOp(item, 2)])
+        small_system.run_transaction([ReadOp(item), WriteOp(item, 3)])
+        # Corrupt the *latest* stored version; earlier versions stay intact.
+        small_system.server("s1").store.corrupt(item, 666)
+        auditor = small_system.auditor()
+        logs = auditor.collect_logs()
+        from repro.audit.report import AuditReport
+
+        report = AuditReport()
+        reference = auditor.check_logs(logs, report)
+        corrupted_height = auditor.find_corruption_version("s1", reference)
+        assert corrupted_height == 2  # the block whose version no longer authenticates
+
+    def test_other_servers_stay_clean(self, small_system, workload_factory):
+        workload = workload_factory(small_system, ops_per_txn=2, seed=32)
+        small_system.run_workload(workload.generate(5))
+        item, _ = committed_item_on(small_system, "s1")
+        small_system.server("s1").store.corrupt(item, 31337)
+        report = small_system.audit()
+        assert report.culprit_servers() == ("s1",)

@@ -1,0 +1,70 @@
+"""Lemma 6: tampered or reordered log copies are detected and attributed."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.audit.violations import ViolationType
+from repro.server.faults import LogTamperFault
+from repro.txn.operations import ReadOp, WriteOp
+
+
+def run_some_history(system, workload_factory, count=5, seed=51):
+    workload = workload_factory(system, ops_per_txn=2, seed=seed)
+    result = system.run_workload(workload.generate(count))
+    assert result.committed == count
+
+
+class TestLogTamperingDetection:
+    def test_value_tampering_detected(self, small_system, workload_factory):
+        run_some_history(small_system, workload_factory)
+        log = small_system.server("s1").log
+        block = log[2]
+        txn = block.transactions[0]
+        forged_entry = replace(txn.write_set[0], new_value="__forged__")
+        forged_txn = replace(txn, write_set=(forged_entry,))
+        log.tamper_replace(2, replace(block, transactions=(forged_txn,)))
+
+        report = small_system.audit()
+        assert not report.ok
+        tampered = report.violations_of(ViolationType.LOG_TAMPERED)
+        assert tampered
+        assert tampered[0].culprits == ("s1",)
+        assert tampered[0].block_height == 2
+        # The reference log still comes from a correct server.
+        assert report.reference_log_server in ("s0", "s2")
+        assert report.reference_log_length == 5
+
+    def test_reordering_detected(self, small_system, workload_factory):
+        run_some_history(small_system, workload_factory)
+        small_system.server("s2").log.tamper_reorder(1, 3)
+        report = small_system.audit()
+        assert not report.ok
+        assert any(
+            v.kind is ViolationType.LOG_TAMPERED and "s2" in v.culprits
+            for v in report.violations
+        )
+
+    def test_fault_policy_tampering_detected(self, small_system, workload_factory):
+        run_some_history(small_system, workload_factory, count=3, seed=52)
+        small_system.inject_fault("s1", LogTamperFault(target_height=1))
+        # The fault rewrites history right after the next block is appended.
+        item = small_system.shard_map.items_of("s0")[0]
+        assert small_system.run_transaction([ReadOp(item), WriteOp(item, 5)]).committed
+        report = small_system.audit()
+        assert not report.ok
+        assert "s1" in report.culprit_servers()
+
+    def test_all_but_one_server_tampered_still_detected(self, small_system, workload_factory):
+        """n-1 faulty servers: the single correct copy is found and the rest exposed."""
+        run_some_history(small_system, workload_factory, count=4, seed=53)
+        small_system.server("s1").log.tamper_reorder(0, 1)
+        small_system.server("s2").log.truncate(1)
+        report = small_system.audit()
+        assert report.reference_log_server == "s0"
+        assert report.reference_log_length == 4
+        assert "s1" in report.culprit_servers()
+        assert "s2" in report.culprit_servers()
+        assert "s0" not in report.culprit_servers()

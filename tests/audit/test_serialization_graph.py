@@ -1,0 +1,65 @@
+"""Tests for the serialization graph (Lemma 3 support)."""
+
+from __future__ import annotations
+
+from repro.audit.serialization_graph import SerializationGraph
+from repro.common.timestamps import Timestamp
+from repro.txn.transaction import ReadSetEntry, Transaction, WriteSetEntry
+
+
+def make_txn(txn_id, counter, reads=(), writes=()):
+    zero = Timestamp.zero()
+    return Transaction(
+        txn_id=txn_id,
+        client_id="c0",
+        commit_ts=Timestamp(counter, "c0"),
+        read_set=[ReadSetEntry(i, 0, zero, zero) for i in reads],
+        write_set=[WriteSetEntry(i, 1) for i in writes],
+    )
+
+
+class TestSerializationGraph:
+    def test_conflicting_transactions_get_an_edge(self):
+        t1 = make_txn("t1", 1, writes=["x"])
+        t2 = make_txn("t2", 2, reads=["x"])
+        graph = SerializationGraph.from_transactions([t1, t2])
+        assert "t2" in graph.successors("t1")
+        assert graph.is_serializable()
+
+    def test_independent_transactions_have_no_edges(self):
+        t1 = make_txn("t1", 1, writes=["x"])
+        t2 = make_txn("t2", 2, writes=["y"])
+        graph = SerializationGraph.from_transactions([t1, t2])
+        assert graph.edge_count == 0
+
+    def test_timestamp_ordered_history_is_acyclic(self):
+        txns = [make_txn(f"t{i}", i + 1, reads=["x"], writes=["x"]) for i in range(5)]
+        graph = SerializationGraph.from_transactions(txns)
+        assert graph.is_serializable()
+        assert graph.find_cycle() is None
+
+    def test_manual_cycle_detected(self):
+        graph = SerializationGraph()
+        for name in ("a", "b", "c"):
+            graph.add_transaction(make_txn(name, 1))
+        graph.add_edge("a", "b")
+        graph.add_edge("b", "c")
+        graph.add_edge("c", "a")
+        cycle = graph.find_cycle()
+        assert cycle is not None
+        assert not graph.is_serializable()
+        assert set(cycle) >= {"a", "b", "c"}
+
+    def test_self_loop_detected(self):
+        graph = SerializationGraph()
+        graph.add_transaction(make_txn("a", 1))
+        graph.add_edge("a", "a")
+        assert not graph.is_serializable()
+
+    def test_node_and_edge_counts(self):
+        t1 = make_txn("t1", 1, writes=["x"])
+        t2 = make_txn("t2", 2, reads=["x"], writes=["y"])
+        t3 = make_txn("t3", 3, reads=["y"])
+        graph = SerializationGraph.from_transactions([t1, t2, t3])
+        assert graph.node_count == 3
+        assert graph.edge_count == 2

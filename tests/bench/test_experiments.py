@@ -1,0 +1,64 @@
+"""Smoke tests for the figure sweeps at very small sizes.
+
+The full-shape assertions live in ``benchmarks/``; here we only check that
+each sweep runs, produces one row per parameter point, and exposes the
+columns the reporting layer expects.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import (
+    EXPERIMENT_REGISTRY,
+    ablation_signing_scheme,
+    figure12_2pc_vs_tfcommit,
+    figure13_txns_per_block,
+    figure14_number_of_servers,
+    figure15_items_per_shard,
+)
+
+
+class TestFigureSweeps:
+    def test_figure12_rows(self):
+        rows = figure12_2pc_vs_tfcommit(server_counts=(3,), num_requests=3, items_per_shard=60)
+        assert len(rows) == 2  # one per protocol
+        assert {row["protocol"] for row in rows} == {"2pc", "tfcommit"}
+
+    def test_figure13_rows(self):
+        rows = figure13_txns_per_block(batch_sizes=(2, 4), num_requests=8, items_per_shard=120)
+        assert [row["txns/block"] for row in rows] == [2, 4]
+        assert all(row["committed"] == 8 for row in rows)
+
+    def test_figure14_rows(self):
+        rows = figure14_number_of_servers(
+            server_counts=(3, 4), num_requests=4, items_per_shard=60, txns_per_block=2
+        )
+        assert [row["servers"] for row in rows] == [3, 4]
+
+    def test_figure15_rows(self):
+        rows = figure15_items_per_shard(shard_sizes=(50, 100), num_requests=4, txns_per_block=2)
+        assert [row["items/shard"] for row in rows] == [50, 100]
+
+    def test_ablation_signing_scheme_rows(self):
+        rows = ablation_signing_scheme(num_requests=2)
+        assert len(rows) == 2
+
+    def test_registry_covers_every_figure(self):
+        assert {"figure12", "figure13", "figure14", "figure15"} <= set(EXPERIMENT_REGISTRY)
+
+
+class TestCli:
+    def test_list_option(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["--list"]) == 0
+        captured = capsys.readouterr()
+        assert "figure12" in captured.out
+
+    def test_run_tiny_experiment(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["ablation-signing", "--requests", "2", "--csv"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.splitlines()[0].startswith("label,")

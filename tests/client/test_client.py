@@ -1,0 +1,105 @@
+"""Tests for the client run-time library (transaction life-cycle of Figure 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.timestamps import Timestamp
+from repro.txn.operations import ReadOp, WriteOp
+
+
+class TestClientLifecycle:
+    def test_read_your_own_cluster_values(self, small_system):
+        client = small_system.client(0)
+        session = client.begin()
+        item = small_system.shard_map.all_items()[0]
+        assert client.read(session, item) == 0
+
+    def test_commit_returns_verified_outcome(self, small_system):
+        client = small_system.client(0)
+        session = client.begin()
+        item = small_system.shard_map.all_items()[0]
+        client.read(session, item)
+        client.write(session, item, 42)
+        outcome = client.commit(session)
+        assert outcome.committed
+        assert outcome.cosign_verified
+        assert outcome.block_height == 0
+
+    def test_committed_value_visible_to_next_transaction(self, small_system):
+        item = small_system.shard_map.all_items()[0]
+        small_system.run_transaction([ReadOp(item), WriteOp(item, 42)])
+        outcome = small_system.run_transaction([ReadOp(item)])
+        assert outcome.committed
+        client = small_system.client(0)
+        session = client.begin()
+        assert client.read(session, item) == 42
+
+    def test_clock_advances_past_observed_timestamps(self, small_system):
+        item = small_system.shard_map.all_items()[0]
+        small_system.run_transaction([WriteOp(item, 1)])
+        client = small_system.client(0)
+        session = client.begin()
+        client.read(session, item)
+        before = client.clock.current()
+        outcome = client.commit(session)
+        assert outcome.committed
+        assert client.clock.current() > before
+
+    def test_sessions_have_unique_txn_ids(self, small_system):
+        client = small_system.client(0)
+        assert client.begin().txn_id != client.begin().txn_id
+
+    def test_two_clients_have_distinct_identities(self, small_system):
+        assert small_system.client(0).client_id != small_system.client(1).client_id
+
+    def test_blind_write_records_old_value(self, small_system):
+        client = small_system.client(0)
+        session = client.begin()
+        item = small_system.shard_map.all_items()[0]
+        client.write(session, item, 77)
+        txn = session.build_transaction(Timestamp(50, client.client_id))
+        entry = txn.write_entry(item)
+        assert entry.blind
+        assert entry.old_value == 0
+
+    def test_read_then_write_is_not_blind(self, small_system):
+        client = small_system.client(0)
+        session = client.begin()
+        item = small_system.shard_map.all_items()[0]
+        client.read(session, item)
+        client.write(session, item, 77)
+        txn = session.build_transaction(Timestamp(50, client.client_id))
+        entry = txn.write_entry(item)
+        assert not entry.blind
+        assert entry.old_value is None
+
+    def test_queued_outcome_with_batching(self, batched_system):
+        client = batched_system.client(0)
+        session = client.begin()
+        item = batched_system.shard_map.all_items()[0]
+        client.write(session, item, 5)
+        outcome = client.commit(session)
+        assert outcome.pending
+        flushed = batched_system.flush()
+        resolved = client.interpret_outcome(outcome.txn_id, flushed)
+        assert resolved.committed
+
+
+class TestSession:
+    def test_session_cannot_be_reused_after_commit(self, small_system):
+        client = small_system.client(0)
+        session = client.begin()
+        item = small_system.shard_map.all_items()[0]
+        client.write(session, item, 1)
+        client.commit(session)
+        with pytest.raises(Exception):
+            client.read(session, item)
+
+    def test_observed_timestamps_cover_reads_and_writes(self, small_system):
+        client = small_system.client(0)
+        session = client.begin()
+        items = small_system.shard_map.all_items()
+        client.read(session, items[0])
+        client.write(session, items[1], 9)
+        assert len(session.observed_timestamps()) == 4

@@ -1,0 +1,92 @@
+"""Tests for the canonical byte encoding."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.encoding import canonical_encode
+
+
+class TestCanonicalEncodeBasics:
+    def test_none_true_false_are_distinct(self):
+        assert canonical_encode(None) != canonical_encode(False)
+        assert canonical_encode(True) != canonical_encode(False)
+
+    def test_int_and_str_with_same_repr_differ(self):
+        assert canonical_encode(42) != canonical_encode("42")
+
+    def test_bytes_and_str_differ(self):
+        assert canonical_encode(b"abc") != canonical_encode("abc")
+
+    def test_float_and_int_differ(self):
+        assert canonical_encode(1.0) != canonical_encode(1)
+
+    def test_dict_order_does_not_matter(self):
+        first = canonical_encode({"a": 1, "b": 2, "c": [3, 4]})
+        second = canonical_encode({"c": [3, 4], "b": 2, "a": 1})
+        assert first == second
+
+    def test_nested_structures(self):
+        value = {"k": [1, "two", {"three": 3.0}], "empty": [], "n": None}
+        assert canonical_encode(value) == canonical_encode(dict(value))
+
+    def test_list_vs_tuple_equal(self):
+        assert canonical_encode([1, 2, 3]) == canonical_encode((1, 2, 3))
+
+    def test_length_prefix_prevents_concatenation_ambiguity(self):
+        assert canonical_encode(["ab", "c"]) != canonical_encode(["a", "bc"])
+
+    def test_unsupported_type_raises(self):
+        class Opaque:
+            pass
+
+        with pytest.raises(TypeError):
+            canonical_encode(Opaque())
+
+    def test_to_wire_objects_are_encoded(self):
+        class Wired:
+            def to_wire(self):
+                return {"x": 1}
+
+        assert canonical_encode(Wired()) == canonical_encode({"x": 1})
+
+
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**70), max_value=2**70),
+    st.text(max_size=30),
+    st.binary(max_size=30),
+)
+_values = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.dictionaries(st.text(max_size=8), children, max_size=5),
+    ),
+    max_leaves=20,
+)
+
+
+class TestCanonicalEncodeProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(_values)
+    def test_encoding_is_deterministic(self, value):
+        assert canonical_encode(value) == canonical_encode(value)
+
+    @settings(max_examples=60, deadline=None)
+    @given(_values, _values)
+    def test_distinct_scalars_lists_rarely_collide(self, left, right):
+        # canonical_encode must be injective on the supported value domain
+        # (ignoring list/tuple equivalence); a collision would let a malicious
+        # server forge two different blocks with the same digest.
+        if left != right:
+            assert canonical_encode(left) != canonical_encode(right)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.dictionaries(st.text(max_size=6), st.integers(), max_size=6))
+    def test_dict_insertion_order_irrelevant(self, mapping):
+        reordered = dict(reversed(list(mapping.items())))
+        assert canonical_encode(mapping) == canonical_encode(reordered)

@@ -1,0 +1,83 @@
+"""Shared fixtures for the test suite.
+
+The fixtures build small clusters (few servers, few items) so the whole suite
+runs quickly; the paper-scale parameters are exercised by the benchmark
+harness instead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import SystemConfig
+from repro.core.fides import FidesSystem
+from repro.crypto.keys import keypair_for
+from repro.net.latency import ConstantLatency
+from repro.workload.ycsb import YcsbWorkload
+
+
+@pytest.fixture
+def small_config() -> SystemConfig:
+    """Three servers, forty items each, one transaction per block."""
+    return SystemConfig(
+        num_servers=3,
+        items_per_shard=40,
+        txns_per_block=1,
+        ops_per_txn=2,
+        multi_versioned=True,
+        message_signing="schnorr",
+        seed=7,
+    )
+
+
+@pytest.fixture
+def batched_config() -> SystemConfig:
+    """Three servers with four transactions batched per block."""
+    return SystemConfig(
+        num_servers=3,
+        items_per_shard=60,
+        txns_per_block=4,
+        ops_per_txn=2,
+        multi_versioned=True,
+        message_signing="hash",
+        seed=11,
+    )
+
+
+@pytest.fixture
+def small_system(small_config) -> FidesSystem:
+    """A ready-to-use TFCommit deployment on the small config."""
+    return FidesSystem(small_config, latency=ConstantLatency(0.0002))
+
+
+@pytest.fixture
+def batched_system(batched_config) -> FidesSystem:
+    """A ready-to-use TFCommit deployment with batching enabled."""
+    return FidesSystem(batched_config, latency=ConstantLatency(0.0002))
+
+
+@pytest.fixture
+def twopc_system(small_config) -> FidesSystem:
+    """A 2PC baseline deployment on the small config."""
+    return FidesSystem(small_config, protocol="2pc", latency=ConstantLatency(0.0002))
+
+
+@pytest.fixture
+def workload_factory():
+    """Factory building conflict-free YCSB workloads for a given system."""
+
+    def build(system: FidesSystem, ops_per_txn: int = 2, window: int = 0, seed: int = 3):
+        return YcsbWorkload(
+            item_ids=system.shard_map.all_items(),
+            ops_per_txn=ops_per_txn,
+            conflict_free_window=window,
+            seed=seed,
+        )
+
+    return build
+
+
+@pytest.fixture
+def server_keypairs():
+    """Deterministic key pairs for five named servers."""
+    return {f"s{i}": keypair_for(f"s{i}", seed=99) for i in range(5)}

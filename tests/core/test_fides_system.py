@@ -1,0 +1,60 @@
+"""Tests for the FidesSystem assembly facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import SystemConfig
+from repro.common.errors import ConfigurationError
+from repro.core.fides import FidesSystem
+from repro.txn.operations import WriteOp
+
+
+class TestFidesSystemConstruction:
+    def test_unknown_protocol_rejected(self, small_config):
+        with pytest.raises(ConfigurationError):
+            FidesSystem(small_config, protocol="3pc")
+
+    def test_builds_one_server_per_shard(self, small_system, small_config):
+        assert len(small_system.servers) == small_config.num_servers
+        for server_id in small_system.server_ids:
+            assert len(small_system.server(server_id).store) == small_config.items_per_shard
+
+    def test_coordinator_is_first_server(self, small_system):
+        assert small_system.coordinator_id == "s0"
+        assert small_system.server("s0").coordinator_role is small_system.coordinator
+
+    def test_clients_are_cached_by_index(self, small_system):
+        assert small_system.client(0) is small_system.client(0)
+        assert small_system.client(0) is not small_system.client(1)
+
+    def test_repr_mentions_protocol(self, small_system):
+        assert "tfcommit" in repr(small_system)
+
+
+class TestWorkloadExecution:
+    def test_run_workload_commits_everything(self, small_system, workload_factory):
+        workload = workload_factory(small_system, ops_per_txn=2, seed=1)
+        result = small_system.run_workload(workload.generate(5))
+        assert result.committed == 5
+        assert result.aborted == 0
+        assert len(result.block_results) == 5
+
+    def test_collect_logs_returns_copies(self, small_system):
+        item = small_system.shard_map.all_items()[0]
+        small_system.run_transaction([WriteOp(item, 1)])
+        logs = small_system.collect_logs()
+        logs["s0"].truncate(0)
+        assert len(small_system.server("s0").log) == 1
+
+    def test_audit_of_honest_run_is_clean(self, small_system, workload_factory):
+        workload = workload_factory(small_system, ops_per_txn=2, seed=4)
+        small_system.run_workload(workload.generate(4))
+        report = small_system.audit()
+        assert report.ok
+        assert report.transactions_audited == 4
+
+    def test_log_heights_view(self, small_system):
+        item = small_system.shard_map.all_items()[0]
+        small_system.run_transaction([WriteOp(item, 1)])
+        assert set(small_system.log_heights().values()) == {1}

@@ -1,0 +1,75 @@
+"""TFCommit under injected malicious behaviour (Section 5 scenarios at the protocol level)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.server.faults import (
+    BadCosiFault,
+    EquivocatingCoordinatorFault,
+    FakeRootFault,
+)
+from repro.txn.operations import ReadOp, WriteOp
+
+
+class TestBadCosiValues:
+    def test_bad_response_is_detected_and_culprit_identified(self, small_system):
+        """Lemma 4: the coordinator pinpoints the server with bad crypto values."""
+        small_system.inject_fault("s2", BadCosiFault(corrupt_resp=True))
+        item = small_system.shard_map.items_of("s1")[0]
+        outcome = small_system.run_transaction([WriteOp(item, 9)])
+        assert outcome.status == "failed"
+        result = small_system.coordinator.results[-1]
+        assert result.status == "failed"
+        assert result.culprits == ["s2"]
+        # Nothing was committed anywhere.
+        assert all(height == 0 for height in small_system.log_heights().values())
+
+    def test_bad_commitment_still_yields_failed_round(self, small_system):
+        small_system.inject_fault("s1", BadCosiFault(corrupt_commit=True, corrupt_resp=False))
+        item = small_system.shard_map.items_of("s2")[0]
+        outcome = small_system.run_transaction([WriteOp(item, 9)])
+        assert outcome.status == "failed"
+        result = small_system.coordinator.results[-1]
+        assert "s1" in result.culprits
+
+
+class TestFakeRoot:
+    def test_benign_cohort_detects_fake_root(self, small_system):
+        """Scenario 2: the coordinator records a wrong MHT root for a benign server."""
+        small_system.inject_fault("s0", FakeRootFault(victim="s1"))
+        item = small_system.shard_map.items_of("s1")[0]
+        outcome = small_system.run_transaction([WriteOp(item, 9)])
+        assert outcome.status == "failed"
+        result = small_system.coordinator.results[-1]
+        assert result.refusals
+        assert any("different root" in r.get("reason", "") for r in result.refusals)
+        # The victim's datastore is untouched and nothing was logged.
+        assert small_system.server("s1").store.read(item).value == 0
+        assert all(height == 0 for height in small_system.log_heights().values())
+
+
+class TestEquivocatingCoordinator:
+    def test_correct_cohorts_refuse_mismatched_challenge(self, small_system):
+        """Lemma 5 / Figure 8, Case 1: the same challenge cannot cover two blocks."""
+        small_system.inject_fault("s0", EquivocatingCoordinatorFault())
+        item = small_system.shard_map.items_of("s1")[0]
+        outcome = small_system.run_transaction([WriteOp(item, 9)])
+        assert outcome.status == "failed"
+        result = small_system.coordinator.results[-1]
+        assert result.refusals
+        assert any("does not correspond" in r.get("reason", "") for r in result.refusals)
+        # Atomicity is preserved: no server applied the write or grew its log.
+        assert all(height == 0 for height in small_system.log_heights().values())
+        assert small_system.server("s1").store.read(item).value == 0
+
+    def test_cluster_recovers_after_coordinator_becomes_honest(self, small_system):
+        from repro.server.faults import HonestBehavior
+
+        small_system.inject_fault("s0", EquivocatingCoordinatorFault())
+        item = small_system.shard_map.items_of("s1")[0]
+        assert small_system.run_transaction([WriteOp(item, 9)]).status == "failed"
+        small_system.inject_fault("s0", HonestBehavior())
+        outcome = small_system.run_transaction([ReadOp(item), WriteOp(item, 10)])
+        assert outcome.committed
+        assert small_system.server("s1").store.read(item).value == 10

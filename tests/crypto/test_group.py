@@ -1,0 +1,101 @@
+"""Tests for the secp256k1 group arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.group import (
+    CURVE_ORDER,
+    GENERATOR,
+    INFINITY,
+    Point,
+    cached_scalar_multiply,
+    decompress_point,
+    double_scalar_multiply,
+    generator_multiply,
+    point_add,
+    scalar_multiply,
+)
+
+_scalars = st.integers(min_value=1, max_value=CURVE_ORDER - 1)
+
+
+class TestGroupLaw:
+    def test_generator_is_on_curve(self):
+        assert GENERATOR.is_on_curve()
+
+    def test_identity_element(self):
+        assert point_add(GENERATOR, INFINITY) == GENERATOR
+        assert point_add(INFINITY, GENERATOR) == GENERATOR
+
+    def test_inverse_sums_to_infinity(self):
+        assert point_add(GENERATOR, -GENERATOR) == INFINITY
+
+    def test_doubling_matches_scalar_two(self):
+        assert point_add(GENERATOR, GENERATOR) == scalar_multiply(2, GENERATOR)
+
+    def test_order_times_generator_is_infinity(self):
+        assert scalar_multiply(CURVE_ORDER, GENERATOR) == INFINITY
+
+    def test_zero_scalar(self):
+        assert scalar_multiply(0, GENERATOR) == INFINITY
+
+    @settings(max_examples=15, deadline=None)
+    @given(_scalars)
+    def test_generator_table_matches_plain_multiplication(self, scalar):
+        assert generator_multiply(scalar) == scalar_multiply(scalar, GENERATOR)
+
+    @settings(max_examples=10, deadline=None)
+    @given(_scalars)
+    def test_cached_multiply_matches_plain(self, scalar):
+        point = generator_multiply(12345)
+        assert cached_scalar_multiply(scalar, point) == scalar_multiply(scalar, point)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=1, max_value=2**64), st.integers(min_value=1, max_value=2**64))
+    def test_multiplication_distributes_over_addition(self, a, b):
+        left = scalar_multiply(a + b, GENERATOR)
+        right = point_add(scalar_multiply(a, GENERATOR), scalar_multiply(b, GENERATOR))
+        assert left == right
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=1, max_value=2**48), st.integers(min_value=1, max_value=2**48))
+    def test_double_scalar_multiply(self, a, b):
+        q = generator_multiply(999)
+        expected = point_add(scalar_multiply(a, GENERATOR), scalar_multiply(b, q))
+        assert double_scalar_multiply(a, GENERATOR, b, q) == expected
+
+    @settings(max_examples=10, deadline=None)
+    @given(_scalars)
+    def test_results_stay_on_curve(self, scalar):
+        assert scalar_multiply(scalar, GENERATOR).is_on_curve()
+
+
+class TestPointEncoding:
+    def test_compressed_roundtrip(self):
+        point = generator_multiply(987654321)
+        assert decompress_point(point.encode()) == point
+
+    def test_infinity_roundtrip(self):
+        assert decompress_point(INFINITY.encode()) == INFINITY
+
+    def test_malformed_prefix_rejected(self):
+        with pytest.raises(ValueError):
+            decompress_point(b"\x05" + b"\x00" * 32)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            decompress_point(b"\x02" + b"\x01" * 10)
+
+    def test_off_curve_x_rejected(self):
+        # x = 5 is not the abscissa of a curve point on secp256k1.
+        with pytest.raises(ValueError):
+            decompress_point(b"\x02" + (5).to_bytes(32, "big"))
+
+    @settings(max_examples=10, deadline=None)
+    @given(_scalars)
+    def test_roundtrip_preserves_parity_choice(self, scalar):
+        point = generator_multiply(scalar)
+        assert decompress_point(point.encode()) == point

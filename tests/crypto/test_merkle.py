@@ -1,0 +1,175 @@
+"""Tests for Merkle Hash Trees and Verification Objects (paper Section 2.3)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import StorageError
+from repro.crypto.merkle import MerkleTree, merkle_root_of, verify_inclusion
+
+
+def build_tree(count: int = 16):
+    return MerkleTree.from_items({f"item-{i:04d}": i for i in range(count)})
+
+
+class TestMerkleTreeBasics:
+    def test_root_is_deterministic(self):
+        assert build_tree().root == build_tree().root
+
+    def test_different_contents_different_roots(self):
+        tree_a = MerkleTree.from_items({"a": 1, "b": 2})
+        tree_b = MerkleTree.from_items({"a": 1, "b": 3})
+        assert tree_a.root != tree_b.root
+
+    def test_single_item_tree(self):
+        tree = MerkleTree.from_items({"only": 42})
+        proof = tree.verification_object("only")
+        assert verify_inclusion("only", 42, proof, tree.root)
+
+    def test_depth_grows_logarithmically(self):
+        assert build_tree(8).depth == 3
+        assert build_tree(9).depth == 4
+        assert build_tree(1000).depth == 10
+
+    def test_vo_size_matches_paper_log2_claim(self):
+        # Section 2.3: the verification object has size log2(n).
+        tree = build_tree(1024)
+        assert len(tree.verification_object("item-0000")) == 10
+
+    def test_contains_and_value_of(self):
+        tree = build_tree(4)
+        assert "item-0002" in tree
+        assert tree.value_of("item-0002") == 2
+        with pytest.raises(StorageError):
+            tree.value_of("missing")
+
+    def test_unknown_item_proof_raises(self):
+        with pytest.raises(StorageError):
+            build_tree(4).verification_object("missing")
+
+    def test_ordered_ids_must_match_items(self):
+        with pytest.raises(StorageError):
+            MerkleTree({"a": 1}, ordered_ids=["a", "b"])
+
+    def test_merkle_root_of_helper(self):
+        items = {"a": 1, "b": 2, "c": 3}
+        assert merkle_root_of(items) == MerkleTree.from_items(items).root
+
+
+class TestVerificationObjects:
+    def test_proof_verifies_for_every_leaf(self):
+        tree = build_tree(10)
+        for item_id in tree.item_ids():
+            proof = tree.verification_object(item_id)
+            assert verify_inclusion(item_id, tree.value_of(item_id), proof, tree.root)
+
+    def test_wrong_value_fails(self):
+        tree = build_tree(10)
+        proof = tree.verification_object("item-0003")
+        assert not verify_inclusion("item-0003", 999, proof, tree.root)
+
+    def test_wrong_item_id_fails(self):
+        tree = build_tree(10)
+        proof = tree.verification_object("item-0003")
+        assert not verify_inclusion("item-0004", 3, proof, tree.root)
+
+    def test_wrong_root_fails(self):
+        tree = build_tree(10)
+        proof = tree.verification_object("item-0003")
+        assert not verify_inclusion("item-0003", 3, proof, b"\x00" * 32)
+
+    def test_proof_from_other_leaf_fails(self):
+        tree = build_tree(10)
+        proof = tree.verification_object("item-0004")
+        assert not verify_inclusion("item-0003", 3, proof, tree.root)
+
+
+class TestIncrementalUpdates:
+    def test_update_changes_root(self):
+        tree = build_tree(16)
+        before = tree.root
+        tree.update("item-0005", 500)
+        assert tree.root != before
+        assert tree.value_of("item-0005") == 500
+
+    def test_update_matches_full_rebuild(self):
+        tree = build_tree(16)
+        tree.update("item-0005", 500)
+        tree.update("item-0011", -1)
+        rebuilt = MerkleTree.from_items(tree.snapshot())
+        assert tree.root == rebuilt.root
+
+    def test_update_returns_path_length(self):
+        tree = build_tree(1024)
+        assert tree.update("item-0000", 7) == tree.depth + 1
+
+    def test_update_many_accumulates_work(self):
+        tree = build_tree(64)
+        work = tree.update_many({"item-0001": 10, "item-0002": 20})
+        assert work == 2 * (tree.depth + 1)
+
+    def test_update_unknown_item_raises(self):
+        with pytest.raises(StorageError):
+            build_tree(4).update("missing", 1)
+
+    def test_rebuild_requires_same_ids(self):
+        tree = build_tree(4)
+        with pytest.raises(StorageError):
+            tree.rebuild({"other": 1})
+
+    def test_proofs_valid_after_updates(self):
+        tree = build_tree(32)
+        tree.update("item-0007", "new-value")
+        proof = tree.verification_object("item-0007")
+        assert verify_inclusion("item-0007", "new-value", proof, tree.root)
+        assert not verify_inclusion("item-0007", 7, proof, tree.root)
+
+
+_item_maps = st.dictionaries(
+    st.text(min_size=1, max_size=12),
+    st.one_of(st.integers(), st.text(max_size=10), st.none()),
+    min_size=1,
+    max_size=40,
+)
+
+
+class TestMerkleProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(_item_maps)
+    def test_every_proof_verifies(self, items):
+        tree = MerkleTree.from_items(items)
+        for item_id, value in items.items():
+            proof = tree.verification_object(item_id)
+            assert verify_inclusion(item_id, value, proof, tree.root)
+
+    @settings(max_examples=30, deadline=None)
+    @given(_item_maps, st.data())
+    def test_tampered_value_never_verifies(self, items, data):
+        tree = MerkleTree.from_items(items)
+        item_id = data.draw(st.sampled_from(sorted(items)))
+        proof = tree.verification_object(item_id)
+        wrong_value = data.draw(st.integers(min_value=10**6, max_value=10**7))
+        if items[item_id] != wrong_value:
+            assert not verify_inclusion(item_id, wrong_value, proof, tree.root)
+
+    @settings(max_examples=20, deadline=None)
+    @given(_item_maps, st.data())
+    def test_incremental_update_equals_rebuild(self, items, data):
+        tree = MerkleTree.from_items(items)
+        item_id = data.draw(st.sampled_from(sorted(items)))
+        new_value = data.draw(st.integers())
+        tree.update(item_id, new_value)
+        updated_items = dict(items)
+        updated_items[item_id] = new_value
+        assert tree.root == MerkleTree.from_items(updated_items).root
+
+    @settings(max_examples=20, deadline=None)
+    @given(_item_maps)
+    def test_depth_is_ceil_log2(self, items):
+        tree = MerkleTree.from_items(items)
+        expected = max(0, math.ceil(math.log2(len(items)))) if len(items) > 1 else 0
+        assert tree.depth == expected

@@ -1,0 +1,55 @@
+"""Tests for the pluggable per-message signing schemes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.crypto.keys import keypair_for
+from repro.crypto.signing import (
+    HashSigningScheme,
+    SchnorrSigningScheme,
+    make_signing_scheme,
+)
+
+
+@pytest.fixture(params=["schnorr", "hash"])
+def scheme(request):
+    return make_signing_scheme(request.param)
+
+
+@pytest.fixture
+def keypair():
+    return keypair_for("signer", seed=2)
+
+
+class TestSigningSchemes:
+    def test_sign_verify_roundtrip(self, scheme, keypair):
+        payload = {"type": "read", "item": "x", "nested": [1, 2, 3]}
+        signature = scheme.sign(keypair, payload)
+        assert scheme.verify(keypair.public, payload, signature)
+
+    def test_modified_payload_rejected(self, scheme, keypair):
+        signature = scheme.sign(keypair, {"v": 1})
+        assert not scheme.verify(keypair.public, {"v": 2}, signature)
+
+    def test_wrong_key_rejected(self, scheme, keypair):
+        other = keypair_for("other", seed=2)
+        signature = scheme.sign(keypair, {"v": 1})
+        assert not scheme.verify(other.public, {"v": 1}, signature)
+
+    def test_garbage_signature_rejected(self, scheme, keypair):
+        assert not scheme.verify(keypair.public, {"v": 1}, b"garbage")
+        assert not scheme.verify(keypair.public, {"v": 1}, 12345)
+
+    def test_factory_round_trip(self):
+        assert isinstance(make_signing_scheme("schnorr"), SchnorrSigningScheme)
+        assert isinstance(make_signing_scheme("hash"), HashSigningScheme)
+
+    def test_factory_unknown_scheme(self):
+        with pytest.raises(ConfigurationError):
+            make_signing_scheme("rsa")
+
+    def test_schnorr_signature_length(self, keypair):
+        scheme = SchnorrSigningScheme()
+        assert len(scheme.sign(keypair, "payload")) == 65

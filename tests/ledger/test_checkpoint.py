@@ -1,0 +1,135 @@
+"""Tests for auditable log checkpointing (Section 3.3 optimisation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.ledger.checkpoint import (
+    apply_checkpoint,
+    build_checkpoint,
+    cosign_checkpoint,
+    verify_checkpoint,
+    verify_log_against_checkpoint,
+)
+from repro.txn.operations import ReadOp, WriteOp
+
+
+@pytest.fixture
+def system_with_history(small_system, workload_factory):
+    workload = workload_factory(small_system, ops_per_txn=2, seed=81)
+    result = small_system.run_workload(workload.generate(6))
+    assert result.committed == 6
+    return small_system
+
+
+def make_signed_checkpoint(system):
+    log = system.server("s0").log
+    shard_roots = {sid: system.server(sid).store.merkle_root() for sid in system.server_ids}
+    checkpoint = build_checkpoint(log, shard_roots)
+    keypairs = {sid: system.server(sid).keypair for sid in system.server_ids}
+    return cosign_checkpoint(checkpoint, keypairs)
+
+
+class TestCheckpointConstruction:
+    def test_summary_covers_full_prefix(self, system_with_history):
+        checkpoint = make_signed_checkpoint(system_with_history)
+        assert checkpoint.height == 5
+        assert checkpoint.transactions_covered == 6
+        assert set(checkpoint.shard_roots) == set(system_with_history.server_ids)
+        assert checkpoint.head_hash == system_with_history.server("s0").log.head_hash
+
+    def test_cosign_verifies_with_all_server_keys(self, system_with_history):
+        checkpoint = make_signed_checkpoint(system_with_history)
+        public_keys = system_with_history.network.public_key_directory()
+        assert verify_checkpoint(checkpoint, public_keys)
+
+    def test_unsigned_checkpoint_does_not_verify(self, system_with_history):
+        log = system_with_history.server("s0").log
+        roots = {sid: b"\x00" * 32 for sid in system_with_history.server_ids}
+        unsigned = build_checkpoint(log, roots)
+        assert not verify_checkpoint(
+            unsigned, system_with_history.network.public_key_directory()
+        )
+
+    def test_empty_log_cannot_be_checkpointed(self, small_system):
+        from repro.ledger.log import TransactionLog
+
+        with pytest.raises(ValidationError):
+            build_checkpoint(TransactionLog(), {})
+
+    def test_digest_binds_roots(self, system_with_history):
+        checkpoint = make_signed_checkpoint(system_with_history)
+        altered = type(checkpoint)(
+            height=checkpoint.height,
+            head_hash=checkpoint.head_hash,
+            shard_roots={sid: b"\x00" * 32 for sid in checkpoint.shard_roots},
+            latest_commit_ts=checkpoint.latest_commit_ts,
+            transactions_covered=checkpoint.transactions_covered,
+            cosign=checkpoint.cosign,
+        )
+        assert not verify_checkpoint(
+            altered, system_with_history.network.public_key_directory()
+        )
+
+
+class TestCheckpointApplication:
+    def test_prefix_dropped_and_chain_still_verifies(self, system_with_history):
+        system = system_with_history
+        checkpoint = make_signed_checkpoint(system)
+        # Commit two more transactions after the checkpoint was taken.
+        item = system.shard_map.items_of("s1")[1]
+        assert system.run_transaction([ReadOp(item), WriteOp(item, 1)]).committed
+        assert system.run_transaction([ReadOp(item), WriteOp(item, 2)]).committed
+
+        log = system.server("s1").log
+        removed = apply_checkpoint(log, checkpoint)
+        assert removed == 6
+        assert len(log) == 2
+        public_keys = system.network.public_key_directory()
+        assert verify_log_against_checkpoint(log, checkpoint, public_keys)
+
+    def test_unsigned_checkpoint_rejected(self, system_with_history):
+        system = system_with_history
+        log = system.server("s0").log
+        roots = {sid: system.server(sid).store.merkle_root() for sid in system.server_ids}
+        unsigned = build_checkpoint(log, roots)
+        with pytest.raises(ValidationError):
+            apply_checkpoint(log, unsigned)
+
+    def test_checkpoint_from_foreign_history_rejected(self, system_with_history, small_config):
+        from repro.core.fides import FidesSystem
+        from repro.net.latency import ConstantLatency
+
+        other = FidesSystem(small_config.with_updates(seed=99), latency=ConstantLatency(0.0002))
+        item = other.shard_map.all_items()[0]
+        other.run_transaction([WriteOp(item, 1)])
+        foreign_checkpoint = make_signed_checkpoint(other)
+        with pytest.raises(ValidationError):
+            apply_checkpoint(system_with_history.server("s0").log, foreign_checkpoint)
+
+    def test_tampered_suffix_detected_against_checkpoint(self, system_with_history):
+        system = system_with_history
+        checkpoint = make_signed_checkpoint(system)
+        item = system.shard_map.items_of("s1")[1]
+        assert system.run_transaction([ReadOp(item), WriteOp(item, 1)]).committed
+        assert system.run_transaction([ReadOp(item), WriteOp(item, 2)]).committed
+        log = system.server("s2").log
+        apply_checkpoint(log, checkpoint)
+        public_keys = system.network.public_key_directory()
+        assert verify_log_against_checkpoint(log, checkpoint, public_keys)
+        # Dropping the first retained block breaks the chain onto the checkpoint.
+        log.drop_prefix(1)
+        assert not verify_log_against_checkpoint(log, checkpoint, public_keys)
+        # An empty suffix, by contrast, is perfectly valid.
+        log.drop_prefix(10)
+        assert verify_log_against_checkpoint(log, checkpoint, public_keys)
+
+
+class TestDropPrefix:
+    def test_drop_prefix_bounds(self, system_with_history):
+        log = system_with_history.server("s0").log.copy()
+        assert log.drop_prefix(0) == 0
+        assert log.drop_prefix(100) == 6
+        with pytest.raises(ValidationError):
+            log.drop_prefix(-1)

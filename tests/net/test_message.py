@@ -1,0 +1,44 @@
+"""Tests for message envelopes."""
+
+from __future__ import annotations
+
+from repro.net.message import Envelope, MessageType
+
+
+class TestEnvelope:
+    def test_signed_content_excludes_signature(self):
+        envelope = Envelope("a", "b", MessageType.READ, {"x": 1}, signature=b"sig")
+        content = envelope.signed_content()
+        assert "signature" not in content
+        assert content["sender"] == "a"
+        assert content["type"] == "read"
+
+    def test_with_signature_preserves_fields(self):
+        envelope = Envelope("a", "b", MessageType.WRITE, {"x": 1})
+        signed = envelope.with_signature(b"sig")
+        assert signed.signature == b"sig"
+        assert signed.payload == {"x": 1}
+        assert envelope.signature is None
+
+    def test_to_wire_shape(self):
+        wire = Envelope("a", "b", MessageType.VOTE, {"x": 1}, b"s").to_wire()
+        assert set(wire) == {"content", "signature"}
+
+    def test_message_types_cover_protocol_phases(self):
+        names = {mt.value for mt in MessageType}
+        for expected in (
+            "begin_transaction",
+            "read",
+            "write",
+            "end_transaction",
+            "get_vote",
+            "vote",
+            "challenge",
+            "response",
+            "decision",
+            "prepare",
+            "commit_decision",
+            "audit_log_request",
+            "audit_vo_request",
+        ):
+            assert expected in names

@@ -1,0 +1,98 @@
+"""Tests for the signed message bus."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigurationError, SignatureError
+from repro.crypto.keys import keypair_for
+from repro.net.message import Envelope, MessageType
+from repro.net.latency import ConstantLatency
+from repro.net.network import Network
+
+
+@pytest.fixture
+def network():
+    net = Network(latency=ConstantLatency(0.001))
+    received = []
+
+    def handler(envelope):
+        received.append(envelope)
+        return {"echo": envelope.payload, "type": envelope.message_type.value}
+
+    net.register("server", keypair_for("server"), handler)
+    net.register_observer("client", keypair_for("client"))
+    net.received = received
+    return net
+
+
+class TestDelivery:
+    def test_send_returns_handler_response(self, network):
+        response = network.send("client", "server", MessageType.READ, {"item": "x"})
+        assert response["echo"] == {"item": "x"}
+        assert response["type"] == "read"
+
+    def test_receiver_sees_verified_envelope(self, network):
+        network.send("client", "server", MessageType.READ, {"item": "x"})
+        envelope = network.received[0]
+        assert envelope.sender == "client"
+        assert network.verify_envelope(envelope)
+
+    def test_unknown_recipient_raises(self, network):
+        with pytest.raises(ConfigurationError):
+            network.send("client", "nobody", MessageType.READ, {})
+
+    def test_unknown_sender_raises(self, network):
+        with pytest.raises(ConfigurationError):
+            network.send("stranger", "server", MessageType.READ, {})
+
+    def test_broadcast_collects_all_responses(self, network):
+        network.register("server2", keypair_for("server2"), lambda env: {"ok": True})
+        responses = network.broadcast("client", ["server", "server2"], MessageType.READ, {})
+        assert set(responses) == {"server", "server2"}
+
+    def test_stats_accumulate(self, network):
+        network.send("client", "server", MessageType.READ, {})
+        network.send("client", "server", MessageType.WRITE, {})
+        assert network.stats.messages_sent == 2
+        assert network.stats.per_type == {"read": 1, "write": 1}
+        assert network.stats.simulated_delay == pytest.approx(0.002)
+
+
+class TestSignatures:
+    def test_forged_envelope_rejected(self, network):
+        # Sign one payload, then try to deliver a different payload with it.
+        honest = network.sign_envelope(
+            Envelope("client", "server", MessageType.READ, {"item": "x"})
+        )
+        forged = Envelope(
+            "client", "server", MessageType.READ, {"item": "y"}, signature=honest.signature
+        )
+        with pytest.raises(SignatureError):
+            network.send("client", "server", MessageType.READ, {"item": "y"}, presigned=forged)
+        assert network.stats.messages_rejected == 1
+
+    def test_unsigned_envelope_rejected(self, network):
+        bare = Envelope("client", "server", MessageType.READ, {"item": "x"})
+        with pytest.raises(SignatureError):
+            network.send("client", "server", MessageType.READ, {"item": "x"}, presigned=bare)
+
+    def test_impersonation_rejected(self, network):
+        # An envelope claiming to come from "server" but signed by "client".
+        network.register_observer("mallory", keypair_for("mallory"))
+        envelope = Envelope("server", "server", MessageType.READ, {"item": "x"})
+        scheme = network.signing_scheme
+        forged = envelope.with_signature(
+            scheme.sign(keypair_for("mallory"), envelope.signed_content())
+        )
+        with pytest.raises(SignatureError):
+            network.send("server", "server", MessageType.READ, {"item": "x"}, presigned=forged)
+
+    def test_public_key_directory(self, network):
+        directory = network.public_key_directory()
+        assert set(directory) == {"server", "client"}
+        assert network.public_key_of("server") == directory["server"]
+
+    def test_public_key_of_unknown(self, network):
+        with pytest.raises(ConfigurationError):
+            network.public_key_of("nobody")

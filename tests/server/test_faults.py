@@ -1,0 +1,70 @@
+"""Tests for the fault-injection policies."""
+
+from __future__ import annotations
+
+from repro.crypto.group import CURVE_ORDER, generator_multiply
+from repro.server.faults import (
+    BadCosiFault,
+    DatastoreCorruptionFault,
+    EquivocatingCoordinatorFault,
+    FakeRootFault,
+    HonestBehavior,
+    IsolationViolationFault,
+    LogTamperFault,
+    LogTruncationFault,
+    StaleReadFault,
+)
+
+
+class TestHonestBehavior:
+    def test_all_hooks_are_identity(self):
+        honest = HonestBehavior()
+        point = generator_multiply(7)
+        assert honest.corrupt_read_value("x", 5) == 5
+        assert honest.corrupt_commitment(point) == point
+        assert honest.corrupt_response(9) == 9
+        assert honest.corrupt_root(b"r") == b"r"
+        assert honest.skip_validation() is False
+        assert honest.equivocate() is False
+        assert honest.post_commit_corruption() == {}
+        assert honest.fake_root_for("s1", b"r") == b"r"
+        assert honest.drop_buffered_write("x") is False
+
+
+class TestFaultPolicies:
+    def test_stale_read_fault_trigger_after(self):
+        fault = StaleReadFault(target_item="x", wrong_value=0, trigger_after=1)
+        assert fault.corrupt_read_value("x", 10) == 10  # first read honest
+        assert fault.corrupt_read_value("x", 10) == 0  # second read lies
+        assert fault.corrupt_read_value("y", 7) == 7
+
+    def test_datastore_corruption_fires_once(self):
+        fault = DatastoreCorruptionFault(corruptions={"x": 666})
+        assert fault.post_commit_corruption() == {"x": 666}
+        assert fault.post_commit_corruption() == {}
+
+    def test_isolation_violation_skips_validation(self):
+        assert IsolationViolationFault().skip_validation() is True
+
+    def test_bad_cosi_response_corruption(self):
+        fault = BadCosiFault(corrupt_resp=True)
+        assert fault.corrupt_response(5) == 6 % CURVE_ORDER
+        assert fault.corrupt_commitment(generator_multiply(3)) == generator_multiply(3)
+
+    def test_bad_cosi_commitment_corruption(self):
+        fault = BadCosiFault(corrupt_commit=True, corrupt_resp=False)
+        assert fault.corrupt_commitment(generator_multiply(3)) != generator_multiply(3)
+        assert fault.corrupt_response(5) == 5
+
+    def test_equivocating_coordinator(self):
+        assert EquivocatingCoordinatorFault().equivocate() is True
+
+    def test_fake_root_only_for_victim(self):
+        fault = FakeRootFault(victim="s1", fake_root=b"\xaa" * 32)
+        assert fault.fake_root_for("s1", b"real") == b"\xaa" * 32
+        assert fault.fake_root_for("s2", b"real") == b"real"
+
+    def test_log_faults_have_names(self):
+        assert LogTamperFault().name == "log-tamper"
+        assert LogTruncationFault().name == "log-truncation"
+        assert StaleReadFault(target_item="x").name == "stale-read"

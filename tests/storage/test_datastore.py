@@ -1,0 +1,147 @@
+"""Tests for the per-shard datastore."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import StorageError
+from repro.common.timestamps import Timestamp
+from repro.crypto.merkle import MerkleTree, verify_inclusion
+from repro.storage.datastore import DataStore
+
+
+def make_store(count: int = 8, multi: bool = True):
+    return DataStore({f"item-{i}": 0 for i in range(count)}, multi_versioned=multi)
+
+
+class TestDataStoreReads:
+    def test_initial_read_has_zero_timestamps(self):
+        store = make_store()
+        result = store.read("item-3")
+        assert result.value == 0
+        assert result.rts == Timestamp.zero()
+        assert result.wts == Timestamp.zero()
+
+    def test_unknown_item_raises(self):
+        with pytest.raises(StorageError):
+            make_store().read("missing")
+
+    def test_len_and_contains(self):
+        store = make_store(5)
+        assert len(store) == 5
+        assert "item-0" in store and "item-9" not in store
+
+
+class TestDataStoreCommits:
+    def test_apply_commit_updates_values_and_timestamps(self):
+        store = make_store()
+        ts = Timestamp(5, "c")
+        store.apply_commit(ts, {"item-1": 11}, reads=["item-2"])
+        assert store.read("item-1").value == 11
+        assert store.read("item-1").wts == ts
+        assert store.read("item-2").rts == ts
+        assert store.read("item-2").value == 0
+
+    def test_apply_commit_unknown_item_rejected(self):
+        store = make_store()
+        with pytest.raises(StorageError):
+            store.apply_commit(Timestamp(1, "c"), {"missing": 1})
+
+    def test_commit_returns_mht_work(self):
+        store = make_store(16)
+        work = store.apply_commit(Timestamp(1, "c"), {"item-1": 1, "item-2": 2})
+        assert work > 0
+        assert store.mht_node_updates == work
+
+    def test_multi_versioned_history_readable(self):
+        store = make_store()
+        store.apply_commit(Timestamp(5, "c"), {"item-1": 11})
+        store.apply_commit(Timestamp(9, "c"), {"item-1": 22})
+        assert store.read_version("item-1", Timestamp(5, "c")).value == 11
+        assert store.read_version("item-1", Timestamp(9, "c")).value == 22
+
+    def test_single_versioned_store_rejects_history_proofs(self):
+        store = make_store(multi=False)
+        store.apply_commit(Timestamp(5, "c"), {"item-1": 11})
+        with pytest.raises(StorageError):
+            store.verification_object_at("item-1", Timestamp(5, "c"))
+
+    def test_rollback_restores_old_values(self):
+        store = make_store()
+        store.apply_commit(Timestamp(5, "c"), {"item-1": 11})
+        store.apply_commit(Timestamp(9, "c"), {"item-1": 22})
+        store.rollback_to(Timestamp(5, "c"))
+        assert store.read("item-1").value == 11
+
+
+class TestDataStoreMerkleIntegration:
+    def test_merkle_root_tracks_commits(self):
+        store = make_store()
+        before = store.merkle_root()
+        store.apply_commit(Timestamp(1, "c"), {"item-4": 44})
+        assert store.merkle_root() != before
+
+    def test_merkle_root_matches_snapshot_rebuild(self):
+        store = make_store()
+        store.apply_commit(Timestamp(1, "c"), {"item-4": 44, "item-5": 55})
+        assert store.merkle_root() == MerkleTree.from_items(store.snapshot()).root
+
+    def test_speculative_root_does_not_mutate(self):
+        store = make_store()
+        baseline = store.merkle_root()
+        root, work = store.speculative_root({"item-2": 99})
+        assert root != baseline
+        assert work > 0
+        assert store.merkle_root() == baseline
+        assert store.read("item-2").value == 0
+
+    def test_speculative_root_matches_actual_commit(self):
+        store = make_store()
+        speculative, _ = store.speculative_root({"item-2": 99})
+        store.apply_commit(Timestamp(1, "c"), {"item-2": 99})
+        assert store.merkle_root() == speculative
+
+    def test_speculative_root_unknown_item(self):
+        with pytest.raises(StorageError):
+            make_store().speculative_root({"missing": 1})
+
+    def test_verification_object_current(self):
+        store = make_store()
+        store.apply_commit(Timestamp(1, "c"), {"item-2": 99})
+        proof = store.verification_object("item-2")
+        assert verify_inclusion("item-2", 99, proof, store.merkle_root())
+
+    def test_verification_object_at_historical_version(self):
+        store = make_store()
+        store.apply_commit(Timestamp(5, "c"), {"item-2": 11})
+        store.apply_commit(Timestamp(9, "c"), {"item-2": 22})
+        proof, root = store.verification_object_at("item-2", Timestamp(5, "c"))
+        assert verify_inclusion("item-2", 11, proof, root)
+        assert not verify_inclusion("item-2", 22, proof, root)
+
+    def test_corrupt_breaks_authentication(self):
+        store = make_store()
+        store.apply_commit(Timestamp(5, "c"), {"item-2": 11})
+        committed_root = store.merkle_root()
+        store.corrupt("item-2", 666)
+        proof = store.verification_object("item-2")
+        # The corrupted value cannot authenticate against the root computed
+        # when the correct value was committed (Lemma 2's core argument).
+        assert not verify_inclusion("item-2", 666, proof, committed_root)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.dictionaries(
+            st.sampled_from([f"item-{i}" for i in range(8)]),
+            st.integers(min_value=-1000, max_value=1000),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    def test_speculative_and_real_roots_agree(self, writes):
+        store = make_store()
+        speculative, _ = store.speculative_root(writes)
+        store.apply_commit(Timestamp(1, "c"), writes)
+        assert store.merkle_root() == speculative

@@ -1,0 +1,70 @@
+"""Tests for versioned records."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import StorageError
+from repro.common.timestamps import Timestamp
+from repro.storage.record import RecordVersion, VersionedRecord
+
+
+def make_record():
+    zero = Timestamp.zero()
+    return VersionedRecord("x", [RecordVersion(value=0, wts=zero, rts=zero)])
+
+
+class TestVersionedRecord:
+    def test_latest_reflects_last_append(self):
+        record = make_record()
+        record.append_version(10, Timestamp(5, "c"))
+        assert record.value == 10
+        assert record.wts == Timestamp(5, "c")
+
+    def test_multi_versioned_keeps_history(self):
+        record = make_record()
+        record.append_version(10, Timestamp(5, "c"))
+        record.append_version(20, Timestamp(9, "c"))
+        assert record.version_count() == 3
+        assert record.version_at(Timestamp(5, "c")).value == 10
+        assert record.version_at(Timestamp(20, "c")).value == 20
+
+    def test_single_versioned_discards_history(self):
+        record = make_record()
+        record.append_version(10, Timestamp(5, "c"), multi_versioned=False)
+        record.append_version(20, Timestamp(9, "c"), multi_versioned=False)
+        assert record.version_count() == 1
+        assert record.value == 20
+
+    def test_record_read_advances_rts_monotonically(self):
+        record = make_record()
+        record.record_read(Timestamp(7, "c"))
+        assert record.rts == Timestamp(7, "c")
+        record.record_read(Timestamp(3, "c"))
+        assert record.rts == Timestamp(7, "c")
+
+    def test_version_at_before_first_raises(self):
+        record = VersionedRecord(
+            "x", [RecordVersion(value=1, wts=Timestamp(5, "c"), rts=Timestamp(5, "c"))]
+        )
+        with pytest.raises(StorageError):
+            record.version_at(Timestamp(1, "c"))
+
+    def test_rollback_removes_newer_versions(self):
+        record = make_record()
+        record.append_version(10, Timestamp(5, "c"))
+        record.append_version(20, Timestamp(9, "c"))
+        removed = record.rollback_to(Timestamp(5, "c"))
+        assert removed == 1
+        assert record.value == 10
+
+    def test_rollback_cannot_empty_record(self):
+        record = VersionedRecord(
+            "x", [RecordVersion(value=1, wts=Timestamp(5, "c"), rts=Timestamp(5, "c"))]
+        )
+        with pytest.raises(StorageError):
+            record.rollback_to(Timestamp(1, "c"))
+
+    def test_empty_record_latest_raises(self):
+        with pytest.raises(StorageError):
+            _ = VersionedRecord("x").latest

@@ -1,0 +1,54 @@
+"""Tests for shards and the shard map."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import SystemConfig
+from repro.common.errors import StorageError
+from repro.storage.datastore import DataStore
+from repro.storage.shard import Shard, ShardMap, build_uniform_partition
+
+
+class TestShardMap:
+    def test_uniform_partition_covers_all_items(self):
+        config = SystemConfig(num_servers=3, items_per_shard=10)
+        per_server, shard_map = build_uniform_partition(config)
+        assert len(shard_map) == 30
+        assert sorted(per_server) == ["s0", "s1", "s2"]
+        assert all(len(items) == 10 for items in per_server.values())
+
+    def test_partition_ranges_are_contiguous(self):
+        config = SystemConfig(num_servers=2, items_per_shard=3)
+        per_server, shard_map = build_uniform_partition(config)
+        assert sorted(per_server["s0"]) == ["item-00000000", "item-00000001", "item-00000002"]
+        assert shard_map.server_for("item-00000004") == "s1"
+
+    def test_items_of_round_trips(self):
+        config = SystemConfig(num_servers=2, items_per_shard=4)
+        per_server, shard_map = build_uniform_partition(config)
+        for server_id, items in per_server.items():
+            assert sorted(shard_map.items_of(server_id)) == sorted(items)
+
+    def test_servers_for_multiple_items(self):
+        config = SystemConfig(num_servers=3, items_per_shard=2)
+        _, shard_map = build_uniform_partition(config)
+        servers = shard_map.servers_for(["item-00000000", "item-00000005"])
+        assert servers == ["s0", "s2"]
+
+    def test_unknown_item_raises(self):
+        _, shard_map = build_uniform_partition(SystemConfig(num_servers=1, items_per_shard=1))
+        with pytest.raises(StorageError):
+            shard_map.server_for("missing")
+
+    def test_all_servers_sorted(self):
+        _, shard_map = build_uniform_partition(SystemConfig(num_servers=3, items_per_shard=1))
+        assert shard_map.all_servers() == ["s0", "s1", "s2"]
+
+
+class TestShard:
+    def test_shard_wraps_store(self):
+        store = DataStore({"a": 1, "b": 2})
+        shard = Shard(shard_id="shard-0", server_id="s0", store=store)
+        assert len(shard) == 2
+        assert "a" in shard and "z" not in shard

@@ -1,0 +1,61 @@
+"""Tests for key-choice distributions."""
+
+from __future__ import annotations
+
+import collections
+
+import pytest
+
+from repro.workload.distributions import UniformKeys, ZipfianKeys
+
+ITEMS = [f"item-{i}" for i in range(100)]
+
+
+class TestUniformKeys:
+    def test_samples_come_from_universe(self):
+        dist = UniformKeys(ITEMS, seed=1)
+        assert all(dist.sample() in ITEMS for _ in range(100))
+
+    def test_deterministic_per_seed(self):
+        a = [UniformKeys(ITEMS, seed=3).sample() for _ in range(20)]
+        b = [UniformKeys(ITEMS, seed=3).sample() for _ in range(20)]
+        assert a == b
+
+    def test_sample_distinct(self):
+        dist = UniformKeys(ITEMS, seed=1)
+        chosen = dist.sample_distinct(10)
+        assert len(chosen) == len(set(chosen)) == 10
+
+    def test_sample_distinct_cannot_exceed_universe(self):
+        with pytest.raises(ValueError):
+            UniformKeys(ITEMS[:3], seed=1).sample_distinct(4)
+
+    def test_empty_universe_rejected(self):
+        with pytest.raises(ValueError):
+            UniformKeys([], seed=1)
+
+    def test_roughly_uniform_coverage(self):
+        dist = UniformKeys(ITEMS, seed=5)
+        counts = collections.Counter(dist.sample() for _ in range(5000))
+        assert len(counts) > 90  # nearly every key shows up
+
+
+class TestZipfianKeys:
+    def test_skew_concentrates_on_head(self):
+        dist = ZipfianKeys(ITEMS, seed=2, theta=0.99)
+        counts = collections.Counter(dist.sample() for _ in range(5000))
+        top10 = sum(count for _, count in counts.most_common(10))
+        assert top10 > 0.5 * 5000
+
+    def test_theta_zero_behaves_uniformly(self):
+        dist = ZipfianKeys(ITEMS, seed=2, theta=0.0)
+        counts = collections.Counter(dist.sample() for _ in range(5000))
+        assert len(counts) > 90
+
+    def test_invalid_theta_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfianKeys(ITEMS, theta=1.5)
+
+    def test_samples_in_universe(self):
+        dist = ZipfianKeys(ITEMS, seed=2)
+        assert all(dist.sample() in ITEMS for _ in range(200))
