@@ -147,6 +147,36 @@ def figure15_items_per_shard(
 # Ablations (design-choice studies referenced in DESIGN.md)
 # ---------------------------------------------------------------------------
 
+def multiclient_scaling(
+    client_counts: Iterable[int] = (1, 2, 4, 8),
+    num_requests: int = 64,
+    items_per_shard: int = 1000,
+    txns_per_block: int = 8,
+    return_results: bool = False,
+):
+    """Throughput and latency as concurrent clients grow (Section 6 setup).
+
+    The paper's evaluation drives every experiment with many concurrent
+    clients; this sweep round-robins one conflict-free workload across 1-8
+    client sessions.  Under a conflict-free workload every client count must
+    commit the same number of transactions -- the sweep exposes the cost of
+    interleaving independent Lamport clocks in one pending queue.
+    """
+    results: List[ExperimentResult] = []
+    for clients in client_counts:
+        config = ExperimentConfig(
+            label=f"multiclient-{clients}c",
+            protocol=PROTOCOL_TFCOMMIT,
+            num_servers=5,
+            items_per_shard=items_per_shard,
+            txns_per_block=txns_per_block,
+            num_requests=num_requests,
+            num_clients=clients,
+        )
+        results.append(run_experiment(config))
+    return (results, _rows(results)) if return_results else _rows(results)
+
+
 def ablation_latency_regime(
     num_requests: int = 60,
     return_results: bool = False,
@@ -192,6 +222,7 @@ EXPERIMENT_REGISTRY = {
     "figure13": figure13_txns_per_block,
     "figure14": figure14_number_of_servers,
     "figure15": figure15_items_per_shard,
+    "multiclient": multiclient_scaling,
     "ablation-latency": ablation_latency_regime,
     "ablation-signing": ablation_signing_scheme,
 }

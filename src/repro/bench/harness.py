@@ -49,6 +49,7 @@ class ExperimentConfig:
     txns_per_block: int = 100
     ops_per_txn: int = 5
     num_requests: int = 1000
+    num_clients: int = 1
     message_signing: str = "hash"
     multi_versioned: bool = False
     seed: int = 2020
@@ -78,6 +79,7 @@ class ExperimentResult:
     block_latency_ms: float = 0.0
     txn_latency_ms: float = 0.0
     mht_update_ms: float = 0.0
+    mht_hashes_per_block: float = 0.0
     network_ms_per_block: float = 0.0
     compute_ms_per_block: float = 0.0
     phase_ms: Dict[str, float] = field(default_factory=dict)
@@ -91,11 +93,13 @@ class ExperimentResult:
             "items/shard": self.config.items_per_shard,
             "txns/block": self.config.txns_per_block,
             "requests": self.config.num_requests,
+            "clients": self.config.num_clients,
             "committed": self.committed_txns,
             "throughput (txns/s)": round(self.throughput_tps, 1),
             "txn latency (ms)": round(self.txn_latency_ms, 3),
             "block latency (ms)": round(self.block_latency_ms, 3),
             "MHT update (ms)": round(self.mht_update_ms, 3),
+            "MHT hashes/block": round(self.mht_hashes_per_block, 1),
         }
 
 
@@ -115,7 +119,7 @@ def run_experiment(
         seed=config.seed,
     )
     specs = workload.generate(config.num_requests)
-    outcome = system.run_workload(specs)
+    outcome = system.run_workload(specs, num_clients=config.num_clients)
 
     result = ExperimentResult(config=config)
     result.committed_txns = outcome.committed
@@ -131,6 +135,9 @@ def run_experiment(
     result.block_latency_ms = statistics.mean(block_latencies) * 1000.0
     result.txn_latency_ms = statistics.mean(txn_latencies) * 1000.0
     result.mht_update_ms = statistics.mean(r.timing.mht_time for r in block_results) * 1000.0
+    result.mht_hashes_per_block = statistics.mean(
+        r.timing.mht_hashes for r in block_results
+    )
     result.network_ms_per_block = (
         statistics.mean(r.timing.network_time for r in block_results) * 1000.0
     )
@@ -172,6 +179,12 @@ def run_average(config: ExperimentConfig, repeats: int = 1) -> ExperimentResult:
     merged.block_latency_ms = statistics.mean(r.block_latency_ms for r in runs)
     merged.txn_latency_ms = statistics.mean(r.txn_latency_ms for r in runs)
     merged.mht_update_ms = statistics.mean(r.mht_update_ms for r in runs)
+    merged.mht_hashes_per_block = statistics.mean(r.mht_hashes_per_block for r in runs)
     merged.network_ms_per_block = statistics.mean(r.network_ms_per_block for r in runs)
     merged.compute_ms_per_block = statistics.mean(r.compute_ms_per_block for r in runs)
+    # Merge the per-phase means as well: a run missing a phase (e.g. a
+    # repeat whose every block failed before "finalize") contributes 0.
+    phase_names = {name for r in runs for name in r.phase_ms}
+    for name in sorted(phase_names):
+        merged.phase_ms[name] = statistics.mean(r.phase_ms.get(name, 0.0) for r in runs)
     return merged

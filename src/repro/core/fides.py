@@ -11,14 +11,20 @@ collecting logs, and running audits.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.client.client import CommitOutcome, FidesClient
 from repro.common.config import SystemConfig
 from repro.common.errors import ConfigurationError
+from repro.common.timestamps import Timestamp
 from repro.common.types import ClientId, ServerId, Value, make_client_id
-from repro.core.tfcommit import BlockCommitResult, TFCommitCoordinator
+from repro.core.tfcommit import (
+    STALE_TIMESTAMP_REASON,
+    BlockCommitResult,
+    TFCommitCoordinator,
+)
 from repro.core.twopc import TwoPhaseCommitCoordinator
 from repro.crypto.keys import keypair_for
 from repro.crypto.signing import make_signing_scheme
@@ -43,6 +49,8 @@ class WorkloadResult:
 
     outcomes: List[CommitOutcome] = field(default_factory=list)
     block_results: List[BlockCommitResult] = field(default_factory=list)
+    #: ``client_id -> committed transaction count`` for multi-client runs.
+    committed_by_client: Dict[ClientId, int] = field(default_factory=dict)
 
     @property
     def committed(self) -> int:
@@ -52,9 +60,17 @@ class WorkloadResult:
     def aborted(self) -> int:
         return sum(1 for outcome in self.outcomes if outcome.status == "aborted")
 
+    @property
+    def failed(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.status == "failed")
+
 
 class FidesSystem:
     """A complete in-process Fides deployment."""
+
+    #: How many times a transaction failed for a stale commit timestamp is
+    #: re-issued before the failure is surfaced to the caller.
+    STALE_RETRY_LIMIT = 3
 
     def __init__(
         self,
@@ -142,42 +158,100 @@ class FidesSystem:
         return client.commit_with_response(session)
 
     def run_workload(
-        self, specs: Sequence[TransactionSpec], client_index: int = 0
+        self,
+        specs: Sequence[TransactionSpec],
+        client_index: int = 0,
+        num_clients: int = 1,
     ) -> WorkloadResult:
         """Execute a list of workload transaction specs and flush pending batches.
 
-        With batching enabled most ``commit`` calls return ``queued``; their
-        final outcomes arrive in the coordinator response that flushed the
-        block containing them, and the runner resolves them from there.
+        ``num_clients`` distinct client sessions (indices ``client_index`` to
+        ``client_index + num_clients - 1``) issue the transactions round-robin,
+        each with its own Lamport clock and its own queued-outcome resolution,
+        mirroring the paper's multi-client evaluation setup (Section 6).  With
+        batching enabled most ``commit`` calls return ``queued``; their final
+        outcomes arrive in the coordinator response that flushed the block
+        containing them, and the runner resolves each against the client that
+        issued it.
         """
+        if num_clients < 1:
+            raise ConfigurationError("num_clients must be >= 1")
         result = WorkloadResult()
-        client = self.client(client_index)
-        queued: List[str] = []
+        clients = [self.client(client_index + i) for i in range(num_clients)]
+        result.committed_by_client = {client.client_id: 0 for client in clients}
+        #: Work items are ``(spec, client_slot, attempt)``; stale-failed
+        #: transactions are re-enqueued with a bumped attempt count.
+        work = deque(
+            (spec, position % num_clients, 0) for position, spec in enumerate(specs)
+        )
+        #: txn_id -> (owning slot, spec, attempt), in issue order.
+        queued: Dict[str, Tuple[int, TransactionSpec, int]] = {}
+
+        def record(outcome: CommitOutcome, owner: FidesClient) -> None:
+            result.outcomes.append(outcome)
+            if outcome.committed:
+                result.committed_by_client[owner.client_id] += 1
+
+        def settle(
+            outcome: CommitOutcome, slot: int, spec: TransactionSpec, attempt: int, response: Dict
+        ) -> None:
+            """Record a terminal outcome, or re-enqueue a stale-failed txn.
+
+            A commit timestamp can fall behind the committed frontier when
+            other clients' blocks commit between this client's operations and
+            its termination request; like any OCC client, it retries with a
+            refreshed clock (the coordinator reports the frontier timestamp
+            in its response).
+            """
+            owner = clients[slot]
+            stale = outcome.status == "failed" and outcome.reason == STALE_TIMESTAMP_REASON
+            if stale:
+                # The transaction never entered a block, so no decision
+                # broadcast will release its buffered execution state; the
+                # real system expires it by timeout, the in-process engine
+                # releases it directly.
+                for server in self.servers.values():
+                    server.execution.finish(outcome.txn_id)
+            if stale and attempt < self.STALE_RETRY_LIMIT:
+                frontier = response.get("latest_committed_ts")
+                if frontier is not None:
+                    owner.clock.observe(Timestamp(frontier[0], frontier[1]))
+                work.append((spec, slot, attempt + 1))
+            else:
+                record(outcome, owner)
 
         def resolve_from(response: Dict) -> None:
-            remaining = []
-            for txn_id in queued:
-                if txn_id in response.get("results", {}):
-                    result.outcomes.append(client.interpret_outcome(txn_id, response))
-                else:
-                    remaining.append(txn_id)
-            queued[:] = remaining
+            flushed = response.get("results", {})
+            for txn_id in [t for t in queued if t in flushed]:
+                slot, spec, attempt = queued.pop(txn_id)
+                outcome = clients[slot].interpret_outcome(txn_id, response)
+                settle(outcome, slot, spec, attempt, response)
 
-        for spec in specs:
-            outcome, response = self._run_transaction_raw(spec.operations, client_index)
-            if outcome.pending:
-                queued.append(outcome.txn_id)
-            else:
-                result.outcomes.append(outcome)
-            if response.get("status") == "flushed":
-                resolve_from(response)
-        if queued or self.coordinator.pending_count:
-            flushed = self.coordinator.flush()
-            resolve_from(flushed)
-            for txn_id in queued:
-                result.outcomes.append(
-                    CommitOutcome(txn_id=txn_id, status="failed", reason="never flushed")
+        while work or queued or self.coordinator.pending_count:
+            if work:
+                spec, slot, attempt = work.popleft()
+                outcome, response = self._run_transaction_raw(
+                    spec.operations, client_index + slot
                 )
+                if outcome.pending:
+                    queued[outcome.txn_id] = (slot, spec, attempt)
+                else:
+                    settle(outcome, slot, spec, attempt, response)
+                if response.get("status") == "flushed":
+                    resolve_from(response)
+                continue
+            # Drain the partially filled final batch (including transactions
+            # left pending by earlier calls); resolutions may re-enqueue
+            # stale retries, which keeps the loop running.
+            unresolved_before = len(queued)
+            resolve_from(self.coordinator.flush())
+            if not work and len(queued) == unresolved_before:
+                break
+        for txn_id, (slot, _spec, _attempt) in queued.items():
+            record(
+                CommitOutcome(txn_id=txn_id, status="failed", reason="never flushed"),
+                clients[slot],
+            )
         result.block_results = list(self.coordinator.results)
         return result
 

@@ -134,12 +134,25 @@ class BatchBuilder:
         self.txns_per_block = txns_per_block
 
     def take_batch(
-        self, pending: List[Tuple[Transaction, Envelope]]
-    ) -> List[Tuple[Transaction, Envelope]]:
-        """Remove and return the next batch from ``pending`` (in place)."""
+        self,
+        pending: List[Tuple[Transaction, Envelope]],
+        latest_committed_ts: Optional[Timestamp] = None,
+    ) -> Tuple[List[Tuple[Transaction, Envelope]], List[Tuple[Transaction, Envelope]]]:
+        """Remove the next batch from ``pending`` (in place).
+
+        Returns ``(batch, stale)``: the selected transactions, plus any whose
+        commit timestamp fell at or below ``latest_committed_ts`` -- these
+        became stale when an earlier block of the same flush committed and
+        must be failed rather than proposed (Section 4.3.1's staleness rule
+        applies at batch-formation time, not only at arrival time).
+        """
         batch: List[Tuple[Transaction, Envelope]] = []
+        stale: List[Tuple[Transaction, Envelope]] = []
         remaining: List[Tuple[Transaction, Envelope]] = []
         for txn, envelope in pending:
+            if latest_committed_ts is not None and txn.commit_ts <= latest_committed_ts:
+                stale.append((txn, envelope))
+                continue
             if len(batch) >= self.txns_per_block:
                 remaining.append((txn, envelope))
                 continue
@@ -148,7 +161,59 @@ class BatchBuilder:
                 continue
             batch.append((txn, envelope))
         pending[:] = remaining
-        return batch
+        return batch, stale
+
+
+#: Failure reason for transactions whose commit timestamp fell at or below
+#: the latest committed timestamp.  Clients match on it to decide whether a
+#: failed transaction is retryable with a refreshed clock.
+STALE_TIMESTAMP_REASON = "stale commit timestamp"
+
+
+def _stale_outcome(txn: Transaction) -> TxnOutcome:
+    return TxnOutcome(txn.txn_id, "failed", reason=STALE_TIMESTAMP_REASON)
+
+
+def stale_failure_response(txn: Transaction, latest_committed_ts: Timestamp) -> Dict:
+    """Coordinator response failing one transaction for a stale timestamp.
+
+    Shared by TFCommit and the 2PC baseline so the staleness contract (the
+    failure reason and the ``latest_committed_ts`` clients refresh their
+    clocks from) lives in one place.
+    """
+    outcome = _stale_outcome(txn)
+    return {
+        "status": "flushed",
+        "results": {txn.txn_id: outcome.to_wire()},
+        "latest_committed_ts": latest_committed_ts.as_tuple(),
+    }
+
+
+def flushed_response(results: Dict[str, Dict], latest_committed_ts: Timestamp) -> Dict:
+    """Coordinator response carrying a flush's outcomes.
+
+    Clients observe ``latest_committed_ts`` to refresh their Lamport clocks,
+    exactly as they observe rts/wts on reads; a client retrying a stale
+    commit needs it to pick a timestamp above the committed frontier.
+    """
+    return {
+        "status": "flushed",
+        "results": results,
+        "latest_committed_ts": latest_committed_ts.as_tuple(),
+    }
+
+
+def drain_stale(
+    batch_builder: BatchBuilder,
+    pending: List[Tuple[Transaction, Envelope]],
+    latest_committed_ts: Timestamp,
+    results: Dict[str, Dict],
+) -> List[Tuple[Transaction, Envelope]]:
+    """Take the next batch, recording a failure for every stale transaction."""
+    batch, stale = batch_builder.take_batch(pending, latest_committed_ts)
+    for txn, _ in stale:
+        results[txn.txn_id] = _stale_outcome(txn).to_wire()
+    return batch
 
 
 class TFCommitCoordinator:
@@ -197,8 +262,7 @@ class TFCommitCoordinator:
         """
         txn: Transaction = envelope.payload["transaction"]
         if txn.commit_ts <= self._latest_committed_ts:
-            outcome = TxnOutcome(txn.txn_id, "failed", reason="stale commit timestamp")
-            return {"status": "flushed", "results": {txn.txn_id: outcome.to_wire()}}
+            return stale_failure_response(txn, self._latest_committed_ts)
         self._pending.append((txn, envelope))
         if len(self._pending) >= self.batch_builder.txns_per_block:
             return self.flush()
@@ -208,17 +272,18 @@ class TFCommitCoordinator:
         """Commit every pending transaction (possibly across several blocks)."""
         results: Dict[str, Dict] = {}
         while self._pending:
-            batch = self.batch_builder.take_batch(self._pending)
+            batch = drain_stale(
+                self.batch_builder, self._pending, self._latest_committed_ts, results
+            )
             if not batch:
-                # Everything left conflicts with everything else; commit them
-                # one at a time to guarantee progress.
-                batch = [self._pending.pop(0)]
+                # Every remaining transaction was stale; nothing left to commit.
+                break
             result = self.commit_batch(batch)
             digest = result.block.body_digest() if result.block is not None else None
             cosign = result.block.cosign if result.block is not None else None
             for outcome in result.outcomes:
                 results[outcome.txn_id] = outcome.to_wire(block_digest=digest, cosign=cosign)
-        return {"status": "flushed", "results": results}
+        return flushed_response(results, self._latest_committed_ts)
 
     # -- the protocol ----------------------------------------------------------------
 
@@ -318,11 +383,11 @@ class TFCommitCoordinator:
             culprits = identify_faulty_signers(
                 commitments, response_scalars, challenge, public_keys
             )
-            timing.coordinator_time += time.perf_counter() - coordinator_started
+            self._record_finalize_time(timing, coordinator_started)
             return self._failed_result(
                 transactions, timing, block, abort_reasons, [], culprits
             )
-        timing.coordinator_time += time.perf_counter() - coordinator_started
+        self._record_finalize_time(timing, coordinator_started)
 
         decisions = self._broadcast_phase(
             "decision", MessageType.DECISION, {"block": final_block}, timing
@@ -356,6 +421,15 @@ class TFCommitCoordinator:
 
     # -- helpers -------------------------------------------------------------------------
 
+    @staticmethod
+    def _record_finalize_time(timing: TimingBreakdown, started: float) -> None:
+        """Charge the phase-5 coordinator work (signature aggregation and
+        co-sign verification) to both ``coordinator_time`` and a ``finalize``
+        phase entry so :attr:`TimingBreakdown.total` accounts for it."""
+        elapsed = time.perf_counter() - started
+        timing.coordinator_time += elapsed
+        timing.phases["finalize"] = timing.phases.get("finalize", 0.0) + elapsed
+
     def _broadcast_phase(
         self, phase: str, message_type: MessageType, payload: Dict, timing: TimingBreakdown
     ) -> Dict[str, Dict]:
@@ -365,13 +439,14 @@ class TFCommitCoordinator:
         slowest cohort's measured compute, and one inbound delay (cohorts
         work in parallel on real hardware).
         """
-        outbound = max(self._latency.sample() for _ in self.server_ids)
+        outbound = max((self._latency.sample() for _ in self.server_ids), default=0.0)
         responses = self.network.broadcast(
             self.coordinator_id, self.server_ids, message_type, payload
         )
-        inbound = max(self._latency.sample() for _ in self.server_ids)
+        inbound = max((self._latency.sample() for _ in self.server_ids), default=0.0)
         slowest_compute = max(
-            (resp.get("compute_time", 0.0) or 0.0) for resp in responses.values()
+            ((resp.get("compute_time", 0.0) or 0.0) for resp in responses.values()),
+            default=0.0,
         )
         timing.phases[phase] = outbound + slowest_compute + inbound
         timing.network_time += outbound + inbound
@@ -397,7 +472,7 @@ class TFCommitCoordinator:
         commit_group = self.server_ids[:half]
         abort_group = self.server_ids[half:]
         responses: Dict[str, Dict] = {}
-        outbound = max(self._latency.sample() for _ in self.server_ids)
+        outbound = max((self._latency.sample() for _ in self.server_ids), default=0.0)
         for server_id in commit_group:
             responses[server_id] = self.network.send(
                 self.coordinator_id,
@@ -420,8 +495,11 @@ class TFCommitCoordinator:
                     "block": abort_block,
                 },
             )
-        inbound = max(self._latency.sample() for _ in self.server_ids)
-        slowest = max((resp.get("compute_time", 0.0) or 0.0) for resp in responses.values())
+        inbound = max((self._latency.sample() for _ in self.server_ids), default=0.0)
+        slowest = max(
+            ((resp.get("compute_time", 0.0) or 0.0) for resp in responses.values()),
+            default=0.0,
+        )
         timing.phases["challenge"] = outbound + slowest + inbound
         timing.network_time += outbound + inbound
         timing.compute_time += slowest

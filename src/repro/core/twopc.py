@@ -20,6 +20,9 @@ from repro.core.tfcommit import (
     BlockCommitResult,
     TimingBreakdown,
     TxnOutcome,
+    drain_stale,
+    flushed_response,
+    stale_failure_response,
 )
 from repro.ledger.block import Block, BlockDecision, make_partial_block
 from repro.net.latency import LatencyModel
@@ -62,8 +65,7 @@ class TwoPhaseCommitCoordinator:
         """Queue a terminated transaction; commit a block once the batch is full."""
         txn: Transaction = envelope.payload["transaction"]
         if txn.commit_ts <= self._latest_committed_ts:
-            outcome = TxnOutcome(txn.txn_id, "failed", reason="stale commit timestamp")
-            return {"status": "flushed", "results": {txn.txn_id: outcome.to_wire()}}
+            return stale_failure_response(txn, self._latest_committed_ts)
         self._pending.append((txn, envelope))
         if len(self._pending) >= self.batch_builder.txns_per_block:
             return self.flush()
@@ -73,13 +75,15 @@ class TwoPhaseCommitCoordinator:
         """Commit every pending transaction."""
         results: Dict[str, Dict] = {}
         while self._pending:
-            batch = self.batch_builder.take_batch(self._pending)
+            batch = drain_stale(
+                self.batch_builder, self._pending, self._latest_committed_ts, results
+            )
             if not batch:
-                batch = [self._pending.pop(0)]
+                break
             result = self.commit_batch(batch)
             for outcome in result.outcomes:
                 results[outcome.txn_id] = outcome.to_wire()
-        return {"status": "flushed", "results": results}
+        return flushed_response(results, self._latest_committed_ts)
 
     # -- the protocol -------------------------------------------------------------------
 

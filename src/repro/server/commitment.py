@@ -290,9 +290,14 @@ class CommitmentLayer:
         }
 
     def _apply_block(self, block: Block) -> int:
-        """Apply every transaction in a committed block to the local shard."""
-        mht_hashes = 0
-        for txn in sorted(block.transactions, key=lambda t: t.commit_ts):
+        """Apply the whole block's write-set to the local shard in one sweep.
+
+        The commits are handed to the datastore as a batch so the Merkle
+        tree's dirty paths are recomputed once per block rather than once per
+        transaction (see DESIGN.md on batched MHT accounting).
+        """
+        commits = []
+        for txn in block.transactions:
             local_writes = {
                 entry.item_id: entry.new_value
                 for entry in txn.write_set
@@ -302,8 +307,10 @@ class CommitmentLayer:
                 entry.item_id for entry in txn.read_set if entry.item_id in self._store
             ]
             if local_writes or local_reads:
-                mht_hashes += self._store.apply_commit(txn.commit_ts, local_writes, local_reads)
-        return mht_hashes
+                commits.append((txn.commit_ts, local_writes, local_reads))
+        if not commits:
+            return 0
+        return self._store.apply_batch(commits)
 
     # -- 2PC baseline (Section 6.1) --------------------------------------------------
 

@@ -16,7 +16,7 @@ writes) can be injected without touching the honest code path.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 from repro.common.errors import StorageError
 from repro.common.types import ClientId, ItemId, TxnId, Value
@@ -100,6 +100,20 @@ class ExecutionLayer:
     def finish(self, txn_id: TxnId) -> None:
         """Forget the per-transaction state once the transaction terminated."""
         self._active.pop(txn_id, None)
+
+    def finish_many(self, txn_ids: Iterable[TxnId]) -> int:
+        """Forget the state of every transaction in a terminated block.
+
+        Called by the server once a block's decision has been applied; without
+        it the per-transaction buffers of batched workloads accumulate
+        forever, which matters once many concurrent clients drive the system.
+        Returns how many active entries were released.
+        """
+        released = 0
+        for txn_id in txn_ids:
+            if self._active.pop(txn_id, None) is not None:
+                released += 1
+        return released
 
     def active_transactions(self) -> List[TxnId]:
         return list(self._active)

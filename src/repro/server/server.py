@@ -151,9 +151,13 @@ class DatabaseServer:
 
     def _on_decision(self, envelope: Envelope):
         payload = envelope.payload
-        return self.commitment.handle_decision(
-            payload["block"], self.network.public_key_directory()
-        )
+        block = payload["block"]
+        response = self.commitment.handle_decision(block, self.network.public_key_directory())
+        if response.get("ok"):
+            # The block terminated its transactions; release their buffered
+            # execution state so long multi-client runs do not accumulate it.
+            self.execution.finish_many(txn.txn_id for txn in block.transactions)
+        return response
 
     # -- 2PC baseline messages ----------------------------------------------------------
 
@@ -161,7 +165,11 @@ class DatabaseServer:
         return self.commitment.handle_prepare(envelope.payload["block"])
 
     def _on_2pc_decision(self, envelope: Envelope):
-        return self.commitment.handle_2pc_decision(envelope.payload["block"])
+        block = envelope.payload["block"]
+        response = self.commitment.handle_2pc_decision(block)
+        if response.get("ok"):
+            self.execution.finish_many(txn.txn_id for txn in block.transactions)
+        return response
 
     # -- audit messages (Section 3.3) -----------------------------------------------------
 

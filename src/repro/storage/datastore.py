@@ -17,7 +17,7 @@ operations the execution and commitment layers need:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.common.errors import StorageError
 from repro.common.timestamps import Timestamp
@@ -69,6 +69,9 @@ class DataStore:
         }
         self._merkle = MerkleTree.from_items({k: v for k, v in items.items()})
         self._mht_node_updates = 0
+        #: Historical trees derived for audit VO requests, keyed by the audit
+        #: timestamp; invalidated whenever the stored state changes.
+        self._historical_trees: Dict[Tuple, MerkleTree] = {}
 
     # -- basic queries ------------------------------------------------------
 
@@ -119,16 +122,39 @@ class DataStore:
         Returns the number of Merkle node hashes recomputed (the quantity the
         benchmark harness reports as MHT update work).
         """
-        unknown = [item for item in list(writes) + list(reads) if item not in self._records]
-        if unknown:
-            raise StorageError(f"commit touches unknown items: {unknown}")
-        mht_work = 0
-        for item_id in reads:
-            self._records[item_id].record_read(commit_ts)
-        for item_id, value in writes.items():
-            self._records[item_id].append_version(value, commit_ts, self._multi_versioned)
-            mht_work += self._merkle.update(item_id, value)
+        return self.apply_batch([(commit_ts, writes, reads)])
+
+    def apply_batch(
+        self,
+        commits: Sequence[Tuple[Timestamp, Mapping[ItemId, Value], Iterable[ItemId]]],
+    ) -> int:
+        """Apply a whole block's committed transactions in one Merkle sweep.
+
+        ``commits`` is a sequence of ``(commit_ts, writes, reads)`` triples;
+        they are applied to the versioned records in commit-timestamp order,
+        but the Merkle tree is updated once at the end with the final value
+        of every touched leaf (latest write wins), so shared ancestors are
+        hashed a single time per block instead of once per transaction.
+        Returns the number of Merkle node hashes recomputed.
+        """
+        ordered = sorted(commits, key=lambda commit: commit[0])
+        merged_writes: Dict[ItemId, Value] = {}
+        for commit_ts, writes, reads in ordered:
+            unknown = [
+                item for item in list(writes) + list(reads) if item not in self._records
+            ]
+            if unknown:
+                raise StorageError(f"commit touches unknown items: {unknown}")
+        for commit_ts, writes, reads in ordered:
+            for item_id in reads:
+                self._records[item_id].record_read(commit_ts)
+            for item_id, value in writes.items():
+                self._records[item_id].append_version(value, commit_ts, self._multi_versioned)
+                merged_writes[item_id] = value
+        mht_work = self._merkle.update_many(merged_writes) if merged_writes else 0
         self._mht_node_updates += mht_work
+        if merged_writes:
+            self._historical_trees.clear()
         return mht_work
 
     def corrupt(self, item_id: ItemId, value: Value) -> None:
@@ -141,6 +167,7 @@ class DataStore:
         record = self.record(item_id)
         latest = record.latest
         record.versions[-1] = RecordVersion(value=value, wts=latest.wts, rts=latest.rts)
+        self._historical_trees.clear()
 
     def rollback_to(self, timestamp: Timestamp) -> int:
         """Roll every record back to its last version at or before ``timestamp``."""
@@ -190,11 +217,33 @@ class DataStore:
         """
         if not self._multi_versioned:
             raise StorageError("historical verification objects require a multi-versioned store")
-        historical = {
-            other_id: record.version_at(at).value for other_id, record in self._records.items()
-        }
-        tree = MerkleTree.from_items(historical)
+        tree = self._historical_tree(at)
         return tree.verification_object(item_id), tree.root
+
+    def _historical_tree(self, at: Timestamp) -> MerkleTree:
+        """The shard's Merkle tree as it stood at commit timestamp ``at``.
+
+        Instead of rebuilding the whole tree per VO request, the current
+        incremental tree is cloned and only the leaves whose historical value
+        differs are re-hashed in one batched sweep; the resulting tree is
+        cached so an audit asking for every written item of a block pays the
+        derivation once.  The cache is cleared on any state change (including
+        injected corruption, which alters the values the records report).
+        """
+        key = at.as_tuple()
+        tree = self._historical_trees.get(key)
+        if tree is None:
+            diff = {}
+            for other_id, record in self._records.items():
+                historical_value = record.version_at(at).value
+                if historical_value != self._merkle.value_of(other_id):
+                    diff[other_id] = historical_value
+            tree = self._merkle.clone()
+            tree.update_many(diff)
+            if len(self._historical_trees) >= 8:
+                self._historical_trees.pop(next(iter(self._historical_trees)))
+            self._historical_trees[key] = tree
+        return tree
 
     def snapshot(self) -> Dict[ItemId, Value]:
         """Latest committed value of every item (id -> value)."""
@@ -202,6 +251,7 @@ class DataStore:
 
     def _rebuild_merkle(self) -> None:
         self._merkle = MerkleTree.from_items(self.snapshot())
+        self._historical_trees.clear()
 
     @property
     def mht_node_updates(self) -> int:

@@ -60,9 +60,37 @@ class TestExperimentRunner:
         assert merged.committed_txns == 4
         assert merged.throughput_tps > 0
 
+    def test_run_average_keeps_phase_breakdown_and_blocks(self):
+        # Regression: with repeats > 1 the merged result used to drop the
+        # per-phase means entirely.
+        merged = run_average(tiny_config(), repeats=2)
+        assert merged.blocks == 2
+        assert merged.phase_ms
+        singles = [run_experiment(tiny_config(seed=2020 + i)) for i in range(2)]
+        assert set(merged.phase_ms) == {name for run in singles for name in run.phase_ms}
+        assert all(value > 0 for value in merged.phase_ms.values())
+
     def test_run_average_rejects_zero_repeats(self):
         with pytest.raises(ValueError):
             run_average(tiny_config(), repeats=0)
+
+    def test_phase5_work_lands_in_finalize_phase(self):
+        result = run_experiment(tiny_config())
+        assert "finalize" in result.phase_ms
+        assert result.phase_ms["finalize"] > 0
+
+    def test_multi_client_commits_match_single_client(self):
+        # Acceptance criterion: num_clients >= 4 commits the same transaction
+        # count as the single-client baseline under a conflict-free workload.
+        baseline = run_experiment(tiny_config(num_requests=8))
+        multi = run_experiment(tiny_config(num_requests=8, num_clients=4))
+        assert multi.committed_txns == baseline.committed_txns == 8
+        assert multi.aborted_txns == 0
+        assert multi.blocks == baseline.blocks
+
+    def test_as_row_reports_client_count(self):
+        row = run_experiment(tiny_config(num_clients=2, num_requests=4)).as_row()
+        assert row["clients"] == 2
 
     def test_system_config_derivation(self):
         config = tiny_config(num_servers=4, items_per_shard=7)

@@ -1,0 +1,145 @@
+"""Tests for the multi-client concurrent workload engine.
+
+The paper's evaluation (Section 6) drives every experiment with many
+concurrent clients; ``FidesSystem.run_workload(num_clients=...)`` round-robins
+transaction specs across distinct client sessions, each with its own Lamport
+clock and its own queued-outcome resolution.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import SystemConfig
+from repro.common.errors import ConfigurationError
+from repro.core.fides import FidesSystem
+from repro.net.latency import ConstantLatency
+from repro.workload.ycsb import YcsbWorkload
+
+
+def build_system(seed: int = 11) -> FidesSystem:
+    config = SystemConfig(
+        num_servers=3,
+        items_per_shard=60,
+        txns_per_block=4,
+        ops_per_txn=2,
+        multi_versioned=True,
+        message_signing="hash",
+        seed=seed,
+    )
+    return FidesSystem(config, latency=ConstantLatency(0.0002))
+
+
+def conflict_free_specs(system: FidesSystem, count: int, seed: int = 2):
+    workload = YcsbWorkload(
+        item_ids=system.shard_map.all_items(),
+        ops_per_txn=2,
+        conflict_free_window=4,
+        seed=seed,
+    )
+    return workload.generate(count)
+
+
+class TestMultiClientWorkload:
+    def test_rejects_zero_clients(self):
+        system = build_system()
+        with pytest.raises(ConfigurationError):
+            system.run_workload([], num_clients=0)
+
+    def test_multi_client_commits_match_single_client(self):
+        single = build_system()
+        multi = build_system()
+        specs = conflict_free_specs(single, 12)
+        baseline = single.run_workload(specs)
+        result = multi.run_workload(conflict_free_specs(multi, 12), num_clients=4)
+        assert result.committed == baseline.committed == 12
+        assert result.aborted == baseline.aborted == 0
+
+    def test_transactions_round_robin_across_sessions(self):
+        system = build_system()
+        result = system.run_workload(conflict_free_specs(system, 8), num_clients=4)
+        issuing_clients = {outcome.txn_id.split("-txn-")[0] for outcome in result.outcomes}
+        assert issuing_clients == {"c0", "c1", "c2", "c3"}
+        assert result.committed_by_client == {"c0": 2, "c1": 2, "c2": 2, "c3": 2}
+
+    def test_per_client_timestamps_are_independent(self):
+        system = build_system()
+        system.run_workload(conflict_free_specs(system, 8), num_clients=4)
+        # Round-robin over 4 clients: each issued 2 transactions, so each
+        # client clock advanced independently rather than once per request.
+        for index in range(4):
+            assert system.client(index).clock.current().counter <= 4
+
+    def test_more_clients_than_block_slots_still_commits_everything(self):
+        # With more clients than block slots a client's clock can fall behind
+        # the committed frontier; the engine retries stale-failed commits
+        # with a refreshed clock instead of dropping them.
+        system = build_system()  # txns_per_block=4
+        result = system.run_workload(conflict_free_specs(system, 16), num_clients=8)
+        assert result.committed == 16
+        assert result.failed == 0
+
+    def test_multi_client_run_is_deterministic(self):
+        first = build_system()
+        second = build_system()
+        result_a = first.run_workload(conflict_free_specs(first, 12), num_clients=3)
+        result_b = second.run_workload(conflict_free_specs(second, 12), num_clients=3)
+        ids_a = [outcome.txn_id for outcome in result_a.outcomes]
+        ids_b = [outcome.txn_id for outcome in result_b.outcomes]
+        assert ids_a == ids_b
+        blocks_a = [block.block_hash() for block in first.server("s0").log]
+        blocks_b = [block.block_hash() for block in second.server("s0").log]
+        assert blocks_a == blocks_b
+        assert len(blocks_a) == 3
+
+    def test_logs_identical_across_servers_under_multi_client(self):
+        system = build_system()
+        result = system.run_workload(conflict_free_specs(system, 12), num_clients=4)
+        assert result.committed == 12
+        hashes = {
+            server_id: tuple(block.block_hash() for block in server.log)
+            for server_id, server in system.servers.items()
+        }
+        assert len(set(hashes.values())) == 1
+
+    def test_execution_state_released_after_blocks_commit(self):
+        system = build_system()
+        system.run_workload(conflict_free_specs(system, 12), num_clients=4)
+        for server in system.servers.values():
+            assert server.execution.active_transactions() == []
+
+    def test_conflict_heavy_run_resolves_every_outcome(self):
+        # Without a conflict-free window, batches split, blocks abort, and
+        # commit timestamps go stale mid-run; every spec must still resolve
+        # to exactly one terminal outcome and no execution state may leak
+        # (stale-failed transactions never enter a block, so the engine
+        # releases their buffered state itself).
+        system = build_system()
+        workload = YcsbWorkload(
+            item_ids=system.shard_map.all_items()[:6], ops_per_txn=2, seed=3
+        )
+        result = system.run_workload(workload.generate(20), num_clients=4)
+        assert len(result.outcomes) == 20
+        assert result.committed + result.aborted + result.failed == 20
+        for server in system.servers.values():
+            assert server.execution.active_transactions() == []
+
+    def test_empty_spec_list_drains_preexisting_pending(self):
+        # Regression: a transaction queued outside run_workload must still be
+        # flushed by a subsequent run_workload([]) call.
+        from repro.txn.operations import WriteOp
+
+        system = build_system()
+        item = system.shard_map.all_items()[0]
+        outcome = system.run_transaction([WriteOp(item, 7)])
+        assert outcome.pending
+        assert system.coordinator.pending_count == 1
+        system.run_workload([])
+        assert system.coordinator.pending_count == 0
+        assert system.server("s0").log.height == 1
+
+    def test_audit_clean_after_multi_client_run(self):
+        system = build_system()
+        system.run_workload(conflict_free_specs(system, 8), num_clients=4)
+        report = system.audit()
+        assert report.ok

@@ -107,10 +107,27 @@ class TestIncrementalUpdates:
         tree = build_tree(1024)
         assert tree.update("item-0000", 7) == tree.depth + 1
 
-    def test_update_many_accumulates_work(self):
+    def test_update_many_shares_dirty_ancestors(self):
+        # Leaves 1 and 2 share every ancestor above level 1, so the batched
+        # sweep hashes 2 leaves, 2 level-1 parents, and one node per level
+        # after that -- strictly less than two full root paths.
         tree = build_tree(64)
         work = tree.update_many({"item-0001": 10, "item-0002": 20})
-        assert work == 2 * (tree.depth + 1)
+        assert work == 2 + 2 + (tree.depth - 1)
+        assert work < 2 * (tree.depth + 1)
+        assert tree.root == MerkleTree.from_items(tree.snapshot()).root
+
+    def test_update_many_single_leaf_matches_update_cost(self):
+        batched = build_tree(64)
+        per_leaf = build_tree(64)
+        assert batched.update_many({"item-0003": 5}) == per_leaf.update("item-0003", 5)
+        assert batched.root == per_leaf.root
+
+    def test_update_many_empty_batch_is_free(self):
+        tree = build_tree(16)
+        before = tree.root
+        assert tree.update_many({}) == 0
+        assert tree.root == before
 
     def test_update_unknown_item_raises(self):
         with pytest.raises(StorageError):
@@ -127,6 +144,67 @@ class TestIncrementalUpdates:
         proof = tree.verification_object("item-0007")
         assert verify_inclusion("item-0007", "new-value", proof, tree.root)
         assert not verify_inclusion("item-0007", 7, proof, tree.root)
+
+
+class TestBatchedUpdates:
+    """The batched dirty-path sweep must match a full rebuild exactly."""
+
+    def test_random_batches_match_fresh_build(self):
+        import random
+
+        rng = random.Random(2020)
+        tree = build_tree(200)
+        items = tree.snapshot()
+        for round_number in range(10):
+            batch = {
+                item_id: rng.randint(0, 10**6)
+                for item_id in rng.sample(sorted(items), rng.randint(1, 60))
+            }
+            tree.update_many(batch)
+            items.update(batch)
+            assert tree.root == MerkleTree.from_items(items).root
+
+    def test_proofs_verify_after_batched_update(self):
+        tree = build_tree(33)  # odd size -> padded leaf level
+        batch = {f"item-{i:04d}": 1000 + i for i in range(0, 33, 3)}
+        tree.update_many(batch)
+        for item_id in tree.item_ids():
+            proof = tree.verification_object(item_id)
+            assert verify_inclusion(item_id, tree.value_of(item_id), proof, tree.root)
+
+    @pytest.mark.parametrize("size", [1, 2, 3, 5, 7, 9, 31, 100])
+    def test_padded_and_odd_sized_trees(self, size):
+        tree = build_tree(size)
+        batch = {f"item-{i:04d}": -i for i in range(size)}
+        tree.update_many(batch)
+        assert tree.root == MerkleTree.from_items(batch).root
+
+    def test_partial_batch_raises_without_mutating(self):
+        tree = build_tree(8)
+        before = tree.root
+        with pytest.raises(StorageError):
+            tree.update_many({"item-0001": 1, "missing": 2})
+        assert tree.root == before
+
+    def test_10k_tree_500_leaf_batch_beats_per_leaf_cost(self):
+        # The acceptance criterion of the batched-MHT work: strictly fewer
+        # node hashes than 500 independent root paths, same root as rebuild.
+        tree = build_tree(10_000)
+        batch = {f"item-{(i * 17) % 10_000:04d}": i for i in range(500)}
+        work = tree.update_many(batch)
+        assert work < len(batch) * (tree.depth + 1)
+        items = {f"item-{i:04d}": i for i in range(10_000)}
+        items.update(batch)
+        assert tree.root == MerkleTree.from_items(items).root
+
+    def test_clone_is_independent(self):
+        tree = build_tree(16)
+        dup = tree.clone()
+        assert dup.root == tree.root
+        dup.update_many({"item-0004": 99})
+        assert dup.root != tree.root
+        assert tree.value_of("item-0004") == 4
+        assert dup.value_of("item-0004") == 99
 
 
 _item_maps = st.dictionaries(
@@ -165,6 +243,17 @@ class TestMerkleProperties:
         tree.update(item_id, new_value)
         updated_items = dict(items)
         updated_items[item_id] = new_value
+        assert tree.root == MerkleTree.from_items(updated_items).root
+
+    @settings(max_examples=20, deadline=None)
+    @given(_item_maps, st.data())
+    def test_batched_update_equals_rebuild(self, items, data):
+        tree = MerkleTree.from_items(items)
+        subset = data.draw(st.sets(st.sampled_from(sorted(items)), min_size=1))
+        batch = {item_id: data.draw(st.integers()) for item_id in subset}
+        tree.update_many(batch)
+        updated_items = dict(items)
+        updated_items.update(batch)
         assert tree.root == MerkleTree.from_items(updated_items).root
 
     @settings(max_examples=20, deadline=None)

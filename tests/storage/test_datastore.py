@@ -76,6 +76,90 @@ class TestDataStoreCommits:
         assert store.read("item-1").value == 11
 
 
+class TestBatchedApply:
+    def test_apply_batch_matches_sequential_commits(self):
+        batched = make_store(16)
+        sequential = make_store(16)
+        commits = [
+            (Timestamp(1, "c"), {"item-1": 10, "item-2": 20}, ["item-3"]),
+            (Timestamp(2, "c"), {"item-2": 21, "item-5": 50}, []),
+            (Timestamp(3, "c"), {"item-9": 90}, ["item-1"]),
+        ]
+        batched.apply_batch(commits)
+        for commit_ts, writes, reads in commits:
+            sequential.apply_commit(commit_ts, writes, reads)
+        assert batched.snapshot() == sequential.snapshot()
+        assert batched.merkle_root() == sequential.merkle_root()
+        for item in ("item-1", "item-2", "item-3"):
+            assert batched.read(item).rts == sequential.read(item).rts
+            assert batched.read(item).wts == sequential.read(item).wts
+
+    def test_apply_batch_orders_by_commit_timestamp(self):
+        store = make_store(8)
+        # Handed in out of order: the ts-2 write must win over the ts-1 write.
+        store.apply_batch(
+            [
+                (Timestamp(2, "c"), {"item-0": 200}, []),
+                (Timestamp(1, "c"), {"item-0": 100}, []),
+            ]
+        )
+        assert store.read("item-0").value == 200
+        assert store.read("item-0").wts == Timestamp(2, "c")
+
+    def test_apply_batch_does_fewer_hashes_than_sequential(self):
+        batched = make_store(64)
+        sequential = make_store(64)
+        commits = [
+            (Timestamp(i + 1, "c"), {f"item-{i}": i, f"item-{i + 8}": i}, [])
+            for i in range(8)
+        ]
+        batched_work = batched.apply_batch(commits)
+        sequential_work = sum(
+            sequential.apply_commit(ts, writes, reads) for ts, writes, reads in commits
+        )
+        assert batched_work < sequential_work
+        assert batched.merkle_root() == sequential.merkle_root()
+
+    def test_apply_batch_rejects_unknown_items_before_mutating(self):
+        store = make_store(4)
+        root = store.merkle_root()
+        with pytest.raises(StorageError):
+            store.apply_batch(
+                [
+                    (Timestamp(1, "c"), {"item-0": 1}, []),
+                    (Timestamp(2, "c"), {"missing": 2}, []),
+                ]
+            )
+        assert store.merkle_root() == root
+        assert store.read("item-0").value == 0
+
+    def test_historical_tree_cache_reused_and_invalidated(self):
+        store = make_store(8)
+        store.apply_commit(Timestamp(5, "c"), {"item-2": 11})
+        store.apply_commit(Timestamp(9, "c"), {"item-2": 22, "item-3": 33})
+        proof_a, root_a = store.verification_object_at("item-2", Timestamp(5, "c"))
+        proof_b, root_b = store.verification_object_at("item-3", Timestamp(5, "c"))
+        assert root_a == root_b  # served from the same cached historical tree
+        assert verify_inclusion("item-2", 11, proof_a, root_a)
+        assert verify_inclusion("item-3", 0, proof_b, root_b)
+        # A new commit invalidates the cache but not the historical answer.
+        store.apply_commit(Timestamp(12, "c"), {"item-4": 44})
+        proof_c, root_c = store.verification_object_at("item-2", Timestamp(5, "c"))
+        assert root_c == root_a
+        assert verify_inclusion("item-2", 11, proof_c, root_c)
+
+    def test_historical_tree_reflects_injected_corruption(self):
+        # Lemma 2: a corrupted store must fail authentication even when the
+        # audit asks for a historical version served via the cached tree.
+        store = make_store(8)
+        store.apply_commit(Timestamp(5, "c"), {"item-2": 11})
+        _, honest_root = store.verification_object_at("item-2", Timestamp(5, "c"))
+        store.corrupt("item-2", 666)
+        proof, root = store.verification_object_at("item-2", Timestamp(5, "c"))
+        assert root != honest_root
+        assert not verify_inclusion("item-2", 666, proof, honest_root)
+
+
 class TestDataStoreMerkleIntegration:
     def test_merkle_root_tracks_commits(self):
         store = make_store()
