@@ -27,6 +27,7 @@ states.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -104,16 +105,29 @@ class Auditor:
                 block_height = result.first_invalid_height
                 kind = ViolationType.LOG_TAMPERED
                 description = f"log copy failed verification: {result.reason}"
-                # A block at the same height with a *different decision* than
-                # the reference points at a forked commit/abort outcome
-                # (coordinator equivocation, Lemma 5) rather than plain
-                # after-the-fact tampering (Lemma 6).
-                if (
+                comparable = (
                     block_height is not None
                     and block_height < len(reference)
                     and block_height < len(logs[server_id])
                     and "signature" in result.reason
-                    and logs[server_id][block_height].decision
+                )
+                # A block at the same height with a *different decision* than
+                # the reference points at a forked commit/abort outcome
+                # (coordinator equivocation, Lemma 5) rather than plain
+                # after-the-fact tampering (Lemma 6).  A block whose *content*
+                # matches the reference but whose signature still fails means
+                # the signature itself was forged or replaced (Lemma 4).
+                if comparable and (
+                    logs[server_id][block_height].body_digest()
+                    == reference[block_height].body_digest()
+                ):
+                    kind = ViolationType.INVALID_COSIGN
+                    description = (
+                        "block content matches the reference log but its collective "
+                        "signature does not verify (forged or replaced co-sign)"
+                    )
+                elif comparable and (
+                    logs[server_id][block_height].decision
                     is not reference[block_height].decision
                 ):
                     kind = ViolationType.ATOMICITY_VIOLATION
@@ -389,12 +403,15 @@ class Auditor:
         network so the audit exercises the same signed message paths a real
         external auditor would.
         """
+        started = time.perf_counter()
         report = AuditReport()
         collected = dict(logs) if logs is not None else self.collect_logs()
         reference = self.check_logs(collected, report)
         if reference is None:
+            report.audit_wall_time_s = time.perf_counter() - started
             return report
         self.check_transactions(reference, report)
         if check_datastore:
             self.check_datastores(reference, report, mode=datastore_mode)
+        report.audit_wall_time_s = time.perf_counter() - started
         return report

@@ -29,6 +29,10 @@ class AuditReport:
     #: Number of blocks / transactions examined (for reporting).
     blocks_audited: int = 0
     transactions_audited: int = 0
+    #: Wall-clock seconds the full audit took (stamped by ``run_audit``); the
+    #: fault-campaign engine compares it against an honest-run baseline to
+    #: report audit overhead.
+    audit_wall_time_s: float = 0.0
 
     # -- convenience ------------------------------------------------------------
 
@@ -57,6 +61,21 @@ class AuditReport:
         """
         heights = [v.block_height for v in self.violations if v.block_height is not None]
         return min(heights) if heights else None
+
+    def detection_latency_blocks(self, from_height: Optional[int] = None) -> Optional[int]:
+        """How many blocks were appended after an anomaly before the
+        (offline, end-of-run) audit caught it.
+
+        This is the campaign engine's "blocks-until-detection" metric: the
+        distance between the violating block (``from_height``, defaulting to
+        the earliest violation of any kind) and the head of the reference
+        log.  ``None`` when there is no anomaly, ``0`` when it sits in the
+        newest block.
+        """
+        first = self.first_violation_height() if from_height is None else from_height
+        if first is None:
+            return None
+        return max(0, self.reference_log_length - 1 - first)
 
     def summary(self) -> str:
         """Human-readable multi-line summary."""

@@ -18,6 +18,8 @@ List available experiments::
 from __future__ import annotations
 
 import argparse
+import inspect
+import json
 import sys
 from typing import List, Optional
 
@@ -39,6 +41,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--requests", type=int, default=None, help="client requests per point")
     parser.add_argument("--csv", action="store_true", help="emit CSV instead of a table")
     parser.add_argument("--list", action="store_true", help="list available experiments")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced grid for experiments that support it (faultmatrix: always-trigger only)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="additionally write the result rows as JSON (CI artifact)",
+    )
     return parser
 
 
@@ -53,11 +66,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     kwargs = {}
     if args.requests is not None:
         kwargs["num_requests"] = args.requests
+    if args.smoke and "smoke" in inspect.signature(runner).parameters:
+        kwargs["smoke"] = True
     rows = runner(**kwargs)
     if args.csv:
         print(rows_to_csv(rows), end="")
     else:
         print(format_table(rows, title=args.experiment))
+    if args.json is not None:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump({"experiment": args.experiment, "rows": rows}, handle, indent=2, default=str)
+        print(f"wrote {len(rows)} rows to {args.json}")
     return 0
 
 

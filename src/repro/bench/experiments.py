@@ -177,6 +177,42 @@ def multiclient_scaling(
     return (results, _rows(results)) if return_results else _rows(results)
 
 
+def faultmatrix(
+    num_requests: int = 8,
+    num_clients: int = 2,
+    num_servers: int = 3,
+    items_per_shard: int = 48,
+    txns_per_block: int = 2,
+    smoke: bool = False,
+    return_results: bool = False,
+):
+    """The detection matrix: sweep the full fault x trigger grid (Lemmas 1-7).
+
+    Every scenario injects one declarative :class:`~repro.faultsim.FaultPlan`
+    composition into a fresh deployment, drives the multi-client workload
+    engine plus a deterministic probe, and reports whether the auditor (or
+    the TFCommit round itself) detected the misbehaviour, whether the culprit
+    attribution is correct, blocks-until-detection, and the audit wall-time
+    against an honest-run baseline.  ``smoke=True`` restricts the grid to the
+    always-firing trigger variant (the CI configuration).
+    """
+    from repro.faultsim import CampaignConfig, CampaignRunner, build_fault_matrix
+    from repro.faultsim.plan import DEFAULT_TRIGGER_VARIANTS
+
+    config = CampaignConfig(
+        num_servers=num_servers,
+        items_per_shard=items_per_shard,
+        txns_per_block=txns_per_block,
+        num_requests=num_requests,
+        num_clients=num_clients,
+    )
+    variants = DEFAULT_TRIGGER_VARIANTS[:1] if smoke else DEFAULT_TRIGGER_VARIANTS
+    scenarios = build_fault_matrix(config.server_ids, trigger_variants=variants)
+    results = CampaignRunner(config).run_matrix(scenarios)
+    rows = [result.as_row() for result in results]
+    return (results, rows) if return_results else rows
+
+
 def ablation_latency_regime(
     num_requests: int = 60,
     return_results: bool = False,
@@ -223,6 +259,7 @@ EXPERIMENT_REGISTRY = {
     "figure14": figure14_number_of_servers,
     "figure15": figure15_items_per_shard,
     "multiclient": multiclient_scaling,
+    "faultmatrix": faultmatrix,
     "ablation-latency": ablation_latency_regime,
     "ablation-signing": ablation_signing_scheme,
 }

@@ -315,6 +315,9 @@ class TFCommitCoordinator:
 
         # Phase 3: <null, SchChallenge> -- aggregate votes into the block.
         coordinator_started = time.perf_counter()
+        faults.observe_phase(
+            "coordinate", partial_block.height, tuple(t.txn_id for t in transactions)
+        )
         decision = BlockDecision.COMMIT
         abort_reasons: List[str] = []
         roots: Dict[str, bytes] = {}
@@ -327,8 +330,12 @@ class TFCommitCoordinator:
                     if vote["abort_reason"]:
                         abort_reasons.append(f"{server_id}: {vote['abort_reason']}")
                 elif vote["root"] is not None:
+                    # A malicious coordinator can record a bogus root for a
+                    # victim (Scenario 2) or drop it from the block entirely
+                    # (returning None), producing a malformed commit block.
                     recorded = faults.fake_root_for(server_id, vote["root"])
-                    roots[server_id] = recorded
+                    if recorded is not None:
+                        roots[server_id] = recorded
             timing.mht_time = max(timing.mht_time, vote["mht_time"])
             timing.mht_hashes += vote["mht_hashes"]
         if decision is BlockDecision.ABORT:

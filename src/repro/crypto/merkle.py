@@ -23,6 +23,7 @@ see DESIGN.md for the accounting model.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
@@ -220,7 +221,7 @@ class MerkleTree:
         derive a historical tree that differs from this one in a few leaves
         (the audit-side VO regeneration path in the datastore).
         """
-        dup = object.__new__(MerkleTree)
+        dup = copy.copy(self)
         dup._ids = list(self._ids)
         dup._index = dict(self._index)
         dup._values = dict(self._values)

@@ -1,0 +1,52 @@
+"""Declarative fault campaigns: plans, triggers, policies, and the runner.
+
+The paper's central claim is *detection*: any malicious server behaviour is
+caught by the external auditor (Lemmas 1-7) or by the TFCommit round itself.
+This package turns that guarantee into a measurable, sweepable artifact --
+see DESIGN.md ("Fault model & campaign engine") and
+``python -m repro.bench faultmatrix``.
+"""
+
+from repro.faultsim.campaign import (
+    CampaignConfig,
+    CampaignRunner,
+    DetectionResult,
+    run_campaign,
+)
+from repro.faultsim.plan import (
+    FAULT_KINDS,
+    RESERVED_ITEM,
+    CampaignScenario,
+    FaultPlan,
+    build_fault_matrix,
+)
+from repro.faultsim.policy import PlannedFaultPolicy
+from repro.faultsim.triggers import (
+    AfterCallsTrigger,
+    AtHeightTrigger,
+    PhaseTrigger,
+    ProbabilisticTrigger,
+    Trigger,
+    TxnPredicateTrigger,
+    trigger_from_spec,
+)
+
+__all__ = [
+    "AfterCallsTrigger",
+    "AtHeightTrigger",
+    "CampaignConfig",
+    "CampaignRunner",
+    "CampaignScenario",
+    "DetectionResult",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "PhaseTrigger",
+    "PlannedFaultPolicy",
+    "ProbabilisticTrigger",
+    "RESERVED_ITEM",
+    "Trigger",
+    "TxnPredicateTrigger",
+    "build_fault_matrix",
+    "run_campaign",
+    "trigger_from_spec",
+]

@@ -1,0 +1,300 @@
+"""Declarative fault plans and the campaign matrix.
+
+A :class:`FaultPlan` says *which* server misbehaves, *which* fault (one entry
+per :class:`~repro.server.faults.FaultPolicy` hook), and *when* (a trigger
+spec, see :mod:`repro.faultsim.triggers`).  Plans are plain data -- every
+field JSON-serialisable -- so campaigns can be written down, diffed, and
+swept.
+
+A :class:`CampaignScenario` composes one or more plans (multi-server
+collusion needs two) with the probe that surfaces the fault and the
+*expectation*: the :class:`~repro.audit.violations.ViolationType` the auditor
+must report (or ``None`` for faults the TFCommit round itself must catch)
+and the culprit attribution the detection must pin.
+
+:func:`build_fault_matrix` enumerates the full fault x trigger grid -- the
+sweepable artifact behind ``python -m repro.bench faultmatrix`` and the
+detection-matrix test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.audit.violations import ViolationType
+from repro.common.errors import ConfigurationError
+
+#: Placeholder resolved by the campaign runner to the target server's
+#: reserved probe item (the first item of its shard, excluded from the
+#: background workload so probes stay deterministic).
+RESERVED_ITEM = "$reserved"
+
+#: Fault kinds, one per FaultPolicy hook.  ``scope`` says which role the
+#: target server must play; ``detected_by`` is where the paper's guarantees
+#: catch the misbehaviour ("audit" for the offline auditor, "protocol" for
+#: the TFCommit round itself).
+FAULT_KINDS: Dict[str, Dict[str, object]] = {
+    # -- execution layer ------------------------------------------------------
+    "read-corruption": {"hook": "corrupt_read_value", "scope": "cohort", "detected_by": "audit"},
+    # drop-write acts at apply time (the server co-signs the correct root,
+    # then never persists the write); the buffered-drop hook is inert for
+    # committed state, so the plan drives only filter_applied_writes.
+    "drop-write": {"hook": "filter_applied_writes", "scope": "cohort", "detected_by": "audit"},
+    # -- commitment layer -----------------------------------------------------
+    "skip-validation": {"hook": "skip_validation", "scope": "cohort", "detected_by": "audit"},
+    "corrupt-commitment": {"hook": "corrupt_commitment", "scope": "cohort", "detected_by": "protocol"},
+    "corrupt-response": {"hook": "corrupt_response", "scope": "cohort", "detected_by": "protocol"},
+    "corrupt-root": {"hook": "corrupt_root", "scope": "cohort", "detected_by": "audit"},
+    "collude": {"hook": "collude_on_challenge", "scope": "cohort", "detected_by": "audit"},
+    # -- datastore ------------------------------------------------------------
+    "post-commit-corruption": {"hook": "post_commit_corruption", "scope": "cohort", "detected_by": "audit"},
+    # -- coordinator ----------------------------------------------------------
+    "equivocate": {"hook": "equivocate", "scope": "coordinator", "detected_by": "protocol"},
+    "fake-root": {"hook": "fake_root_for", "scope": "coordinator", "detected_by": "protocol"},
+    "drop-root": {"hook": "fake_root_for", "scope": "coordinator", "detected_by": "audit"},
+    # -- log ------------------------------------------------------------------
+    "log-tamper": {"hook": "tamper_log", "scope": "log", "detected_by": "audit"},
+    "log-truncate": {"hook": "tamper_log", "scope": "log", "detected_by": "audit"},
+    "fork-decision": {"hook": "tamper_log", "scope": "log", "detected_by": "audit"},
+    "forge-cosign": {"hook": "tamper_log", "scope": "log", "detected_by": "audit"},
+}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One server's declared misbehaviour: which fault, where, and when."""
+
+    fault: str
+    target: str
+    trigger: Mapping = field(default_factory=dict)
+    params: Mapping = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.fault not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {self.fault!r}; known: {sorted(FAULT_KINDS)}"
+            )
+        object.__setattr__(self, "trigger", dict(self.trigger))
+        object.__setattr__(self, "params", dict(self.params))
+
+    @property
+    def hook(self) -> str:
+        return str(FAULT_KINDS[self.fault]["hook"])
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "fault": self.fault,
+            "target": self.target,
+            "trigger": dict(self.trigger),
+            "params": dict(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "FaultPlan":
+        return cls(
+            fault=data["fault"],
+            target=data["target"],
+            trigger=data.get("trigger", {}),
+            params=data.get("params", {}),
+        )
+
+
+@dataclass(frozen=True)
+class CampaignScenario:
+    """One row of the fault matrix: plans + probe + detection expectation."""
+
+    name: str
+    plans: Tuple[FaultPlan, ...]
+    #: Probe driven after the background workload: "rw" (read-modify-write on
+    #: the reserved item), "stale-txn" (the Figure 10 stale-read dance), or
+    #: "none" (log faults manifest from the workload history alone).
+    probe: str = "rw"
+    #: ViolationType the audit must report; None when detection happens
+    #: inside the TFCommit round (refusals / faulty-signer identification).
+    expected_violation: Optional[ViolationType] = None
+    expected_culprits: Tuple[str, ...] = ()
+    #: False for seeded-probability variants, where the trigger may simply
+    #: never draw -- the sweep reports those rather than asserting on them.
+    deterministic: bool = True
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "plans", tuple(self.plans))
+        object.__setattr__(self, "expected_culprits", tuple(self.expected_culprits))
+        if not self.plans:
+            raise ConfigurationError("a scenario needs at least one fault plan")
+
+    @property
+    def fault_kinds(self) -> Tuple[str, ...]:
+        return tuple(plan.fault for plan in self.plans)
+
+    @property
+    def targets(self) -> Tuple[str, ...]:
+        return tuple(dict.fromkeys(plan.target for plan in self.plans))
+
+
+def _base_scenarios(server_ids: Sequence[str]) -> List[CampaignScenario]:
+    """The per-fault-kind scenarios with always-firing triggers.
+
+    ``server_ids[0]`` is the designated coordinator (as built by
+    :class:`~repro.core.fides.FidesSystem`); the standard malicious cohort is
+    ``server_ids[1]`` and the coordinator's victim is also ``server_ids[1]``.
+    """
+    if len(server_ids) < 3:
+        raise ConfigurationError("the fault matrix needs at least 3 servers")
+    coordinator = server_ids[0]
+    cohort = server_ids[1]
+    victim = server_ids[1]
+
+    def plan(fault: str, target: str, **params) -> FaultPlan:
+        return FaultPlan(fault=fault, target=target, params=params)
+
+    return [
+        CampaignScenario(
+            name="read-corruption",
+            plans=(plan("read-corruption", cohort, item=RESERVED_ITEM),),
+            probe="rw",
+            expected_violation=ViolationType.INCORRECT_READ,
+            expected_culprits=(cohort,),
+        ),
+        CampaignScenario(
+            name="drop-write",
+            plans=(plan("drop-write", cohort, item=RESERVED_ITEM),),
+            probe="rw",
+            expected_violation=ViolationType.DATASTORE_CORRUPTION,
+            expected_culprits=(cohort,),
+        ),
+        CampaignScenario(
+            name="skip-validation",
+            plans=(plan("skip-validation", cohort),),
+            probe="stale-txn",
+            expected_violation=ViolationType.ISOLATION_VIOLATION,
+            expected_culprits=(cohort,),
+        ),
+        CampaignScenario(
+            name="corrupt-root",
+            plans=(plan("corrupt-root", cohort),),
+            probe="rw",
+            expected_violation=ViolationType.DATASTORE_CORRUPTION,
+            expected_culprits=(cohort,),
+        ),
+        CampaignScenario(
+            name="post-commit-corruption",
+            plans=(plan("post-commit-corruption", cohort, item=RESERVED_ITEM, value=-424242),),
+            probe="rw",
+            expected_violation=ViolationType.DATASTORE_CORRUPTION,
+            expected_culprits=(cohort,),
+        ),
+        CampaignScenario(
+            name="corrupt-commitment",
+            plans=(plan("corrupt-commitment", cohort),),
+            probe="rw",
+            expected_violation=None,
+            expected_culprits=(cohort,),
+        ),
+        CampaignScenario(
+            name="corrupt-response",
+            plans=(plan("corrupt-response", cohort),),
+            probe="rw",
+            expected_violation=None,
+            expected_culprits=(cohort,),
+        ),
+        CampaignScenario(
+            name="equivocate",
+            plans=(plan("equivocate", coordinator),),
+            probe="rw",
+            expected_violation=None,
+            expected_culprits=(coordinator,),
+        ),
+        CampaignScenario(
+            name="fake-root",
+            plans=(plan("fake-root", coordinator, victim=victim),),
+            probe="rw",
+            expected_violation=None,
+            expected_culprits=(coordinator,),
+        ),
+        CampaignScenario(
+            # The coordinator drops the victim's root from the block and the
+            # victim colludes by co-signing anyway: the only way a malformed
+            # commit block enters the replicated log (Section 4.3.2).  The
+            # auditor blames the server whose root is missing.
+            name="drop-root-collusion",
+            plans=(
+                plan("drop-root", coordinator, victim=victim),
+                plan("collude", victim),
+            ),
+            probe="rw",
+            expected_violation=ViolationType.MALFORMED_BLOCK,
+            expected_culprits=(victim,),
+        ),
+        CampaignScenario(
+            name="log-tamper",
+            plans=(plan("log-tamper", cohort, height=0),),
+            probe="rw",
+            expected_violation=ViolationType.LOG_TAMPERED,
+            expected_culprits=(cohort,),
+        ),
+        CampaignScenario(
+            name="log-truncate",
+            plans=(plan("log-truncate", cohort, keep=1),),
+            probe="rw",
+            expected_violation=ViolationType.LOG_INCOMPLETE,
+            expected_culprits=(cohort,),
+        ),
+        CampaignScenario(
+            name="fork-decision",
+            plans=(plan("fork-decision", cohort),),
+            probe="rw",
+            expected_violation=ViolationType.ATOMICITY_VIOLATION,
+            expected_culprits=(cohort,),
+        ),
+        CampaignScenario(
+            name="forge-cosign",
+            plans=(plan("forge-cosign", cohort),),
+            probe="rw",
+            expected_violation=ViolationType.INVALID_COSIGN,
+            expected_culprits=(cohort,),
+        ),
+    ]
+
+
+#: Trigger variants swept by the full matrix.  ``at-height`` activates the
+#: fault only from block 2 on (the first blocks commit honestly, giving the
+#: blocks-until-detection metric something to measure); ``probability`` draws
+#: per consultation with a fixed seed and latches once fired.
+DEFAULT_TRIGGER_VARIANTS: Tuple[Tuple[str, Mapping, bool], ...] = (
+    ("always", {}, True),
+    ("at-height-2", {"kind": "at-height", "height": 2}, True),
+    ("p50", {"kind": "probability", "probability": 0.5, "seed": 77}, False),
+)
+
+
+def build_fault_matrix(
+    server_ids: Sequence[str],
+    trigger_variants: Optional[Sequence[Tuple[str, Mapping, bool]]] = None,
+) -> List[CampaignScenario]:
+    """Enumerate the full fault x trigger grid as concrete scenarios."""
+    variants = DEFAULT_TRIGGER_VARIANTS if trigger_variants is None else trigger_variants
+    matrix: List[CampaignScenario] = []
+    for suffix, trigger_spec, deterministic in variants:
+        for scenario in _base_scenarios(server_ids):
+            plans = tuple(
+                FaultPlan(
+                    fault=plan.fault,
+                    target=plan.target,
+                    trigger=trigger_spec,
+                    params=plan.params,
+                )
+                for plan in scenario.plans
+            )
+            matrix.append(
+                CampaignScenario(
+                    name=f"{scenario.name}@{suffix}",
+                    plans=plans,
+                    probe=scenario.probe,
+                    expected_violation=scenario.expected_violation,
+                    expected_culprits=scenario.expected_culprits,
+                    deterministic=deterministic and scenario.deterministic,
+                )
+            )
+    return matrix

@@ -1,0 +1,248 @@
+"""Plan-driven fault behaviour: one composable policy per misbehaving server.
+
+:class:`PlannedFaultPolicy` is the bridge between declarative
+:class:`~repro.faultsim.plan.FaultPlan` objects and the
+:class:`~repro.server.faults.FaultPolicy` hooks the server layers consult.
+It materialises each plan's trigger, gates every hook on it, and records
+*where* each fault first fired (block height) so the campaign runner can
+compute blocks-until-detection.
+
+Several plans can share one policy (a server running multiple misbehaviours,
+or a colluding cohort), which is what makes campaigns composable without
+hand-writing a new ``FaultPolicy`` subclass per combination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as dc_replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.types import ItemId, ServerId, Value
+from repro.crypto.cosi import CollectiveSignature
+from repro.crypto.group import CURVE_ORDER, Point, generator_multiply
+from repro.faultsim.plan import FaultPlan
+from repro.faultsim.triggers import Trigger, trigger_from_spec
+from repro.ledger.block import BlockDecision
+from repro.server.faults import FaultPolicy
+
+#: Value substituted for corrupted integer reads when the plan gives none.
+_DEFAULT_CORRUPT_DELTA = 7_777_777
+
+
+class PlannedFaultPolicy(FaultPolicy):
+    """Executes a list of fault plans for one server."""
+
+    def __init__(self, plans: Sequence[FaultPlan]) -> None:
+        self._plans: List[FaultPlan] = list(plans)
+        self._triggers: List[Trigger] = [trigger_from_spec(p.trigger) for p in self._plans]
+        self.name = "+".join(p.fault for p in self._plans) or "honest"
+        #: fault kind -> block height of the context when it first fired.
+        self.fired_heights: Dict[str, Optional[int]] = {}
+        self._log_tampered = False
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def plans_for(self, fault: str) -> List[int]:
+        return [i for i, plan in enumerate(self._plans) if plan.fault == fault]
+
+    def _trigger_fires(self, index: int, item_id: Optional[str] = None) -> bool:
+        return self._triggers[index].fires(self.context, item_id=item_id)
+
+    def _mark_fired(self, index: int) -> None:
+        plan = self._plans[index]
+        if plan.fault not in self.fired_heights:
+            self.fired_heights[plan.fault] = self.context.block_height
+
+    def _fire(self, index: int, item_id: Optional[str] = None) -> bool:
+        """Consult plan ``index``'s trigger; record the first firing height."""
+        if not self._trigger_fires(index, item_id=item_id):
+            return False
+        self._mark_fired(index)
+        return True
+
+    def fired(self, fault: Optional[str] = None) -> bool:
+        if fault is None:
+            return bool(self.fired_heights)
+        return fault in self.fired_heights
+
+    def first_fired_height(self) -> Optional[int]:
+        heights = [h for h in self.fired_heights.values() if h is not None]
+        return min(heights) if heights else None
+
+    def _item_matches(self, plan: FaultPlan, item_id: ItemId) -> bool:
+        wanted = plan.params.get("item")
+        return wanted is None or wanted == item_id
+
+    # -- execution-layer hooks -----------------------------------------------
+
+    def corrupt_read_value(self, item_id: ItemId, value: Value) -> Value:
+        for index in self.plans_for("read-corruption"):
+            plan = self._plans[index]
+            if not self._item_matches(plan, item_id):
+                continue
+            if not self._fire(index, item_id=item_id):
+                continue
+            if "value" in plan.params:
+                return plan.params["value"]
+            if isinstance(value, int):
+                return value + _DEFAULT_CORRUPT_DELTA
+            return "__corrupted__"
+        return value
+
+    # ``drop_buffered_write`` is deliberately left honest: the committed
+    # state (speculative roots, applied writes) derives from the block's
+    # write set, not the execution buffer, so a buffered drop is inert --
+    # and consulting the same stateful trigger from two hooks would advance
+    # it twice per write.  The declarative "drop-write" kind models the
+    # detectable fault: the apply-time drop below.
+
+    # -- commitment-layer hooks ----------------------------------------------
+
+    def skip_validation(self) -> bool:
+        return any(self._fire(i) for i in self.plans_for("skip-validation"))
+
+    def corrupt_commitment(self, commitment: Point) -> Point:
+        for index in self.plans_for("corrupt-commitment"):
+            if self._fire(index):
+                return generator_multiply(
+                    int(self._plans[index].params.get("scalar", 54321)) % CURVE_ORDER
+                )
+        return commitment
+
+    def corrupt_response(self, response: int) -> int:
+        for index in self.plans_for("corrupt-response"):
+            if self._fire(index):
+                return (response + int(self._plans[index].params.get("delta", 1))) % CURVE_ORDER
+        return response
+
+    def corrupt_root(self, root: bytes) -> bytes:
+        for index in self.plans_for("corrupt-root"):
+            if self._fire(index):
+                return self._plans[index].params.get("root", b"\xfe" * 32)
+        return root
+
+    def collude_on_challenge(self) -> bool:
+        return any(self._fire(i) for i in self.plans_for("collude"))
+
+    # -- datastore hooks -----------------------------------------------------
+
+    def filter_applied_writes(self, writes: Dict[ItemId, Value]) -> Dict[ItemId, Value]:
+        kept = dict(writes)
+        for index in self.plans_for("drop-write"):
+            plan = self._plans[index]
+            for item_id in list(kept):
+                if self._item_matches(plan, item_id) and self._fire(index, item_id=item_id):
+                    del kept[item_id]
+        return kept
+
+    def post_commit_corruption(self) -> Dict[ItemId, Value]:
+        # Corruption is persistent: re-applied after every commit once the
+        # trigger fires, so honest writes cannot mask it before the audit.
+        corruption: Dict[ItemId, Value] = {}
+        for index in self.plans_for("post-commit-corruption"):
+            plan = self._plans[index]
+            if not self._fire(index):
+                continue
+            if "items" in plan.params:
+                corruption.update(plan.params["items"])
+            elif "item" in plan.params:
+                corruption[plan.params["item"]] = plan.params.get("value", -424242)
+        return corruption
+
+    # -- coordinator hooks ---------------------------------------------------
+
+    def equivocate(self) -> bool:
+        return any(self._fire(i) for i in self.plans_for("equivocate"))
+
+    def fake_root_for(self, server_id: ServerId, root: Optional[bytes]) -> Optional[bytes]:
+        for index in self.plans_for("fake-root"):
+            plan = self._plans[index]
+            if plan.params.get("victim") == server_id and self._fire(index):
+                return plan.params.get("root", b"\x00" * 32)
+        for index in self.plans_for("drop-root"):
+            plan = self._plans[index]
+            if plan.params.get("victim") == server_id and self._fire(index):
+                return None
+        return root
+
+    # -- log hooks -----------------------------------------------------------
+
+    def maintains_log_integrity(self) -> bool:
+        return not self._log_tampered
+
+    def tamper_log(self, log) -> None:
+        # One-shot tampers mark themselves fired only once they actually
+        # mutated the log; a firing trigger with nothing to tamper yet (e.g.
+        # the target block does not exist) retries at the next decision.
+        one_shot = (
+            ("log-tamper", lambda i: self._forge_write_entry(
+                log, int(self._plans[i].params.get("height", 0))
+            )),
+            ("fork-decision", lambda i: self._fork_decision(
+                log, self._plans[i].params.get("height")
+            )),
+            ("forge-cosign", lambda i: self._forge_cosign(
+                log, self._plans[i].params.get("height")
+            )),
+        )
+        for fault, tamper in one_shot:
+            for index in self.plans_for(fault):
+                if not self.fired(fault) and self._trigger_fires(index) and tamper(index):
+                    self._mark_fired(index)
+        for index in self.plans_for("log-truncate"):
+            # Re-truncate on every decision so blocks appended after the
+            # first firing are dropped again: the audited copy stays a short
+            # valid prefix (Lemma 7) rather than a broken chain (Lemma 6).
+            if self.fired("log-truncate") or self._trigger_fires(index):
+                keep = int(self._plans[index].params.get("keep", 1))
+                if len(log) > keep:
+                    self._log_tampered = True
+                    log.truncate(keep)
+                    self._mark_fired(index)
+
+    def _forge_write_entry(self, log, height: int) -> bool:
+        """Overwrite a logged write value after the fact (Lemma 6)."""
+        if len(log) <= height:
+            return False
+        block = log[height]
+        for t_index, txn in enumerate(block.transactions):
+            if not txn.write_set:
+                continue
+            entry = dc_replace(txn.write_set[0], new_value="__forged__")
+            forged_txn = dc_replace(
+                txn, write_set=(entry,) + tuple(txn.write_set[1:])
+            )
+            transactions = list(block.transactions)
+            transactions[t_index] = forged_txn
+            self._log_tampered = True
+            log.tamper_replace(height, dc_replace(block, transactions=tuple(transactions)))
+            return True
+        return False
+
+    def _fork_decision(self, log, height: Optional[int]) -> bool:
+        """Flip a committed block's decision, modelling a forked outcome (Lemma 5)."""
+        heights = [height] if height is not None else range(len(log) - 1, -1, -1)
+        for h in heights:
+            if h < len(log) and log[h].is_commit:
+                forked = dc_replace(log[h], decision=BlockDecision.ABORT, roots={})
+                self._log_tampered = True
+                log.tamper_replace(h, forked)
+                return True
+        return False
+
+    def _forge_cosign(self, log, height: Optional[int]) -> bool:
+        """Replace a block's collective signature, keeping the content (Lemma 4)."""
+        h = height if height is not None else len(log) - 1
+        if h < 0 or h >= len(log):
+            return False
+        block = log[h]
+        if block.cosign is None:
+            return False
+        bogus = CollectiveSignature(
+            challenge=(block.cosign.challenge + 1) % CURVE_ORDER,
+            response=(block.cosign.response + 1) % CURVE_ORDER,
+            signer_ids=block.cosign.signer_ids,
+        )
+        self._log_tampered = True
+        log.tamper_replace(h, block.with_cosign(bogus))
+        return True

@@ -1,0 +1,182 @@
+"""Trigger predicates: *when* a planned fault fires.
+
+A :class:`~repro.faultsim.plan.FaultPlan` pairs a fault kind with a trigger
+spec.  Triggers are evaluated against the :class:`~repro.server.faults.FaultContext`
+the server layers maintain (protocol phase, block height, transactions in
+flight) plus whatever per-call detail the hook itself has (the item being
+read, the transaction id), so one declarative schema covers all four firing
+modes the campaign engine sweeps:
+
+* ``always`` -- fire on every consultation (the classic hand-wired faults);
+* ``at-height`` -- fire at (or from) a given block height;
+* ``phase`` -- fire only while the server is in one of the given phases;
+* ``txn`` -- fire only for matching transactions / items;
+* ``probability`` -- fire with a seeded pseudo-random probability, latching
+  on once fired so runs stay deterministic for a given seed;
+* ``after-calls`` -- fire from the N-th consultation onwards.
+
+Triggers are *stateful* (probability latches, call counters), so each plan
+materialises its own instance via :func:`trigger_from_spec`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.server.faults import FaultContext
+
+
+class Trigger:
+    """Base trigger: always fires."""
+
+    kind = "always"
+
+    def fires(
+        self,
+        ctx: FaultContext,
+        item_id: Optional[str] = None,
+        txn_id: Optional[str] = None,
+    ) -> bool:
+        return True
+
+    def describe(self) -> str:
+        return self.kind
+
+
+@dataclass
+class AtHeightTrigger(Trigger):
+    """Fire at (``exact=True``) or from (default) a given block height."""
+
+    height: int = 0
+    exact: bool = False
+    kind = "at-height"
+
+    def fires(self, ctx, item_id=None, txn_id=None) -> bool:
+        if ctx.block_height is None:
+            return False
+        if self.exact:
+            return ctx.block_height == self.height
+        return ctx.block_height >= self.height
+
+    def describe(self) -> str:
+        op = "==" if self.exact else ">="
+        return f"height{op}{self.height}"
+
+
+@dataclass
+class PhaseTrigger(Trigger):
+    """Fire only while the server is in one of the given protocol phases."""
+
+    phases: Tuple[str, ...] = ()
+    kind = "phase"
+
+    def fires(self, ctx, item_id=None, txn_id=None) -> bool:
+        return ctx.phase in self.phases
+
+    def describe(self) -> str:
+        return f"phase:{'|'.join(self.phases)}"
+
+
+@dataclass
+class TxnPredicateTrigger(Trigger):
+    """Fire only for hook calls concerning matching transactions or items."""
+
+    txn_prefix: str = ""
+    item_ids: Tuple[str, ...] = ()
+    kind = "txn"
+
+    def fires(self, ctx, item_id=None, txn_id=None) -> bool:
+        if self.item_ids and item_id is not None:
+            return item_id in self.item_ids
+        candidates = (txn_id,) if txn_id is not None else tuple(ctx.txn_ids)
+        if self.txn_prefix:
+            return any(t is not None and t.startswith(self.txn_prefix) for t in candidates)
+        return bool(candidates)
+
+    def describe(self) -> str:
+        if self.item_ids:
+            return f"txn:items={','.join(self.item_ids)}"
+        return f"txn:prefix={self.txn_prefix}"
+
+
+@dataclass
+class ProbabilisticTrigger(Trigger):
+    """Fire with seeded probability; latches on once fired (deterministic runs)."""
+
+    probability: float = 0.5
+    seed: int = 2020
+    latch: bool = True
+    kind = "probability"
+    _rng: random.Random = field(default=None, repr=False)
+    _fired: bool = field(default=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ConfigurationError("trigger probability must be within [0, 1]")
+        self._rng = random.Random(self.seed)
+
+    def fires(self, ctx, item_id=None, txn_id=None) -> bool:
+        if self.latch and self._fired:
+            return True
+        if self._rng.random() < self.probability:
+            self._fired = True
+            return True
+        return False
+
+    def describe(self) -> str:
+        return f"p={self.probability}"
+
+
+@dataclass
+class AfterCallsTrigger(Trigger):
+    """Fire from the (``skip`` + 1)-th consultation onwards."""
+
+    skip: int = 0
+    kind = "after-calls"
+    _calls: int = field(default=0, repr=False)
+
+    def fires(self, ctx, item_id=None, txn_id=None) -> bool:
+        self._calls += 1
+        return self._calls > self.skip
+
+    def describe(self) -> str:
+        return f"after{self.skip}"
+
+
+_TRIGGER_KINDS = {
+    "always": Trigger,
+    "at-height": AtHeightTrigger,
+    "phase": PhaseTrigger,
+    "txn": TxnPredicateTrigger,
+    "probability": ProbabilisticTrigger,
+    "after-calls": AfterCallsTrigger,
+}
+
+
+def trigger_from_spec(spec: Optional[Mapping]) -> Trigger:
+    """Materialise a fresh (stateful) trigger from a declarative spec dict.
+
+    ``None`` or ``{}`` means "always".  Tuple-typed fields accept lists so
+    specs round-trip through JSON.
+    """
+    if not spec:
+        return Trigger()
+    if isinstance(spec, Trigger):
+        return spec
+    kind = spec.get("kind", "always")
+    cls = _TRIGGER_KINDS.get(kind)
+    if cls is None:
+        raise ConfigurationError(
+            f"unknown trigger kind {kind!r}; known: {sorted(_TRIGGER_KINDS)}"
+        )
+    kwargs = {k: v for k, v in spec.items() if k != "kind"}
+    for tuple_field in ("phases", "item_ids"):
+        if tuple_field in kwargs:
+            kwargs[tuple_field] = tuple(kwargs[tuple_field])
+    try:
+        return cls(**kwargs)
+    except TypeError as exc:
+        raise ConfigurationError(f"bad trigger spec {spec!r}: {exc}") from None

@@ -144,7 +144,13 @@ class CommitmentLayer:
         signed too) but votes abort.
         """
         started = time.perf_counter()
-        if partial_block.height != self._log.height:
+        self._faults.observe_phase(
+            "vote", partial_block.height, tuple(t.txn_id for t in partial_block.transactions)
+        )
+        if partial_block.height != self._log.height and self._faults.maintains_log_integrity():
+            # A server that doctored its own log (truncation) is out of sync
+            # by construction; it keeps participating rather than crashing
+            # the round, and the audit catches the short log instead.
             raise ProtocolError(
                 f"{self.server_id}: partial block height {partial_block.height} does not extend "
                 f"local log of height {self._log.height}"
@@ -218,6 +224,9 @@ class CommitmentLayer:
           actually received (Lemma 5, equivocation detection).
         """
         started = time.perf_counter()
+        self._faults.observe_phase(
+            "challenge", block.height, tuple(t.txn_id for t in block.transactions)
+        )
         state = self._rounds.get(block.height)
         if state is None:
             raise ProtocolError(f"{self.server_id}: challenge for unknown round {block.height}")
@@ -232,20 +241,21 @@ class CommitmentLayer:
                 "compute_time": time.perf_counter() - started,
             }
 
-        involved_servers = set(block.roots)
-        if block.decision is BlockDecision.COMMIT and state.involved:
-            if self.server_id not in involved_servers:
-                return refusal("commit block is missing this cohort's root")
-            if state.reported_root is not None and block.roots[self.server_id] != state.reported_root:
-                return refusal("coordinator recorded a different root than this cohort sent")
-        if block.decision is BlockDecision.COMMIT and state.local_decision is BlockDecision.ABORT:
-            return refusal("coordinator decided commit although this cohort voted abort")
+        if not self._faults.collude_on_challenge():
+            involved_servers = set(block.roots)
+            if block.decision is BlockDecision.COMMIT and state.involved:
+                if self.server_id not in involved_servers:
+                    return refusal("commit block is missing this cohort's root")
+                if state.reported_root is not None and block.roots[self.server_id] != state.reported_root:
+                    return refusal("coordinator recorded a different root than this cohort sent")
+            if block.decision is BlockDecision.COMMIT and state.local_decision is BlockDecision.ABORT:
+                return refusal("coordinator decided commit although this cohort voted abort")
 
-        expected_challenge = compute_challenge(
-            decompress_point(aggregate_commitment), block.body_digest()
-        )
-        if expected_challenge != challenge:
-            return refusal("challenge does not correspond to the received block")
+            expected_challenge = compute_challenge(
+                decompress_point(aggregate_commitment), block.body_digest()
+            )
+            if expected_challenge != challenge:
+                return refusal("challenge does not correspond to the received block")
 
         response = self._faults.corrupt_response(state.witness.respond(challenge))
         return {
@@ -263,6 +273,9 @@ class CommitmentLayer:
     ) -> Dict[str, object]:
         """Verify the finalised block's co-sign, log it, and apply its writes."""
         started = time.perf_counter()
+        self._faults.observe_phase(
+            "decision", block.height, tuple(t.txn_id for t in block.transactions)
+        )
         state = self._rounds.pop(block.height, None)
         if block.cosign is None or not cosi_verify(block.cosign, block.body_digest(), public_keys):
             return {
@@ -271,7 +284,7 @@ class CommitmentLayer:
                 "reason": "invalid collective signature on final block",
                 "compute_time": time.perf_counter() - started,
             }
-        self._log.append(block)
+        self._log.append(block, verify_link=self._faults.maintains_log_integrity())
         mht_hashes = 0
         if block.is_commit:
             mht_hashes = self._apply_block(block)
@@ -303,6 +316,7 @@ class CommitmentLayer:
                 for entry in txn.write_set
                 if entry.item_id in self._store
             }
+            local_writes = self._faults.filter_applied_writes(local_writes)
             local_reads = [
                 entry.item_id for entry in txn.read_set if entry.item_id in self._store
             ]
@@ -317,6 +331,9 @@ class CommitmentLayer:
     def handle_prepare(self, block: Block) -> Dict[str, object]:
         """2PC prepare: validate the transactions touching this shard and vote."""
         started = time.perf_counter()
+        self._faults.observe_phase(
+            "vote", block.height, tuple(t.txn_id for t in block.transactions)
+        )
         decision = BlockDecision.COMMIT
         reason = ""
         involved = any(self._local_items(txn) for txn in block.transactions)
@@ -340,6 +357,9 @@ class CommitmentLayer:
     def handle_2pc_decision(self, block: Block) -> Dict[str, object]:
         """2PC decision: append the (unsigned) block and apply writes if commit."""
         started = time.perf_counter()
+        self._faults.observe_phase(
+            "decision", block.height, tuple(t.txn_id for t in block.transactions)
+        )
         self._log.append(block, verify_link=False)
         if block.is_commit:
             self._apply_block(block)

@@ -14,10 +14,30 @@ coordinator; :class:`HonestBehavior` is the no-op default.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.common.types import ItemId, ServerId, Value
 from repro.crypto.group import CURVE_ORDER, Point, generator_multiply
+
+
+@dataclass
+class FaultContext:
+    """Where in the protocol a fault hook is being consulted.
+
+    The server layers update this context before consulting any hook, so a
+    plan-driven policy (see :mod:`repro.faultsim`) can decide *when* to
+    misbehave -- by protocol phase, block height, or transaction -- without
+    the hooks themselves growing extra parameters.
+    """
+
+    #: Protocol phase: "execute", "vote", "challenge", "decision", or
+    #: "coordinate" (coordinator-side block assembly).
+    phase: str = ""
+    #: Height of the block being processed; for execution-layer hooks this is
+    #: the height the *next* block would carry (the local log height).
+    block_height: Optional[int] = None
+    #: Transactions in flight for the current hook consultation.
+    txn_ids: Tuple[str, ...] = ()
 
 
 class FaultPolicy:
@@ -30,6 +50,29 @@ class FaultPolicy:
 
     #: Human-readable fault name recorded by tests and examples.
     name = "honest"
+
+    # -- protocol context --------------------------------------------------------
+
+    @property
+    def context(self) -> FaultContext:
+        """The phase context last observed (lazily created per instance)."""
+        ctx = getattr(self, "_context", None)
+        if ctx is None:
+            ctx = FaultContext()
+            self._context = ctx
+        return ctx
+
+    def observe_phase(
+        self,
+        phase: str,
+        block_height: Optional[int] = None,
+        txn_ids: Tuple[str, ...] = (),
+    ) -> None:
+        """Called by the server layers before any hook of that phase runs."""
+        ctx = self.context
+        ctx.phase = phase
+        ctx.block_height = block_height
+        ctx.txn_ids = tuple(txn_ids)
 
     # -- execution-layer hooks -------------------------------------------------
 
@@ -59,7 +102,26 @@ class FaultPolicy:
         """MHT root the cohort reports in its vote."""
         return root
 
+    def collude_on_challenge(self) -> bool:
+        """Return True to skip the challenge-phase consistency checks.
+
+        A colluding cohort responds to the challenge even when the completed
+        block is inconsistent with what it voted (e.g. its root was silently
+        dropped by the coordinator), which is how a malformed block can end
+        up fully co-signed (Section 4.3.2).
+        """
+        return False
+
     # -- datastore hooks ---------------------------------------------------------
+
+    def filter_applied_writes(self, writes: Dict[ItemId, Value]) -> Dict[ItemId, Value]:
+        """Writes actually applied to the datastore when a block commits.
+
+        Dropping entries here models "incorrect writes": the server voted on
+        (and co-signed) the correct speculative root but never persisted the
+        write, so its datastore silently diverges from the logged state.
+        """
+        return writes
 
     def post_commit_corruption(self) -> Dict[ItemId, Value]:
         """Items to silently overwrite in the datastore after a commit (Scenario 3)."""
@@ -79,6 +141,16 @@ class FaultPolicy:
 
     def tamper_log(self, log) -> None:
         """Arbitrary post-hoc mutation of the local log copy (Lemmas 6-7)."""
+
+    def maintains_log_integrity(self) -> bool:
+        """False once this policy has doctored the local log.
+
+        A server that truncated or forked its own log no longer enforces the
+        hash-pointer check when appending new blocks (an honest append onto a
+        doctored log would raise); the commitment layer consults this before
+        every append.
+        """
+        return True
 
 
 class HonestBehavior(FaultPolicy):

@@ -109,12 +109,16 @@ class DatabaseServer:
     def _on_read(self, envelope: Envelope):
         payload = envelope.payload
         self.execution.archive_client_message(envelope)
+        # Execution-layer hooks see the height the *next* block would carry,
+        # so height-based fault triggers line up with the commitment phases.
+        self.faults.observe_phase("execute", self.log.height, (payload["txn_id"],))
         result = self.execution.read(payload["txn_id"], payload["item_id"])
         return result.to_wire()
 
     def _on_write(self, envelope: Envelope):
         payload = envelope.payload
         self.execution.archive_client_message(envelope)
+        self.faults.observe_phase("execute", self.log.height, (payload["txn_id"],))
         old = self.execution.write(payload["txn_id"], payload["item_id"], payload["value"])
         return {"ok": True, "old": old.to_wire(), "server_id": self.server_id}
 

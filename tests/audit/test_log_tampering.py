@@ -11,15 +11,9 @@ from repro.server.faults import LogTamperFault
 from repro.txn.operations import ReadOp, WriteOp
 
 
-def run_some_history(system, workload_factory, count=5, seed=51):
-    workload = workload_factory(system, ops_per_txn=2, seed=seed)
-    result = system.run_workload(workload.generate(count))
-    assert result.committed == count
-
-
 class TestLogTamperingDetection:
-    def test_value_tampering_detected(self, small_system, workload_factory):
-        run_some_history(small_system, workload_factory)
+    def test_value_tampering_detected(self, small_system, run_history):
+        run_history(small_system)
         log = small_system.server("s1").log
         block = log[2]
         txn = block.transactions[0]
@@ -37,8 +31,8 @@ class TestLogTamperingDetection:
         assert report.reference_log_server in ("s0", "s2")
         assert report.reference_log_length == 5
 
-    def test_reordering_detected(self, small_system, workload_factory):
-        run_some_history(small_system, workload_factory)
+    def test_reordering_detected(self, small_system, run_history):
+        run_history(small_system)
         small_system.server("s2").log.tamper_reorder(1, 3)
         report = small_system.audit()
         assert not report.ok
@@ -47,8 +41,8 @@ class TestLogTamperingDetection:
             for v in report.violations
         )
 
-    def test_fault_policy_tampering_detected(self, small_system, workload_factory):
-        run_some_history(small_system, workload_factory, count=3, seed=52)
+    def test_fault_policy_tampering_detected(self, small_system, run_history):
+        run_history(small_system, count=3, seed=52)
         small_system.inject_fault("s1", LogTamperFault(target_height=1))
         # The fault rewrites history right after the next block is appended.
         item = small_system.shard_map.items_of("s0")[0]
@@ -57,9 +51,9 @@ class TestLogTamperingDetection:
         assert not report.ok
         assert "s1" in report.culprit_servers()
 
-    def test_all_but_one_server_tampered_still_detected(self, small_system, workload_factory):
+    def test_all_but_one_server_tampered_still_detected(self, small_system, run_history):
         """n-1 faulty servers: the single correct copy is found and the rest exposed."""
-        run_some_history(small_system, workload_factory, count=4, seed=53)
+        run_history(small_system, count=4, seed=53)
         small_system.server("s1").log.tamper_reorder(0, 1)
         small_system.server("s2").log.truncate(1)
         report = small_system.audit()

@@ -10,9 +10,8 @@ from repro.txn.operations import ReadOp, WriteOp
 
 
 class TestLogTruncationDetection:
-    def test_truncated_copy_detected(self, small_system, workload_factory):
-        workload = workload_factory(small_system, ops_per_txn=2, seed=61)
-        small_system.run_workload(workload.generate(5))
+    def test_truncated_copy_detected(self, small_system, run_history):
+        run_history(small_system, count=5, seed=61)
         small_system.server("s2").log.truncate(2)
         report = small_system.audit()
         assert not report.ok
@@ -23,9 +22,8 @@ class TestLogTruncationDetection:
         assert incomplete[0].block_height == 2
         assert report.reference_log_length == 5
 
-    def test_truncation_via_fault_policy(self, small_system, workload_factory):
-        workload = workload_factory(small_system, ops_per_txn=2, seed=62)
-        small_system.run_workload(workload.generate(3))
+    def test_truncation_via_fault_policy(self, small_system, run_history):
+        run_history(small_system, count=3, seed=62)
         small_system.inject_fault("s1", LogTruncationFault(keep_blocks=1))
         item = small_system.shard_map.items_of("s0")[0]
         assert small_system.run_transaction([ReadOp(item), WriteOp(item, 1)]).committed
@@ -36,9 +34,8 @@ class TestLogTruncationDetection:
             for v in report.violations
         )
 
-    def test_reference_log_survives_majority_truncation(self, small_system, workload_factory):
-        workload = workload_factory(small_system, ops_per_txn=2, seed=63)
-        small_system.run_workload(workload.generate(4))
+    def test_reference_log_survives_majority_truncation(self, small_system, run_history):
+        run_history(small_system, count=4, seed=63)
         small_system.server("s0").log.truncate(1)
         small_system.server("s1").log.truncate(2)
         report = small_system.audit()

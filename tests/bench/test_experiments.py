@@ -44,8 +44,18 @@ class TestFigureSweeps:
         rows = ablation_signing_scheme(num_requests=2)
         assert len(rows) == 2
 
+    def test_faultmatrix_smoke_rows(self):
+        from repro.bench.experiments import faultmatrix
+
+        rows = faultmatrix(num_requests=2, smoke=True)
+        assert len(rows) == 14  # one per fault kind, always-trigger grid
+        for row in rows:
+            assert {"scenario", "detected", "blocks-to-detect", "audit overhead (x)"} <= set(row)
+
     def test_registry_covers_every_figure(self):
-        assert {"figure12", "figure13", "figure14", "figure15"} <= set(EXPERIMENT_REGISTRY)
+        assert {"figure12", "figure13", "figure14", "figure15", "faultmatrix"} <= set(
+            EXPERIMENT_REGISTRY
+        )
 
 
 class TestCli:
@@ -62,3 +72,15 @@ class TestCli:
         assert main(["ablation-signing", "--requests", "2", "--csv"]) == 0
         captured = capsys.readouterr()
         assert captured.out.splitlines()[0].startswith("label,")
+
+    def test_faultmatrix_json_artifact(self, capsys, tmp_path):
+        import json
+
+        from repro.bench.__main__ import main
+
+        out = tmp_path / "faultmatrix.json"
+        assert main(["faultmatrix", "--requests", "2", "--smoke", "--json", str(out)]) == 0
+        data = json.loads(out.read_text())
+        assert data["experiment"] == "faultmatrix"
+        assert len(data["rows"]) == 14
+        assert all(row["detected"] for row in data["rows"])

@@ -53,6 +53,44 @@ class TestCanonicalEncodeBasics:
         assert canonical_encode(Wired()) == canonical_encode({"x": 1})
 
 
+class TestSeededRandomPayloads:
+    """Seeded-random payloads (shared generator): deterministic for a seed."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2020])
+    def test_randomized_payloads_encode_deterministically(self, random_payload, seed):
+        import random
+
+        payloads = [random_payload(random.Random(seed + i)) for i in range(40)]
+        first = [canonical_encode(p) for p in payloads]
+        second = [canonical_encode(p) for p in payloads]
+        assert first == second
+
+    @pytest.mark.parametrize("seed", [7, 2020])
+    def test_randomized_payloads_rarely_collide(self, random_payload, seed):
+        import random
+
+        payloads = [random_payload(random.Random(seed * 1000 + i)) for i in range(60)]
+        by_encoding = {}
+        for payload in payloads:
+            by_encoding.setdefault(canonical_encode(payload), []).append(payload)
+        for group in by_encoding.values():
+            head = group[0]
+            assert all(item == head for item in group)
+
+    @pytest.mark.parametrize("seed", [5])
+    def test_dict_shuffling_never_changes_encoding(self, random_payload, seed):
+        import random
+
+        rng = random.Random(seed)
+        for _ in range(30):
+            mapping = {
+                f"key-{rng.randint(0, 100)}": random_payload(rng) for _ in range(6)
+            }
+            items = list(mapping.items())
+            rng.shuffle(items)
+            assert canonical_encode(mapping) == canonical_encode(dict(items))
+
+
 _scalars = st.one_of(
     st.none(),
     st.booleans(),

@@ -1,0 +1,69 @@
+"""Differential testing: TFCommit and the 2PC baseline must agree.
+
+TFCommit adds collective signing and Merkle commitments *on top of* the same
+OCC validation and batching as the trusted 2PC baseline (Section 6.1): under
+honest execution the cryptography must not change any transactional outcome.
+The same multi-client workload driven through both coordinators must commit
+and abort the same transactions and leave every shard in the same final
+state.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workload.ycsb import YcsbWorkload
+
+
+def drive(system, num_requests, num_clients, conflict_free_window=0, seed=5):
+    workload = YcsbWorkload(
+        item_ids=system.shard_map.all_items(),
+        ops_per_txn=2,
+        conflict_free_window=conflict_free_window,
+        seed=seed,
+    )
+    return system.run_workload(workload.generate(num_requests), num_clients=num_clients)
+
+
+def outcome_map(result):
+    return {outcome.txn_id: outcome.status for outcome in result.outcomes}
+
+
+def final_state(system):
+    return {server_id: server.snapshot() for server_id, server in system.servers.items()}
+
+
+class TestProtocolDifferential:
+    @pytest.mark.parametrize("num_clients", [1, 3])
+    def test_conflict_free_workload_matches(self, make_system, num_clients):
+        tf = make_system(protocol="tfcommit")
+        two_pc = make_system(protocol="2pc")
+        result_tf = drive(tf, 12, num_clients, conflict_free_window=4)
+        result_2pc = drive(two_pc, 12, num_clients, conflict_free_window=4)
+        assert outcome_map(result_tf) == outcome_map(result_2pc)
+        assert result_tf.committed == 12
+        assert final_state(tf) == final_state(two_pc)
+
+    def test_conflict_heavy_workload_matches(self, make_system):
+        """Aborts and stale retries must fall identically under both protocols."""
+        tf = make_system(protocol="tfcommit", items_per_shard=4)
+        two_pc = make_system(protocol="2pc", items_per_shard=4)
+        result_tf = drive(tf, 16, 4, seed=13)
+        result_2pc = drive(two_pc, 16, 4, seed=13)
+        assert outcome_map(result_tf) == outcome_map(result_2pc)
+        assert result_tf.committed == result_2pc.committed
+        assert result_tf.aborted == result_2pc.aborted
+        assert final_state(tf) == final_state(two_pc)
+
+    def test_logs_agree_on_decisions(self, make_system):
+        tf = make_system(protocol="tfcommit")
+        two_pc = make_system(protocol="2pc")
+        drive(tf, 8, 2, conflict_free_window=4)
+        drive(two_pc, 8, 2, conflict_free_window=4)
+        decisions_tf = [block.decision for block in tf.server("s0").log]
+        decisions_2pc = [block.decision for block in two_pc.server("s0").log]
+        assert decisions_tf == decisions_2pc
+        # Same transactions in the same blocks, in the same order.
+        txns_tf = [[t.txn_id for t in block.transactions] for block in tf.server("s0").log]
+        txns_2pc = [[t.txn_id for t in block.transactions] for block in two_pc.server("s0").log]
+        assert txns_tf == txns_2pc

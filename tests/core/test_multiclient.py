@@ -10,80 +10,59 @@ from __future__ import annotations
 
 import pytest
 
-from repro.common.config import SystemConfig
 from repro.common.errors import ConfigurationError
-from repro.core.fides import FidesSystem
-from repro.net.latency import ConstantLatency
 from repro.workload.ycsb import YcsbWorkload
 
 
-def build_system(seed: int = 11) -> FidesSystem:
-    config = SystemConfig(
-        num_servers=3,
-        items_per_shard=60,
-        txns_per_block=4,
-        ops_per_txn=2,
-        multi_versioned=True,
-        message_signing="hash",
-        seed=seed,
-    )
-    return FidesSystem(config, latency=ConstantLatency(0.0002))
-
-
-def conflict_free_specs(system: FidesSystem, count: int, seed: int = 2):
-    workload = YcsbWorkload(
-        item_ids=system.shard_map.all_items(),
-        ops_per_txn=2,
-        conflict_free_window=4,
-        seed=seed,
-    )
-    return workload.generate(count)
+def conflict_free_specs(workload_factory, system, count: int, seed: int = 2):
+    """Conflict-free specs via the shared workload_factory fixture."""
+    return workload_factory(system, ops_per_txn=2, window=4, seed=seed).generate(count)
 
 
 class TestMultiClientWorkload:
-    def test_rejects_zero_clients(self):
-        system = build_system()
+    def test_rejects_zero_clients(self, make_system, workload_factory):
+        system = make_system()
         with pytest.raises(ConfigurationError):
             system.run_workload([], num_clients=0)
 
-    def test_multi_client_commits_match_single_client(self):
-        single = build_system()
-        multi = build_system()
-        specs = conflict_free_specs(single, 12)
+    def test_multi_client_commits_match_single_client(self, make_system, workload_factory):
+        single = make_system()
+        multi = make_system()
+        specs = conflict_free_specs(workload_factory, single, 12)
         baseline = single.run_workload(specs)
-        result = multi.run_workload(conflict_free_specs(multi, 12), num_clients=4)
+        result = multi.run_workload(conflict_free_specs(workload_factory, multi, 12), num_clients=4)
         assert result.committed == baseline.committed == 12
         assert result.aborted == baseline.aborted == 0
 
-    def test_transactions_round_robin_across_sessions(self):
-        system = build_system()
-        result = system.run_workload(conflict_free_specs(system, 8), num_clients=4)
+    def test_transactions_round_robin_across_sessions(self, make_system, workload_factory):
+        system = make_system()
+        result = system.run_workload(conflict_free_specs(workload_factory, system, 8), num_clients=4)
         issuing_clients = {outcome.txn_id.split("-txn-")[0] for outcome in result.outcomes}
         assert issuing_clients == {"c0", "c1", "c2", "c3"}
         assert result.committed_by_client == {"c0": 2, "c1": 2, "c2": 2, "c3": 2}
 
-    def test_per_client_timestamps_are_independent(self):
-        system = build_system()
-        system.run_workload(conflict_free_specs(system, 8), num_clients=4)
+    def test_per_client_timestamps_are_independent(self, make_system, workload_factory):
+        system = make_system()
+        system.run_workload(conflict_free_specs(workload_factory, system, 8), num_clients=4)
         # Round-robin over 4 clients: each issued 2 transactions, so each
         # client clock advanced independently rather than once per request.
         for index in range(4):
             assert system.client(index).clock.current().counter <= 4
 
-    def test_more_clients_than_block_slots_still_commits_everything(self):
+    def test_more_clients_than_block_slots_still_commits_everything(self, make_system, workload_factory):
         # With more clients than block slots a client's clock can fall behind
         # the committed frontier; the engine retries stale-failed commits
         # with a refreshed clock instead of dropping them.
-        system = build_system()  # txns_per_block=4
-        result = system.run_workload(conflict_free_specs(system, 16), num_clients=8)
+        system = make_system()  # txns_per_block=4
+        result = system.run_workload(conflict_free_specs(workload_factory, system, 16), num_clients=8)
         assert result.committed == 16
         assert result.failed == 0
 
-    def test_multi_client_run_is_deterministic(self):
-        first = build_system()
-        second = build_system()
-        result_a = first.run_workload(conflict_free_specs(first, 12), num_clients=3)
-        result_b = second.run_workload(conflict_free_specs(second, 12), num_clients=3)
+    def test_multi_client_run_is_deterministic(self, make_system, workload_factory):
+        first = make_system()
+        second = make_system()
+        result_a = first.run_workload(conflict_free_specs(workload_factory, first, 12), num_clients=3)
+        result_b = second.run_workload(conflict_free_specs(workload_factory, second, 12), num_clients=3)
         ids_a = [outcome.txn_id for outcome in result_a.outcomes]
         ids_b = [outcome.txn_id for outcome in result_b.outcomes]
         assert ids_a == ids_b
@@ -92,9 +71,9 @@ class TestMultiClientWorkload:
         assert blocks_a == blocks_b
         assert len(blocks_a) == 3
 
-    def test_logs_identical_across_servers_under_multi_client(self):
-        system = build_system()
-        result = system.run_workload(conflict_free_specs(system, 12), num_clients=4)
+    def test_logs_identical_across_servers_under_multi_client(self, make_system, workload_factory):
+        system = make_system()
+        result = system.run_workload(conflict_free_specs(workload_factory, system, 12), num_clients=4)
         assert result.committed == 12
         hashes = {
             server_id: tuple(block.block_hash() for block in server.log)
@@ -102,19 +81,19 @@ class TestMultiClientWorkload:
         }
         assert len(set(hashes.values())) == 1
 
-    def test_execution_state_released_after_blocks_commit(self):
-        system = build_system()
-        system.run_workload(conflict_free_specs(system, 12), num_clients=4)
+    def test_execution_state_released_after_blocks_commit(self, make_system, workload_factory):
+        system = make_system()
+        system.run_workload(conflict_free_specs(workload_factory, system, 12), num_clients=4)
         for server in system.servers.values():
             assert server.execution.active_transactions() == []
 
-    def test_conflict_heavy_run_resolves_every_outcome(self):
+    def test_conflict_heavy_run_resolves_every_outcome(self, make_system, workload_factory):
         # Without a conflict-free window, batches split, blocks abort, and
         # commit timestamps go stale mid-run; every spec must still resolve
         # to exactly one terminal outcome and no execution state may leak
         # (stale-failed transactions never enter a block, so the engine
         # releases their buffered state itself).
-        system = build_system()
+        system = make_system()
         workload = YcsbWorkload(
             item_ids=system.shard_map.all_items()[:6], ops_per_txn=2, seed=3
         )
@@ -124,12 +103,12 @@ class TestMultiClientWorkload:
         for server in system.servers.values():
             assert server.execution.active_transactions() == []
 
-    def test_empty_spec_list_drains_preexisting_pending(self):
+    def test_empty_spec_list_drains_preexisting_pending(self, make_system, workload_factory):
         # Regression: a transaction queued outside run_workload must still be
         # flushed by a subsequent run_workload([]) call.
         from repro.txn.operations import WriteOp
 
-        system = build_system()
+        system = make_system()
         item = system.shard_map.all_items()[0]
         outcome = system.run_transaction([WriteOp(item, 7)])
         assert outcome.pending
@@ -138,8 +117,8 @@ class TestMultiClientWorkload:
         assert system.coordinator.pending_count == 0
         assert system.server("s0").log.height == 1
 
-    def test_audit_clean_after_multi_client_run(self):
-        system = build_system()
-        system.run_workload(conflict_free_specs(system, 8), num_clients=4)
+    def test_audit_clean_after_multi_client_run(self, make_system, workload_factory):
+        system = make_system()
+        system.run_workload(conflict_free_specs(workload_factory, system, 8), num_clients=4)
         report = system.audit()
         assert report.ok

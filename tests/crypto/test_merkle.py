@@ -207,6 +207,66 @@ class TestBatchedUpdates:
         assert dup.value_of("item-0004") == 99
 
 
+class TestSeededRandomSequences:
+    """Seeded-random operation sequences: incremental paths == full rebuild.
+
+    Complements the hypothesis properties below with long *mixed* sequences
+    (single updates, batched updates, clones, rebuilds) under fixed seeds so
+    runs stay deterministic and failures replay exactly.
+    """
+
+    @pytest.mark.parametrize("seed", [0, 1, 2020, 424242])
+    def test_mixed_operation_sequence_matches_rebuild(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        size = rng.randint(1, 120)
+        items = {f"item-{i:04d}": rng.randint(-100, 100) for i in range(size)}
+        tree = MerkleTree.from_items(items)
+        for _ in range(30):
+            op = rng.choice(["update", "update_many", "rebuild", "clone"])
+            if op == "update":
+                item_id = rng.choice(sorted(items))
+                value = rng.randint(-(10**6), 10**6)
+                items[item_id] = value
+                tree.update(item_id, value)
+            elif op == "update_many":
+                chosen = rng.sample(sorted(items), rng.randint(1, min(20, size)))
+                batch = {item_id: rng.randint(-(10**6), 10**6) for item_id in chosen}
+                items.update(batch)
+                tree.update_many(batch)
+            elif op == "rebuild":
+                tree.rebuild(items)
+            else:
+                tree = tree.clone()
+            assert tree.root == MerkleTree.from_items(items).root
+
+    @pytest.mark.parametrize("seed", [7, 77])
+    def test_update_many_work_never_exceeds_per_leaf_updates(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        tree = build_tree(256)
+        for _ in range(10):
+            chosen = rng.sample(tree.item_ids(), rng.randint(1, 64))
+            batch = {item_id: rng.random() for item_id in chosen}
+            per_leaf_cost = len(batch) * (tree.depth + 1)
+            assert tree.update_many(batch) <= per_leaf_cost
+
+    @pytest.mark.parametrize("seed", [3, 33])
+    def test_proofs_survive_random_batches(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        tree = build_tree(100)
+        for _ in range(5):
+            chosen = rng.sample(tree.item_ids(), rng.randint(1, 40))
+            tree.update_many({item_id: rng.randint(0, 10**9) for item_id in chosen})
+        for item_id in rng.sample(tree.item_ids(), 20):
+            proof = tree.verification_object(item_id)
+            assert verify_inclusion(item_id, tree.value_of(item_id), proof, tree.root)
+
+
 _item_maps = st.dictionaries(
     st.text(min_size=1, max_size=12),
     st.one_of(st.integers(), st.text(max_size=10), st.none()),

@@ -1,0 +1,163 @@
+"""Unit tests for fault triggers, plans, and the plan-driven policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.faultsim import (
+    AfterCallsTrigger,
+    AtHeightTrigger,
+    FaultPlan,
+    PhaseTrigger,
+    PlannedFaultPolicy,
+    ProbabilisticTrigger,
+    Trigger,
+    TxnPredicateTrigger,
+    build_fault_matrix,
+    trigger_from_spec,
+)
+from repro.server.faults import FaultContext
+
+
+def ctx(phase="vote", height=3, txns=("t1",)):
+    return FaultContext(phase=phase, block_height=height, txn_ids=txns)
+
+
+class TestTriggers:
+    def test_always_fires(self):
+        assert Trigger().fires(ctx())
+
+    def test_at_height_from(self):
+        trigger = AtHeightTrigger(height=2)
+        assert not trigger.fires(ctx(height=1))
+        assert trigger.fires(ctx(height=2))
+        assert trigger.fires(ctx(height=7))
+        assert not trigger.fires(ctx(height=None))
+
+    def test_at_height_exact(self):
+        trigger = AtHeightTrigger(height=2, exact=True)
+        assert trigger.fires(ctx(height=2))
+        assert not trigger.fires(ctx(height=3))
+
+    def test_phase_trigger(self):
+        trigger = PhaseTrigger(phases=("decision",))
+        assert trigger.fires(ctx(phase="decision"))
+        assert not trigger.fires(ctx(phase="vote"))
+
+    def test_txn_trigger_by_item(self):
+        trigger = TxnPredicateTrigger(item_ids=("x",))
+        assert trigger.fires(ctx(), item_id="x")
+        assert not trigger.fires(ctx(), item_id="y")
+
+    def test_txn_trigger_by_prefix(self):
+        trigger = TxnPredicateTrigger(txn_prefix="c1-")
+        assert trigger.fires(ctx(txns=("c1-txn-3",)))
+        assert not trigger.fires(ctx(txns=("c0-txn-3",)))
+        assert trigger.fires(ctx(txns=()), txn_id="c1-txn-9")
+
+    def test_probabilistic_is_seeded_and_latching(self):
+        draws_a = [ProbabilisticTrigger(probability=0.5, seed=9).fires(ctx()) for _ in range(5)]
+        draws_b = [ProbabilisticTrigger(probability=0.5, seed=9).fires(ctx()) for _ in range(5)]
+        assert draws_a == draws_b
+        latching = ProbabilisticTrigger(probability=0.5, seed=9, latch=True)
+        fired = [latching.fires(ctx()) for _ in range(20)]
+        if any(fired):
+            assert all(fired[fired.index(True):])
+
+    def test_probability_bounds_checked(self):
+        with pytest.raises(ConfigurationError):
+            ProbabilisticTrigger(probability=1.5)
+
+    def test_after_calls(self):
+        trigger = AfterCallsTrigger(skip=2)
+        assert [trigger.fires(ctx()) for _ in range(4)] == [False, False, True, True]
+
+    def test_spec_round_trip(self):
+        assert isinstance(trigger_from_spec(None), Trigger)
+        assert isinstance(trigger_from_spec({}), Trigger)
+        trigger = trigger_from_spec({"kind": "at-height", "height": 4, "exact": True})
+        assert isinstance(trigger, AtHeightTrigger) and trigger.height == 4
+        trigger = trigger_from_spec({"kind": "phase", "phases": ["vote", "decision"]})
+        assert trigger.phases == ("vote", "decision")
+
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(ConfigurationError):
+            trigger_from_spec({"kind": "full-moon"})
+        with pytest.raises(ConfigurationError):
+            trigger_from_spec({"kind": "at-height", "altitude": 3})
+
+
+class TestFaultPlans:
+    def test_unknown_fault_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(fault="bribe-the-auditor", target="s1")
+
+    def test_plans_serialise_declaratively(self):
+        plan = FaultPlan(
+            fault="read-corruption",
+            target="s1",
+            trigger={"kind": "at-height", "height": 2},
+            params={"item": "item-1"},
+        )
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_matrix_needs_three_servers(self):
+        with pytest.raises(ConfigurationError):
+            build_fault_matrix(["s0", "s1"])
+
+    def test_matrix_enumerates_kind_x_trigger_grid(self):
+        matrix = build_fault_matrix(["s0", "s1", "s2"])
+        assert len(matrix) == 14 * 3
+        assert len({scenario.name for scenario in matrix}) == len(matrix)
+
+
+class TestPlannedPolicy:
+    def test_hooks_stay_honest_until_trigger_fires(self):
+        plan = FaultPlan(
+            fault="read-corruption", target="s1", trigger={"kind": "at-height", "height": 5}
+        )
+        policy = PlannedFaultPolicy([plan])
+        policy.observe_phase("execute", 1, ("t1",))
+        assert policy.corrupt_read_value("x", 42) == 42
+        assert not policy.fired()
+        policy.observe_phase("execute", 5, ("t2",))
+        assert policy.corrupt_read_value("x", 42) != 42
+        assert policy.fired_heights["read-corruption"] == 5
+
+    def test_item_restriction(self):
+        plan = FaultPlan(fault="read-corruption", target="s1", params={"item": "x"})
+        policy = PlannedFaultPolicy([plan])
+        policy.observe_phase("execute", 0)
+        assert policy.corrupt_read_value("y", 1) == 1
+        assert policy.corrupt_read_value("x", 1) != 1
+
+    def test_composed_plans_on_one_server(self):
+        policy = PlannedFaultPolicy(
+            [
+                FaultPlan(fault="skip-validation", target="s1"),
+                FaultPlan(fault="collude", target="s1"),
+            ]
+        )
+        policy.observe_phase("vote", 0)
+        assert policy.skip_validation()
+        assert policy.collude_on_challenge()
+        assert policy.name == "skip-validation+collude"
+
+    def test_drop_write_filters_applied_writes(self):
+        plan = FaultPlan(fault="drop-write", target="s1", params={"item": "x"})
+        policy = PlannedFaultPolicy([plan])
+        policy.observe_phase("decision", 0)
+        assert policy.filter_applied_writes({"x": 1, "y": 2}) == {"y": 2}
+
+    def test_log_integrity_flag_flips_after_tamper(self):
+        from repro.ledger.log import TransactionLog
+
+        policy = PlannedFaultPolicy(
+            [FaultPlan(fault="log-truncate", target="s1", params={"keep": 0})]
+        )
+        assert policy.maintains_log_integrity()
+        policy.observe_phase("decision", 0)
+        policy.tamper_log(TransactionLog())
+        # An empty log cannot be truncated below zero blocks: nothing fired.
+        assert policy.maintains_log_integrity()
