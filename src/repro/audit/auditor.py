@@ -205,6 +205,25 @@ class Auditor:
         for txn in block.transactions:
             involved.update(self.shard_map.servers_for(txn.items_accessed()))
         recorded = set(block.roots)
+        if block.group is not None and not involved <= set(block.group):
+            # A dynamic-group block (Section 4.6) must have been terminated by
+            # a group covering every server its transactions touch; a smaller
+            # group means uninvolved-in-signing servers were skipped for
+            # validation and co-signing.
+            outside = sorted(involved - set(block.group))
+            report.add(
+                Violation(
+                    kind=ViolationType.MALFORMED_BLOCK,
+                    description=(
+                        f"group block's recorded group omits involved servers {outside}"
+                    ),
+                    # The omitted servers are the victims (their validation
+                    # and co-sign were bypassed); the members who formed and
+                    # signed the undersized group are the culprits.
+                    culprits=tuple(block.group),
+                    block_height=block.height,
+                )
+            )
         if block.decision is BlockDecision.COMMIT and not involved <= recorded:
             missing = sorted(involved - recorded)
             report.add(
@@ -312,17 +331,35 @@ class Auditor:
         for server_id, blocks in per_server_blocks.items():
             targets = blocks if mode == "all" else [blocks[-1]]
             for block in targets:
-                self.audit_datastore_block(server_id, block, report)
+                if block.group is not None and block is not blocks[-1]:
+                    # Dynamic-group blocks (Section 4.6) carry speculative
+                    # roots that are a function of *log order*, not of a
+                    # commit-timestamp cutoff: per-group frontiers let commit
+                    # timestamps interleave across groups, so a shard's
+                    # intermediate state cannot be reconstructed by a
+                    # timestamp-indexed version lookup.  Intermediate group
+                    # blocks are covered by the hash chain + group co-sign;
+                    # the datastore itself is authenticated at the shard's
+                    # latest root, where log order and store state coincide.
+                    continue
+                live = block.group is not None
+                self.audit_datastore_block(server_id, block, report, live=live)
 
     def audit_datastore_block(
-        self, server_id: str, block: Block, report: AuditReport
+        self, server_id: str, block: Block, report: AuditReport, live: bool = False
     ) -> bool:
-        """Audit one server's shard at one block; returns True if it authenticated."""
+        """Audit one server's shard at one block; returns True if it authenticated.
+
+        ``live`` requests the server's *current* tree instead of the version
+        at the block's commit timestamp -- used for dynamic-group blocks,
+        whose state is indexed by log order rather than timestamps.
+        """
         expected_root = block.roots.get(server_id)
         if expected_root is None:
             return True
         audited_ok = True
         audit_ts = block.max_commit_ts
+        at = None if live else audit_ts.as_tuple()
         for txn in block.transactions:
             for entry in txn.write_set:
                 if self.shard_map.server_for(entry.item_id) != server_id:
@@ -331,7 +368,7 @@ class Auditor:
                     AUDITOR_ID,
                     server_id,
                     MessageType.AUDIT_VO_REQUEST,
-                    {"item_id": entry.item_id, "at": audit_ts.as_tuple()},
+                    {"item_id": entry.item_id, "at": at},
                 )
                 if not response.get("ok"):
                     audited_ok = False
@@ -378,11 +415,21 @@ class Auditor:
         identifies the precise version at which data corruption occurred by
         systematically authenticating all blocks in the log").
         """
-        for block in reference:
-            if not block.is_commit or server_id not in block.roots:
+        with_roots = [
+            block
+            for block in reference
+            if block.is_commit and server_id in block.roots
+        ]
+        for block in with_roots:
+            if block.group is not None and block is not with_roots[-1]:
+                # Same rule as check_datastores: intermediate group blocks
+                # cannot be audited by a timestamp-indexed version lookup
+                # (per-group frontiers interleave commit timestamps relative
+                # to log order).
                 continue
             probe = AuditReport()
-            if not self.audit_datastore_block(server_id, block, probe):
+            live = block.group is not None
+            if not self.audit_datastore_block(server_id, block, probe, live=live):
                 return block.height
         return None
 

@@ -8,23 +8,37 @@
 * ``python -m repro.bench <figure>`` -- command-line entry point.
 """
 
-from repro.bench.harness import ExperimentConfig, ExperimentResult, run_experiment
+from repro.bench.harness import (
+    ExperimentConfig,
+    ExperimentResult,
+    ScaledExperimentResult,
+    run_experiment,
+    run_scaled_experiment,
+)
 from repro.bench.experiments import (
+    faultmatrix,
     figure12_2pc_vs_tfcommit,
     figure13_txns_per_block,
     figure14_number_of_servers,
     figure15_items_per_shard,
+    multiclient_scaling,
+    scaledgroups,
 )
 from repro.bench.reporting import format_table, rows_to_csv
 
 __all__ = [
     "ExperimentConfig",
     "ExperimentResult",
+    "ScaledExperimentResult",
+    "faultmatrix",
     "figure12_2pc_vs_tfcommit",
     "figure13_txns_per_block",
     "figure14_number_of_servers",
     "figure15_items_per_shard",
     "format_table",
+    "multiclient_scaling",
     "rows_to_csv",
     "run_experiment",
+    "run_scaled_experiment",
+    "scaledgroups",
 ]

@@ -15,7 +15,13 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.bench.harness import ExperimentConfig, ExperimentResult, run_experiment
+from repro.bench.harness import (
+    ExperimentConfig,
+    ExperimentResult,
+    ScaledExperimentResult,
+    run_experiment,
+    run_scaled_experiment,
+)
 from repro.core.fides import PROTOCOL_2PC, PROTOCOL_TFCOMMIT
 from repro.net.latency import lan_latency, wan_latency
 
@@ -213,6 +219,55 @@ def faultmatrix(
     return (results, rows) if return_results else rows
 
 
+def scaledgroups(
+    server_counts: Iterable[int] = (4, 6),
+    localities: Iterable[float] = (1.0, 0.75),
+    batch_sizes: Iterable[int] = (2, 4),
+    group_size: int = 2,
+    num_requests: int = 40,
+    num_clients: int = 2,
+    items_per_shard: int = 120,
+    smoke: bool = False,
+    return_results: bool = False,
+):
+    """The Section 4.6 scale-out sweep: servers x group-locality x txns/block.
+
+    Each point drives a locality-partitioned workload through a
+    :class:`~repro.core.scaled.ScaledFidesSystem` (per-group TFCommit rounds
+    merged by the ordering service) and through the classic single-coordinator
+    deployment, reporting scaled vs baseline throughput.  Group coordinators
+    are distinct machines, so the scaled run's simulated duration is the
+    busiest coordinator's, not the sum -- the speedup column quantifies how
+    much the dynamic groups buy at each locality level.
+
+    ``smoke=True`` restricts the grid to one point per axis (the CI
+    configuration).
+    """
+    if smoke:
+        server_counts = tuple(server_counts)[:1]
+        localities = tuple(localities)[:1]
+        batch_sizes = tuple(batch_sizes)[:1]
+        num_requests = min(num_requests, 16)
+    results: List[ScaledExperimentResult] = []
+    for servers in server_counts:
+        for locality in localities:
+            for batch in batch_sizes:
+                results.append(
+                    run_scaled_experiment(
+                        label=f"scaled-{servers}s-loc{locality}-b{batch}",
+                        num_servers=servers,
+                        group_size=group_size,
+                        locality=locality,
+                        items_per_shard=items_per_shard,
+                        txns_per_block=batch,
+                        num_requests=num_requests,
+                        num_clients=num_clients,
+                    )
+                )
+    rows = [result.as_row() for result in results]
+    return (results, rows) if return_results else rows
+
+
 def ablation_latency_regime(
     num_requests: int = 60,
     return_results: bool = False,
@@ -260,6 +315,7 @@ EXPERIMENT_REGISTRY = {
     "figure15": figure15_items_per_shard,
     "multiclient": multiclient_scaling,
     "faultmatrix": faultmatrix,
+    "scaledgroups": scaledgroups,
     "ablation-latency": ablation_latency_regime,
     "ablation-signing": ablation_signing_scheme,
 }

@@ -26,8 +26,9 @@ from typing import Dict, List, Optional
 
 from repro.common.config import SystemConfig
 from repro.core.fides import PROTOCOL_2PC, PROTOCOL_TFCOMMIT, FidesSystem
+from repro.core.scaled import ScaledFidesSystem
 from repro.net.latency import LatencyModel, lan_latency
-from repro.workload.ycsb import YcsbWorkload
+from repro.workload.ycsb import PartitionedWorkload, YcsbWorkload
 
 
 @dataclass(frozen=True)
@@ -151,6 +152,164 @@ def run_experiment(
     for name in sorted(phase_names):
         samples = [r.timing.phases.get(name, 0.0) for r in block_results]
         result.phase_ms[name] = statistics.mean(samples) * 1000.0
+    return result
+
+
+@dataclass
+class ScaledExperimentResult:
+    """Measurements of one scaled-deployment point vs its single-group baseline.
+
+    The scaled simulated-time model extends the sequential one: group
+    coordinators are distinct machines, so the run's simulated duration is
+    the *maximum* over coordinators of their per-block latency sums (disjoint
+    groups commit concurrently); with one coordinator it degenerates to the
+    baseline's sum.  Ordered delivery is part of each block's timing (the
+    ``order`` phase).
+    """
+
+    label: str = ""
+    num_servers: int = 0
+    group_size: int = 0
+    locality: float = 1.0
+    txns_per_block: int = 1
+    committed_txns: int = 0
+    aborted_txns: int = 0
+    blocks: int = 0
+    group_coordinators: int = 0
+    distinct_groups: int = 0
+    scaled_time_s: float = 0.0
+    scaled_tps: float = 0.0
+    baseline_tps: float = 0.0
+    speedup: float = 0.0
+    txn_latency_ms: float = 0.0
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "label": self.label,
+            "servers": self.num_servers,
+            "group size": self.group_size,
+            "locality": self.locality,
+            "txns/block": self.txns_per_block,
+            "committed": self.committed_txns,
+            "coordinators": self.group_coordinators,
+            "groups": self.distinct_groups,
+            "scaled tps": round(self.scaled_tps, 1),
+            "baseline tps": round(self.baseline_tps, 1),
+            "speedup": round(self.speedup, 2),
+            "txn latency (ms)": round(self.txn_latency_ms, 3),
+        }
+
+
+def locality_partitions(system, group_size: int) -> List[List[str]]:
+    """Split a system's item universe into per-``group_size``-servers pools."""
+    server_ids = list(system.config.server_ids)
+    partitions: List[List[str]] = []
+    for start in range(0, len(server_ids), group_size):
+        chunk = server_ids[start : start + group_size]
+        items: List[str] = []
+        for server_id in chunk:
+            items.extend(system.shard_map.items_of(server_id))
+        partitions.append(items)
+    return partitions
+
+
+def run_scaled_experiment(
+    label: str,
+    num_servers: int = 4,
+    group_size: int = 2,
+    locality: float = 1.0,
+    items_per_shard: int = 200,
+    txns_per_block: int = 4,
+    ops_per_txn: int = 2,
+    num_requests: int = 40,
+    num_clients: int = 2,
+    reorder_window: int = 0,
+    seed: int = 2020,
+) -> ScaledExperimentResult:
+    """Run one scaled-deployment point and its single-coordinator baseline.
+
+    Both systems execute the *same* locality-partitioned workload, each with
+    its own seed-matched latency model (sharing one model instance would let
+    the first run advance the RNG stream the second one samples from); the
+    baseline is a classic :class:`FidesSystem` whose one coordinator drags
+    every server into every round.
+    """
+    system_config = SystemConfig(
+        num_servers=num_servers,
+        items_per_shard=items_per_shard,
+        txns_per_block=txns_per_block,
+        ops_per_txn=ops_per_txn,
+        multi_versioned=False,
+        message_signing="hash",
+        seed=seed,
+    )
+    scaled = ScaledFidesSystem(
+        system_config,
+        latency=lan_latency(seed=seed),
+        reorder_window=reorder_window,
+    )
+    workload = PartitionedWorkload(
+        partitions=locality_partitions(scaled, group_size),
+        ops_per_txn=ops_per_txn,
+        locality=locality,
+        conflict_free_window=txns_per_block,
+        seed=seed,
+    )
+    specs = workload.generate(num_requests)
+    outcome = scaled.run_workload(specs, num_clients=num_clients)
+
+    result = ScaledExperimentResult(
+        label=label,
+        num_servers=num_servers,
+        group_size=group_size,
+        locality=locality,
+        txns_per_block=txns_per_block,
+    )
+    result.committed_txns = outcome.committed
+    result.aborted_txns = outcome.aborted
+    result.group_coordinators = len(scaled.active_group_coordinators)
+    result.distinct_groups = len(scaled.groups_used())
+
+    per_coordinator_times = []
+    block_latencies = []
+    txn_latencies = []
+    for coordinator in scaled._coordinators():
+        finished = [r for r in coordinator.results if r.status in ("committed", "aborted")]
+        if not finished:
+            continue
+        per_coordinator_times.append(sum(r.timing.total for r in finished))
+        block_latencies.extend(r.timing.total for r in finished)
+        txn_latencies.extend(r.timing.per_txn_latency for r in finished)
+    result.blocks = len(block_latencies)
+    result.scaled_time_s = max(per_coordinator_times, default=0.0)
+    if result.scaled_time_s > 0:
+        result.scaled_tps = result.committed_txns / result.scaled_time_s
+    if txn_latencies:
+        result.txn_latency_ms = statistics.mean(txn_latencies) * 1000.0
+
+    baseline_system = FidesSystem(
+        config=system_config,
+        protocol=PROTOCOL_TFCOMMIT,
+        latency=lan_latency(seed=seed),
+    )
+    baseline_workload = PartitionedWorkload(
+        partitions=locality_partitions(baseline_system, group_size),
+        ops_per_txn=ops_per_txn,
+        locality=locality,
+        conflict_free_window=txns_per_block,
+        seed=seed,
+    )
+    baseline_outcome = baseline_system.run_workload(
+        baseline_workload.generate(num_requests), num_clients=num_clients
+    )
+    baseline_finished = [
+        r for r in baseline_outcome.block_results if r.status in ("committed", "aborted")
+    ]
+    baseline_time = sum(r.timing.total for r in baseline_finished)
+    if baseline_time > 0:
+        result.baseline_tps = baseline_outcome.committed / baseline_time
+    if result.baseline_tps > 0:
+        result.speedup = result.scaled_tps / result.baseline_tps
     return result
 
 

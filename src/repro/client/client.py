@@ -14,7 +14,7 @@ audit.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from repro.common.errors import SignatureError
 from repro.common.timestamps import Timestamp, TimestampGenerator
@@ -57,15 +57,27 @@ class FidesClient:
         network: Network,
         shard_map: ShardMap,
         coordinator_id: str,
+        coordinator_router: Optional[Callable[[Transaction], str]] = None,
     ) -> None:
+        """``coordinator_router`` overrides the fixed designated coordinator:
+        in the scaled deployment (Section 4.6) each transaction is terminated
+        by its dynamic group's coordinator, so the router maps the built
+        transaction to the server that coordinates its group."""
         self.client_id = client_id
         self.keypair = keypair
         self._network = network
         self._shard_map = shard_map
         self._coordinator_id = coordinator_id
+        self._coordinator_router = coordinator_router
         self._clock = TimestampGenerator(client_id)
         self._txn_counter = 0
         network.register_observer(client_id, keypair)
+
+    def coordinator_for(self, txn: Transaction) -> str:
+        """The server this transaction's ``end_transaction`` goes to."""
+        if self._coordinator_router is not None:
+            return self._coordinator_router(txn)
+        return self._coordinator_id
 
     # -- transaction life-cycle (Figure 5) ------------------------------------------
 
@@ -131,24 +143,25 @@ class FidesClient:
             self._clock.observe(stamp)
         commit_ts = self._clock.next()
         txn = session.build_transaction(commit_ts)
+        coordinator_id = self.coordinator_for(txn)
         envelope = self._network.sign_envelope(
-            self._end_transaction_envelope(txn)
+            self._end_transaction_envelope(txn, coordinator_id)
         )
         response = self._network.send(
             self.client_id,
-            self._coordinator_id,
+            coordinator_id,
             MessageType.END_TRANSACTION,
             envelope.payload,
             presigned=envelope,
         )
         return self.interpret_outcome(txn.txn_id, response), response
 
-    def _end_transaction_envelope(self, txn: Transaction):
+    def _end_transaction_envelope(self, txn: Transaction, coordinator_id: str):
         from repro.net.message import Envelope
 
         return Envelope(
             sender=self.client_id,
-            recipient=self._coordinator_id,
+            recipient=coordinator_id,
             message_type=MessageType.END_TRANSACTION,
             payload={"transaction": txn, "commit_ts": txn.commit_ts.as_tuple()},
         )

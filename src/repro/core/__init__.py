@@ -5,6 +5,8 @@
 * :mod:`repro.core.fides` -- cluster assembly: servers, clients, coordinator, audits.
 * :mod:`repro.core.grouping` / :mod:`repro.core.ordserv` -- the scale-out path of
   Section 4.6 (per-group coordinators and the block ordering service).
+* :mod:`repro.core.scaled` -- the scaled multi-coordinator deployment wiring
+  dynamic groups and the ordering service into a full system.
 """
 
 from repro.core.tfcommit import (
@@ -16,19 +18,23 @@ from repro.core.tfcommit import (
 )
 from repro.core.twopc import TwoPhaseCommitCoordinator
 from repro.core.fides import FidesSystem
-from repro.core.grouping import ServerGroup, group_for_transaction
+from repro.core.grouping import ServerGroup, group_for_batch, group_for_transaction
 from repro.core.ordserv import OrderedBlock, OrderingService
+from repro.core.scaled import GroupTFCommitCoordinator, ScaledFidesSystem
 
 __all__ = [
     "BatchBuilder",
     "BlockCommitResult",
     "FidesSystem",
+    "GroupTFCommitCoordinator",
     "OrderedBlock",
     "OrderingService",
+    "ScaledFidesSystem",
     "ServerGroup",
     "TFCommitCoordinator",
     "TimingBreakdown",
     "TwoPhaseCommitCoordinator",
     "TxnOutcome",
+    "group_for_batch",
     "group_for_transaction",
 ]

@@ -102,8 +102,20 @@ class FidesSystem:
             self.servers[server_id] = server
 
         self.coordinator_id = self.config.server_ids[0]
+        self._wire_termination()
+
+        self._clients: Dict[ClientId, FidesClient] = {}
+
+    # -- deployment hooks --------------------------------------------------------------
+
+    def _wire_termination(self) -> None:
+        """Install the termination layer: one designated coordinator for all servers.
+
+        :class:`~repro.core.scaled.ScaledFidesSystem` overrides this to wire
+        per-group coordinators and the ordering service instead.
+        """
         coordinator_server = self.servers[self.coordinator_id]
-        if protocol == PROTOCOL_TFCOMMIT:
+        if self.protocol == PROTOCOL_TFCOMMIT:
             self.coordinator = TFCommitCoordinator(
                 server=coordinator_server,
                 network=self.network,
@@ -121,7 +133,37 @@ class FidesSystem:
             )
         coordinator_server.set_coordinator_role(self.coordinator)
 
-        self._clients: Dict[ClientId, FidesClient] = {}
+    def _make_client(self, client_id: ClientId) -> FidesClient:
+        """Build one client handle, routed per :meth:`_coordinator_router`."""
+        return FidesClient(
+            client_id=client_id,
+            keypair=keypair_for(client_id, seed=self.config.seed),
+            network=self.network,
+            shard_map=self.shard_map,
+            coordinator_id=self.coordinator_id,
+            coordinator_router=self._coordinator_router(),
+        )
+
+    def _coordinator_router(self):
+        """Per-transaction coordinator routing; ``None`` means the fixed
+        designated coordinator.  The scaled system routes each transaction
+        to its dynamic group's coordinator."""
+        return None
+
+    def _coordinators(self) -> List:
+        """Every termination coordinator currently wired into the system."""
+        return [self.coordinator]
+
+    def _pending_count(self) -> int:
+        """Transactions queued but not yet proposed, across all coordinators."""
+        return sum(coordinator.pending_count for coordinator in self._coordinators())
+
+    def _flush_pending(self) -> Dict:
+        """Flush every coordinator's partial batch; responses are merged."""
+        return self.coordinator.flush()
+
+    def _finish_workload(self) -> None:
+        """Post-run hook; the scaled system flushes the ordering service here."""
 
     # -- clients ----------------------------------------------------------------------
 
@@ -129,13 +171,7 @@ class FidesSystem:
         """Return (creating on first use) the client with the given index."""
         client_id = make_client_id(index)
         if client_id not in self._clients:
-            self._clients[client_id] = FidesClient(
-                client_id=client_id,
-                keypair=keypair_for(client_id, seed=self.config.seed),
-                network=self.network,
-                shard_map=self.shard_map,
-                coordinator_id=self.coordinator_id,
-            )
+            self._clients[client_id] = self._make_client(client_id)
         return self._clients[client_id]
 
     # -- transaction execution ----------------------------------------------------------
@@ -177,6 +213,13 @@ class FidesSystem:
         if num_clients < 1:
             raise ConfigurationError("num_clients must be >= 1")
         result = WorkloadResult()
+        # Coordinators accumulate block results across their lifetime; snapshot
+        # the per-coordinator lengths so this run reports only its own blocks
+        # (a second run_workload must not double-count the first run's).
+        results_marker = {
+            id(coordinator): len(coordinator.results)
+            for coordinator in self._coordinators()
+        }
         clients = [self.client(client_index + i) for i in range(num_clients)]
         result.committed_by_client = {client.client_id: 0 for client in clients}
         #: Work items are ``(spec, client_slot, attempt)``; stale-failed
@@ -227,7 +270,7 @@ class FidesSystem:
                 outcome = clients[slot].interpret_outcome(txn_id, response)
                 settle(outcome, slot, spec, attempt, response)
 
-        while work or queued or self.coordinator.pending_count:
+        while work or queued or self._pending_count():
             if work:
                 spec, slot, attempt = work.popleft()
                 outcome, response = self._run_transaction_raw(
@@ -244,15 +287,25 @@ class FidesSystem:
             # left pending by earlier calls); resolutions may re-enqueue
             # stale retries, which keeps the loop running.
             unresolved_before = len(queued)
-            resolve_from(self.coordinator.flush())
+            resolve_from(self._flush_pending())
             if not work and len(queued) == unresolved_before:
                 break
         for txn_id, (slot, _spec, _attempt) in queued.items():
+            # Like the stale path: a never-flushed transaction terminated
+            # without a decision broadcast, so its buffered execution state
+            # must be released explicitly on every server.
+            for server in self.servers.values():
+                server.execution.finish(txn_id)
             record(
                 CommitOutcome(txn_id=txn_id, status="failed", reason="never flushed"),
                 clients[slot],
             )
-        result.block_results = list(self.coordinator.results)
+        self._finish_workload()
+        result.block_results = [
+            block_result
+            for coordinator in self._coordinators()
+            for block_result in coordinator.results[results_marker.get(id(coordinator), 0):]
+        ]
         return result
 
     def flush(self) -> Dict:

@@ -80,6 +80,41 @@ class OrderingService:
         """Finalise every pending block."""
         self._drain(force=True)
 
+    def flush_conflicting(self, group: ServerGroup) -> None:
+        """Finalise every pending block whose group overlaps ``group``.
+
+        A group coordinator calls this before starting a new TFCommit round:
+        the speculative Merkle roots its cohorts are about to compute must
+        reflect every already-published block touching the same shards, so
+        blocks of overlapping groups cannot be left floating in the reorder
+        window.  Blocks of disjoint groups stay pending and keep their
+        reordering freedom -- unless an overlapping block depends on them, in
+        which case they must land first to keep the stream dependency-safe.
+        """
+        must_land = [p for p in self._pending if p.group.overlaps(group)]
+        changed = True
+        while changed:
+            changed = False
+            for pending in self._pending:
+                if pending in must_land:
+                    continue
+                feeds_into = any(
+                    pending.sequence < landing.sequence
+                    and pending.group.overlaps(landing.group)
+                    and dependency_between(
+                        pending.block.transactions, landing.block.transactions
+                    )
+                    for landing in must_land
+                )
+                if feeds_into:
+                    must_land.append(pending)
+                    changed = True
+        # Submission order within the selected subset is always
+        # dependency-safe, and every upstream dependency was pulled in above.
+        for pending in sorted(must_land, key=lambda p: p.sequence):
+            self._pending.remove(pending)
+            self._finalize(pending)
+
     def _drain(self, force: bool = False) -> None:
         while self._pending and (force or len(self._pending) > self._reorder_window):
             candidate_index = self._pick_next()

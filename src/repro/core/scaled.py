@@ -1,0 +1,365 @@
+"""The scaled multi-coordinator deployment (Section 4.6, Figure 9).
+
+The basic protocol drags every server into every TFCommit round through one
+fixed coordinator.  To scale, "servers are divided into small dynamic groups.
+The servers accessed by a transaction form one group, in which one server
+acts as the coordinator to terminate that transaction"; the per-group blocks
+are then merged into the single consistently ordered global log by an
+ordering service (realisable with Kafka as in Veritas, or with
+dependency-tracking as in ParBlockchain -- here
+:class:`~repro.core.ordserv.OrderingService`).
+
+:class:`ScaledFidesSystem` wires the pieces together:
+
+* clients route each ``end_transaction`` to the coordinator of the
+  transaction's dynamic group (:func:`~repro.core.grouping.group_for_transaction`);
+* each group coordinator runs TFCommit over *only* the group's members
+  (:class:`GroupTFCommitCoordinator`), producing a block co-signed by the
+  group;
+* instead of a per-coordinator decision broadcast, the co-signed group block
+  is published to the ordering service, which assigns the global height and
+  hash pointer and atomically broadcasts the chained stream to **every**
+  server;
+* every server applies the globally ordered stream, so all logs converge to
+  the same dependency-respecting chain, which the auditor verifies -- hash
+  pointers over the full body *and* the group co-sign over the chain-free
+  group body digest (see :mod:`repro.ledger.block` on the identity split).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.config import SystemConfig
+from repro.common.errors import ProtocolError
+from repro.common.types import ServerId, Value
+from repro.core.fides import PROTOCOL_TFCOMMIT, FidesSystem
+from repro.core.grouping import ServerGroup, group_for_batch, group_for_transaction
+from repro.core.ordserv import OrderedBlock, OrderingService
+from repro.core.tfcommit import TFCommitCoordinator, TimingBreakdown, timed_broadcast
+from repro.crypto.keys import keypair_for
+from repro.ledger.block import Block, make_group_partial_block
+from repro.net.latency import LatencyModel
+from repro.net.message import Envelope, MessageType
+from repro.net.network import Network
+from repro.storage.shard import ShardMap
+from repro.txn.transaction import Transaction
+
+#: Identity under which the ordering service broadcasts on the network.
+ORDSERV_ID = "ordserv"
+
+
+class GroupTFCommitCoordinator(TFCommitCoordinator):
+    """A TFCommit coordinator terminating transactions for dynamic groups.
+
+    One instance lives on every server that is the designated coordinator of
+    at least one group (the member with the smallest id).  Per batch it forms
+    the covering group (:func:`~repro.core.grouping.group_for_batch`), runs
+    the five TFCommit phases over only the group's members, and publishes the
+    co-signed block to the ordering service instead of broadcasting a
+    decision itself.
+    """
+
+    def __init__(
+        self,
+        server,
+        network: Network,
+        shard_map: ShardMap,
+        ordering: OrderingService,
+        system: "ScaledFidesSystem",
+        txns_per_block: int = 1,
+        latency: Optional[LatencyModel] = None,
+    ) -> None:
+        super().__init__(
+            server=server,
+            network=network,
+            server_ids=[server.server_id],
+            txns_per_block=txns_per_block,
+            latency=latency,
+        )
+        self._shard_map = shard_map
+        self._ordering = ordering
+        self._system = system
+        self._current_group: Optional[ServerGroup] = None
+
+    def commit_batch(self, batch) -> object:
+        """Run one TFCommit round over the batch's dynamic group."""
+        group = group_for_batch([txn for txn, _ in batch], self._shard_map)
+        if group.coordinator != self.coordinator_id:
+            # The union of per-transaction groups always has this server as
+            # its smallest member, because every transaction was routed here
+            # for exactly that reason; a mismatch means the shard map and the
+            # client router disagree.
+            raise ProtocolError(
+                f"batch group coordinator {group.coordinator} is not {self.coordinator_id}"
+            )
+        # Blocks of overlapping groups still floating in the ordering
+        # service's reorder window must land first: the speculative roots
+        # this round is about to compute have to reflect their writes.
+        self._ordering.flush_conflicting(group)
+        self._current_group = group
+        self.server_ids = sorted(group.members)
+        result = super().commit_batch(batch)
+        if result.block is not None:
+            # If the ordering service already finalised the block (always
+            # true with a reorder window of 0), the system restamps the
+            # result with the chained block, the real global height, and any
+            # delivery failures now; otherwise the result is registered and
+            # restamped when the stream delivers it.  Until then outcomes
+            # carry ``None`` rather than the misleading placeholder 0.
+            result.outcomes = [
+                replace(outcome, block_height=None) for outcome in result.outcomes
+            ]
+            self._system.attach_round_result(result.block.signing_digest(), result)
+        return result
+
+    # -- deployment hooks overridden for the scaled path ----------------------------
+
+    def _make_partial_block(self, transactions: Sequence[Transaction]) -> Block:
+        return make_group_partial_block(
+            transactions, group_members=sorted(self._current_group.members)
+        )
+
+    def _deliver_block(self, final_block: Block, timing: TimingBreakdown) -> List[Dict]:
+        """Publish the co-signed group block; delivery happens via OrdServ.
+
+        The ordering service may hold the block in its reorder window, so the
+        delivery cost is charged to this round's timing when the block is
+        actually finalised (the system keeps the timing registered until
+        then).
+        """
+        self._system.register_inflight(final_block.signing_digest(), timing)
+        self._ordering.publish(final_block, self._current_group)
+        return []
+
+
+class GroupDispatcher:
+    """Per-server termination role: route each request to its group coordinator.
+
+    A server can coordinate many dynamic groups (every group whose smallest
+    member it is).  The dispatcher keeps one
+    :class:`GroupTFCommitCoordinator` per server and hands it every
+    ``end_transaction`` that clients routed here.
+    """
+
+    def __init__(self, system: "ScaledFidesSystem", server_id: ServerId) -> None:
+        self._system = system
+        self._server_id = server_id
+
+    def on_end_transaction(self, envelope: Envelope) -> Dict:
+        return self._system.group_coordinator(self._server_id).on_end_transaction(envelope)
+
+    @property
+    def pending_count(self) -> int:
+        coordinator = self._system._group_coordinators.get(self._server_id)
+        return coordinator.pending_count if coordinator is not None else 0
+
+
+class ScaledFidesSystem(FidesSystem):
+    """A Fides deployment terminating transactions in dynamic server groups.
+
+    Drop-in alternative to :class:`~repro.core.fides.FidesSystem` (TFCommit
+    only -- the 2PC baseline has no co-signed blocks to order): same client
+    API, same workload engine, same auditor, but transactions touching
+    disjoint shard sets commit through distinct group coordinators and the
+    global log is produced by the ordering service's atomic broadcast.
+
+    ``reorder_window`` is forwarded to the :class:`OrderingService`: 0 keeps
+    submission order; larger windows let blocks of disjoint groups be
+    reordered, exercising the freedom the paper grants OrdServ.
+    """
+
+    def __init__(
+        self,
+        config: Optional[SystemConfig] = None,
+        latency: Optional[LatencyModel] = None,
+        initial_value: Value = 0,
+        reorder_window: int = 0,
+    ) -> None:
+        self._reorder_window = reorder_window
+        super().__init__(
+            config=config,
+            protocol=PROTOCOL_TFCOMMIT,
+            latency=latency,
+            initial_value=initial_value,
+        )
+
+    # -- wiring ---------------------------------------------------------------------
+
+    def _wire_termination(self) -> None:
+        self.ordering = OrderingService(reorder_window=self._reorder_window)
+        self._group_coordinators: Dict[ServerId, GroupTFCommitCoordinator] = {}
+        #: signing digest -> the round timing awaiting its delivery charge.
+        self._inflight_timings: Dict[bytes, TimingBreakdown] = {}
+        #: signing digest -> the chained block as finalised by the ordering
+        #: service (the group digest is untouched by re-chaining, so it is a
+        #: stable key from publication through delivery).
+        self._chained_by_digest: Dict[bytes, Block] = {}
+        #: signing digest -> per-server delivery failure responses.
+        self._failures_by_digest: Dict[bytes, List[Dict]] = {}
+        #: signing digest -> round result awaiting delivery (reorder window).
+        self._pending_results: Dict[bytes, object] = {}
+        self.delivery_failures: List[Dict] = []
+        self.network.register_observer(
+            ORDSERV_ID, keypair_for(ORDSERV_ID, seed=self.config.seed)
+        )
+        self.ordering.subscribe(self._deliver_ordered)
+        for server_id, server in self.servers.items():
+            server.set_coordinator_role(GroupDispatcher(self, server_id))
+        #: No single designated coordinator exists in the scaled deployment.
+        self.coordinator = None
+
+    def _coordinator_router(self):
+        return lambda txn: group_for_transaction(txn, self.shard_map).coordinator
+
+    def group_coordinator(self, server_id: ServerId) -> GroupTFCommitCoordinator:
+        """The (lazily created) coordinator for groups led by ``server_id``."""
+        if server_id not in self._group_coordinators:
+            self._group_coordinators[server_id] = GroupTFCommitCoordinator(
+                server=self.servers[server_id],
+                network=self.network,
+                shard_map=self.shard_map,
+                ordering=self.ordering,
+                system=self,
+                txns_per_block=self.config.txns_per_block,
+                latency=self.latency,
+            )
+        return self._group_coordinators[server_id]
+
+    # -- ordered-stream delivery ------------------------------------------------------
+
+    def register_inflight(self, signing_digest: bytes, timing: TimingBreakdown) -> None:
+        """Remember a published block's timing until the stream delivers it."""
+        self._inflight_timings[signing_digest] = timing
+
+    def chained_block(self, signing_digest: bytes) -> Optional[Block]:
+        """The globally chained block for a group digest, once delivered."""
+        return self._chained_by_digest.get(signing_digest)
+
+    def attach_round_result(self, signing_digest: bytes, result) -> None:
+        """Bind a round's result to its published block.
+
+        If the block was already delivered (reorder window 0) the result is
+        restamped immediately with the chained block, its global height, and
+        any per-server delivery failures; otherwise the restamp happens when
+        the ordering service delivers it.
+        """
+        chained = self._chained_by_digest.get(signing_digest)
+        if chained is not None:
+            self._restamp_result(result, chained)
+        else:
+            self._pending_results[signing_digest] = result
+
+    def _restamp_result(self, result, chained: Block) -> None:
+        result.block = chained
+        result.outcomes = [
+            replace(outcome, block_height=chained.height) for outcome in result.outcomes
+        ]
+        # A server that rejected the ordered block (diverged log, bad
+        # signature under fault injection) surfaces exactly like a phase-5
+        # decision failure does in the classic deployment.
+        result.refusals = list(result.refusals) + self._failures_by_digest.pop(
+            chained.signing_digest(), []
+        )
+
+    def _deliver_ordered(self, ordered: OrderedBlock) -> None:
+        """Atomically broadcast one finalised block to every server.
+
+        Simulated-time accounting mirrors a coordinator phase: one outbound
+        delay, the slowest server's measured apply compute, one inbound
+        delay; the cost is charged to the originating round's ``order`` phase.
+        """
+        block = ordered.block
+        # A scratch breakdown lets the shared helper do the accounting even
+        # when no round timing is registered (blocks published directly by
+        # tests); the charge is transferred to the originating round's if any.
+        scratch = TimingBreakdown()
+        responses = timed_broadcast(
+            self.network,
+            self.latency,
+            ORDSERV_ID,
+            list(self.config.server_ids),
+            MessageType.ORDERED_BLOCK,
+            {"block": block},
+            scratch,
+            "order",
+        )
+        digest = block.signing_digest()
+        failures = [resp for resp in responses.values() if not resp.get("ok")]
+        self.delivery_failures.extend(failures)
+        if failures:
+            self._failures_by_digest[digest] = failures
+        self._chained_by_digest[digest] = block
+        timing = self._inflight_timings.pop(digest, None)
+        if timing is not None:
+            timing.phases["order"] = scratch.phases["order"]
+            timing.network_time += scratch.network_time
+            timing.compute_time += scratch.compute_time
+        result = self._pending_results.pop(digest, None)
+        if result is not None:
+            self._restamp_result(result, block)
+
+    # -- workload-engine hooks ----------------------------------------------------------
+
+    def _coordinators(self) -> List[GroupTFCommitCoordinator]:
+        return list(self._group_coordinators.values())
+
+    def _flush_pending(self) -> Dict:
+        """Flush every group coordinator's partial batch and merge the responses.
+
+        The merged frontier is the maximum across coordinators -- observing a
+        larger committed timestamp is always safe for a retrying client.
+        """
+        merged: Dict[str, Dict] = {}
+        frontier: Optional[Tuple[int, str]] = None
+        for coordinator in self._coordinators():
+            response = coordinator.flush()
+            merged.update(response.get("results", {}))
+            reported = response.get("latest_committed_ts")
+            if reported is not None:
+                reported = tuple(reported)
+                if frontier is None or reported > frontier:
+                    frontier = reported
+        return {
+            "status": "flushed",
+            "results": merged,
+            "latest_committed_ts": frontier,
+        }
+
+    def _finish_workload(self) -> None:
+        self.ordering.flush()
+
+    def flush(self) -> Dict:
+        """Flush every coordinator and finalise the ordering service's stream."""
+        response = self._flush_pending()
+        self.ordering.flush()
+        return response
+
+    # -- introspection ---------------------------------------------------------------------
+
+    @property
+    def active_group_coordinators(self) -> List[ServerId]:
+        """Servers that actually coordinated at least one block round."""
+        return sorted(
+            server_id
+            for server_id, coordinator in self._group_coordinators.items()
+            if coordinator.results
+        )
+
+    def groups_used(self) -> List[Tuple[ServerId, ...]]:
+        """Every distinct dynamic group that produced an ordered block."""
+        return sorted(
+            {
+                tuple(sorted(ordered.group.members))
+                for ordered in self.ordering.ordered_blocks
+            }
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ScaledFidesSystem(servers={len(self.servers)}, "
+            f"group_coordinators={len(self._group_coordinators)}, "
+            f"txns_per_block={self.config.txns_per_block}, "
+            f"ordered_blocks={self.ordering.stream_length})"
+        )

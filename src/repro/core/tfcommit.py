@@ -216,6 +216,38 @@ def drain_stale(
     return batch
 
 
+def timed_broadcast(
+    network: Network,
+    latency: LatencyModel,
+    sender: str,
+    recipients: Sequence[str],
+    message_type: MessageType,
+    payload: Dict,
+    timing: TimingBreakdown,
+    phase: str,
+) -> Dict[str, Dict]:
+    """Broadcast one phase's message and charge it to ``timing``.
+
+    The simulated-time rule lives here, shared by TFCommit, the 2PC
+    baseline, and the ordering service's delivery: a phase costs one
+    outbound delay (the slowest recipient's sample), the slowest recipient's
+    measured compute, and one inbound delay -- recipients work in parallel
+    on real hardware.  The ``default=0.0`` guards keep empty recipient lists
+    and compute-free responses at zero cost.
+    """
+    outbound = max((latency.sample() for _ in recipients), default=0.0)
+    responses = network.broadcast(sender, recipients, message_type, payload)
+    inbound = max((latency.sample() for _ in recipients), default=0.0)
+    slowest_compute = max(
+        ((resp.get("compute_time", 0.0) or 0.0) for resp in responses.values()),
+        default=0.0,
+    )
+    timing.phases[phase] = outbound + slowest_compute + inbound
+    timing.network_time += outbound + inbound
+    timing.compute_time += slowest_compute
+    return responses
+
+
 class TFCommitCoordinator:
     """The designated coordinator driving TFCommit rounds.
 
@@ -279,7 +311,7 @@ class TFCommitCoordinator:
                 # Every remaining transaction was stale; nothing left to commit.
                 break
             result = self.commit_batch(batch)
-            digest = result.block.body_digest() if result.block is not None else None
+            digest = result.block.signing_digest() if result.block is not None else None
             cosign = result.block.cosign if result.block is not None else None
             for outcome in result.outcomes:
                 results[outcome.txn_id] = outcome.to_wire(block_digest=digest, cosign=cosign)
@@ -296,15 +328,11 @@ class TFCommitCoordinator:
 
         # Phase 1+2: <GetVote, SchAnnouncement> / <Vote, SchCommitment>.
         coordinator_started = time.perf_counter()
-        partial_block = make_partial_block(
-            height=self.server.log.height,
-            transactions=transactions,
-            previous_hash=self.server.log.head_hash,
-        )
+        partial_block = self._make_partial_block(transactions)
         # Serialising the block (and hence encoding its transactions) happens
         # here, on the coordinator, when the get_vote message is built; the
         # cached encodings keep the cohorts' own hashing cheap.
-        partial_block.body_digest()
+        partial_block.signing_digest()
         timing.coordinator_time += time.perf_counter() - coordinator_started
         votes = self._broadcast_phase(
             "get_vote",
@@ -348,7 +376,7 @@ class TFCommitCoordinator:
             }
         block = partial_block.with_decision(decision, roots)
         aggregate_commitment = aggregate_points(commitments.values())
-        challenge = compute_challenge(aggregate_commitment, block.body_digest())
+        challenge = compute_challenge(aggregate_commitment, block.signing_digest())
         timing.coordinator_time += time.perf_counter() - coordinator_started
         timing.phases["aggregate"] = timing.coordinator_time
 
@@ -384,7 +412,7 @@ class TFCommitCoordinator:
         )
         final_block = block.with_cosign(cosign)
         public_keys = self.network.public_key_directory()
-        if not cosi_verify(cosign, final_block.body_digest(), public_keys):
+        if not cosi_verify(cosign, final_block.signing_digest(), public_keys):
             # Lemma 4: the coordinator checks partial signatures to identify
             # exactly which server(s) sent bogus cryptographic values.
             culprits = identify_faulty_signers(
@@ -396,10 +424,7 @@ class TFCommitCoordinator:
             )
         self._record_finalize_time(timing, coordinator_started)
 
-        decisions = self._broadcast_phase(
-            "decision", MessageType.DECISION, {"block": final_block}, timing
-        )
-        decision_failures = [resp for resp in decisions.values() if not resp.get("ok")]
+        decision_failures = self._deliver_block(final_block, timing)
 
         if final_block.is_commit:
             self._latest_committed_ts = max(
@@ -426,6 +451,33 @@ class TFCommitCoordinator:
         self.results.append(result)
         return result
 
+    # -- deployment hooks ----------------------------------------------------------------
+
+    def _make_partial_block(self, transactions: Sequence[Transaction]) -> Block:
+        """Phase-1 block construction: chained onto the coordinator's log.
+
+        The scaled per-group coordinator overrides this to build group blocks
+        whose chain metadata the ordering service assigns later.
+        """
+        return make_partial_block(
+            height=self.server.log.height,
+            transactions=transactions,
+            previous_hash=self.server.log.head_hash,
+        )
+
+    def _deliver_block(self, final_block: Block, timing: TimingBreakdown) -> List[Dict]:
+        """Phase 5 delivery: broadcast the decision to every cohort.
+
+        Returns the per-server failure responses.  The scaled per-group
+        coordinator overrides this to publish the co-signed group block to
+        the ordering service instead, which delivers the globally chained
+        stream to all servers.
+        """
+        decisions = self._broadcast_phase(
+            "decision", MessageType.DECISION, {"block": final_block}, timing
+        )
+        return [resp for resp in decisions.values() if not resp.get("ok")]
+
     # -- helpers -------------------------------------------------------------------------
 
     @staticmethod
@@ -440,25 +492,17 @@ class TFCommitCoordinator:
     def _broadcast_phase(
         self, phase: str, message_type: MessageType, payload: Dict, timing: TimingBreakdown
     ) -> Dict[str, Dict]:
-        """Send one phase's message to every server and collect the responses.
-
-        Simulated-time accounting: the phase costs one outbound delay, the
-        slowest cohort's measured compute, and one inbound delay (cohorts
-        work in parallel on real hardware).
-        """
-        outbound = max((self._latency.sample() for _ in self.server_ids), default=0.0)
-        responses = self.network.broadcast(
-            self.coordinator_id, self.server_ids, message_type, payload
+        """Send one phase's message to every cohort via :func:`timed_broadcast`."""
+        return timed_broadcast(
+            self.network,
+            self._latency,
+            self.coordinator_id,
+            self.server_ids,
+            message_type,
+            payload,
+            timing,
+            phase,
         )
-        inbound = max((self._latency.sample() for _ in self.server_ids), default=0.0)
-        slowest_compute = max(
-            ((resp.get("compute_time", 0.0) or 0.0) for resp in responses.values()),
-            default=0.0,
-        )
-        timing.phases[phase] = outbound + slowest_compute + inbound
-        timing.network_time += outbound + inbound
-        timing.compute_time += slowest_compute
-        return responses
 
     def _equivocate_challenge(
         self,
@@ -522,6 +566,16 @@ class TFCommitCoordinator:
         culprits: List[str],
     ) -> BlockCommitResult:
         reasons = [r.get("reason", "") for r in refusals] or abort_reasons
+        if block is not None:
+            # The round will never see a decision; tell the cohorts to drop
+            # the state (witness nonce, speculative root) they buffered for
+            # it, so failed rounds do not leak RoundState forever.
+            self.network.broadcast(
+                self.coordinator_id,
+                self.server_ids,
+                MessageType.ROUND_FAILED,
+                {"round_key": block.round_key()},
+            )
         outcomes = [
             TxnOutcome(txn_id=txn.txn_id, status="failed", reason="; ".join(filter(None, reasons)))
             for txn in transactions

@@ -23,6 +23,7 @@ from repro.core.tfcommit import (
     drain_stale,
     flushed_response,
     stale_failure_response,
+    timed_broadcast,
 )
 from repro.ledger.block import Block, BlockDecision, make_partial_block
 from repro.net.latency import LatencyModel
@@ -147,15 +148,20 @@ class TwoPhaseCommitCoordinator:
     def _broadcast_phase(
         self, phase: str, message_type: MessageType, payload: Dict, timing: TimingBreakdown
     ) -> Dict[str, Dict]:
-        outbound = max(self._latency.sample() for _ in self.server_ids)
-        responses = self.network.broadcast(
-            self.coordinator_id, self.server_ids, message_type, payload
+        """Send one phase's message via :func:`timed_broadcast`.
+
+        The shared helper carries the ``default=0.0`` guards (ported from
+        TFCommit in PR 1): an empty cohort list or a compute-free response
+        set must cost zero, not raise ``ValueError: max() arg is an empty
+        sequence``.
+        """
+        return timed_broadcast(
+            self.network,
+            self._latency,
+            self.coordinator_id,
+            self.server_ids,
+            message_type,
+            payload,
+            timing,
+            phase,
         )
-        inbound = max(self._latency.sample() for _ in self.server_ids)
-        slowest_compute = max(
-            (resp.get("compute_time", 0.0) or 0.0) for resp in responses.values()
-        )
-        timing.phases[phase] = outbound + slowest_compute + inbound
-        timing.network_time += outbound + inbound
-        timing.compute_time += slowest_compute
-        return responses

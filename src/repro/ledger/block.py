@@ -17,6 +17,24 @@ case used for exposition in the paper is simply a batch of size one.  The
 collective signature covers the *body digest* -- every field except the
 co-sign itself -- so any post-hoc modification of the block invalidates the
 signature (Lemma 6).
+
+Scaled deployments (Section 4.6, Figure 9) split block identity in two:
+
+* the **group body** -- transactions, roots, decision, and the dynamic group
+  that terminated them -- is what the group's members collectively sign
+  (:meth:`Block.group_body_digest`);
+* the **chain metadata** -- ``height`` and ``previous_hash`` -- is assigned
+  later by the ordering service when it merges per-group blocks into the one
+  global log, exactly as the paper's OrdServ "fills in the hash of the
+  previous block".
+
+A block produced by a dynamic group records the group in :attr:`Block.group`;
+its :meth:`Block.signing_digest` is then the group body digest, so the
+ordering service can re-chain the block without invalidating the co-sign,
+while the hash pointers (:meth:`Block.block_hash`) still cover the full body
+*including* the chain metadata, keeping the global log tamper-evident.
+Classic single-coordinator blocks have ``group=None`` and sign the full body
+digest as before.
 """
 
 from __future__ import annotations
@@ -47,6 +65,11 @@ class Block:
     ``roots`` maps each involved server to the Merkle root its shard would
     have with the block's transactions applied; for an aborted block at least
     one root is missing (Section 4.3.2).
+
+    ``group`` is ``None`` for classic full-cluster blocks; for blocks
+    terminated by a dynamic server group (Section 4.6) it records the group's
+    members, and the collective signature covers the *group body digest*
+    (which excludes the chain metadata the ordering service assigns later).
     """
 
     height: int
@@ -55,10 +78,13 @@ class Block:
     decision: BlockDecision
     previous_hash: bytes
     cosign: Optional[CollectiveSignature] = None
+    group: Optional[Tuple[ServerId, ...]] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "transactions", tuple(self.transactions))
         object.__setattr__(self, "roots", dict(self.roots))
+        if self.group is not None:
+            object.__setattr__(self, "group", tuple(sorted(self.group)))
         if self.height < 0:
             raise ValidationError("block height must be >= 0")
 
@@ -107,6 +133,7 @@ class Block:
             "roots": {server: root for server, root in sorted(self.roots.items())},
             "decision": self.decision.value,
             "previous_hash": self.previous_hash,
+            "group": list(self.group) if self.group is not None else None,
         }
 
     def body_digest(self) -> bytes:
@@ -122,16 +149,61 @@ class Block:
         parts = [
             str(self.height).encode("ascii"),
             self.previous_hash,
-            self.decision.value.encode("ascii"),
         ]
+        parts.extend(self._group_body_parts())
+        digest = hash_concat(*parts)
+        object.__setattr__(self, "_digest_cache", digest)
+        return digest
+
+    def _group_body_parts(self) -> list:
+        """The chain-independent fields, in canonical order."""
+        parts = [self.decision.value.encode("ascii")]
+        for member in self.group or ():
+            parts.append(b"group:" + member.encode("utf-8"))
         for server_id, root in sorted(self.roots.items()):
             parts.append(server_id.encode("utf-8"))
             parts.append(root)
         for txn in self.transactions:
             parts.append(txn.encoded())
-        digest = hash_concat(*parts)
-        object.__setattr__(self, "_digest_cache", digest)
+        return parts
+
+    def group_body_digest(self) -> bytes:
+        """Digest of the chain-independent fields (Section 4.6).
+
+        Excludes ``height`` and ``previous_hash``: in the scaled deployment
+        those are assigned by the ordering service *after* the group co-signed
+        the block, so the signature must not cover them.  It *does* cover the
+        group membership, binding the signer set to the block.
+        """
+        cached = getattr(self, "_group_digest_cache", None)
+        if cached is not None:
+            return cached
+        digest = hash_concat(b"group-body", *self._group_body_parts())
+        object.__setattr__(self, "_group_digest_cache", digest)
         return digest
+
+    def signing_digest(self) -> bytes:
+        """The digest the participants collectively sign.
+
+        Classic full-cluster blocks sign the full body digest (chain metadata
+        included); dynamic-group blocks sign the group body digest so the
+        ordering service can re-chain them without breaking the co-sign.
+        """
+        if self.group is not None:
+            return self.group_body_digest()
+        return self.body_digest()
+
+    def round_key(self) -> tuple:
+        """Stable identifier of the TFCommit round that produces this block.
+
+        Cohorts key their per-round state by it.  Classic blocks are keyed by
+        height (one round per log position); group blocks cannot be -- their
+        height is a placeholder until the ordering service assigns the real
+        one -- so they are keyed by the transactions they terminate.
+        """
+        if self.group is not None:
+            return ("group",) + tuple(sorted(txn.txn_id for txn in self.transactions))
+        return ("height", self.height)
 
     def block_hash(self) -> bytes:
         """Hash-pointer value used as the next block's ``previous_hash``.
@@ -176,6 +248,27 @@ def make_partial_block(
         roots={},
         decision=BlockDecision.ABORT,
         previous_hash=previous_hash,
+    )
+
+
+def make_group_partial_block(
+    transactions: Sequence[Transaction],
+    group_members: Sequence[ServerId],
+) -> Block:
+    """The partial block a *group* coordinator builds (Section 4.6).
+
+    Chain metadata is a placeholder: the ordering service assigns the real
+    height and previous-hash pointer when it merges the per-group streams,
+    which is why the group co-signs :meth:`Block.group_body_digest` instead
+    of the full body digest.
+    """
+    return Block(
+        height=0,
+        transactions=tuple(transactions),
+        roots={},
+        decision=BlockDecision.ABORT,
+        previous_hash=EMPTY_HASH,
+        group=tuple(sorted(group_members)),
     )
 
 

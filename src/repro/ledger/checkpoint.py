@@ -159,8 +159,13 @@ def verify_log_against_checkpoint(
         if block.previous_hash != expected_prev:
             return False
         if block.cosign is None or not cosi_verify(
-            block.cosign, block.body_digest(), public_keys
+            block.cosign, block.signing_digest(), public_keys
         ):
+            return False
+        if block.group is not None and set(block.cosign.signer_ids) != set(block.group):
+            # Same defense as TransactionLog.verify: a dynamic-group block
+            # must be signed by exactly its recorded group, or a lone signer
+            # could forge "group" blocks that still cosi-verify.
             return False
         expected_prev = block.block_hash()
     return True

@@ -122,7 +122,18 @@ class TransactionLog:
                 return LogVerificationResult(
                     False, len(self._blocks), index, index, "missing collective signature"
                 )
-            if not cosi_verify(block.cosign, block.body_digest(), public_keys):
+            if block.group is not None and set(block.cosign.signer_ids) != set(block.group):
+                # A dynamic-group block must be signed by exactly its group:
+                # a subset could not have run the round, and extra signers
+                # mean the recorded group membership was doctored.
+                return LogVerificationResult(
+                    False,
+                    len(self._blocks),
+                    index,
+                    index,
+                    "group block signer set does not match its recorded group",
+                )
+            if not cosi_verify(block.cosign, block.signing_digest(), public_keys):
                 return LogVerificationResult(
                     False, len(self._blocks), index, index, "invalid collective signature"
                 )

@@ -36,6 +36,13 @@ class MessageType(Enum):
     CHALLENGE = "challenge"
     RESPONSE = "response"
     DECISION = "decision"
+    #: A round that failed (refusals, bad co-sign) is abandoned explicitly so
+    #: cohorts release the per-round state they buffered for it.
+    ROUND_FAILED = "round_failed"
+
+    # Scaled deployment (Section 4.6): the ordering service's atomic broadcast
+    # of globally chained per-group blocks.
+    ORDERED_BLOCK = "ordered_block"
 
     # 2PC baseline phases.
     PREPARE = "prepare"

@@ -44,7 +44,12 @@ from repro.txn.transaction import Transaction
 
 @dataclass
 class RoundState:
-    """Per-block state a cohort keeps between TFCommit phases."""
+    """Per-block state a cohort keeps between TFCommit phases.
+
+    Keyed by :meth:`~repro.ledger.block.Block.round_key` -- the height for
+    classic blocks, the terminated transaction set for dynamic-group blocks
+    (whose height is assigned later by the ordering service).
+    """
 
     height: int
     witness: CoSiWitness
@@ -53,6 +58,9 @@ class RoundState:
     reported_root: Optional[bytes] = None
     block: Optional[Block] = None
     mht_hashes: int = 0
+    #: Monotone per-cohort registration counter, used to expire abandoned
+    #: group rounds (whose placeholder height carries no ordering).
+    generation: int = 0
 
 
 @dataclass
@@ -86,6 +94,10 @@ class VoteResult:
 class CommitmentLayer:
     """Cohort-side commit logic for one database server."""
 
+    #: A round still undecided after this many later rounds started is
+    #: abandoned (its coordinator died or went silent without ROUND_FAILED).
+    ROUND_STATE_TTL = 64
+
     def __init__(
         self,
         server_id: ServerId,
@@ -100,7 +112,8 @@ class CommitmentLayer:
         self._log = log
         self._faults = faults or HonestBehavior()
         self._validator = OccValidator(store)
-        self._rounds: Dict[int, RoundState] = {}
+        self._rounds: Dict[tuple, RoundState] = {}
+        self._round_generation = 0
 
     @property
     def log(self) -> TransactionLog:
@@ -147,16 +160,23 @@ class CommitmentLayer:
         self._faults.observe_phase(
             "vote", partial_block.height, tuple(t.txn_id for t in partial_block.transactions)
         )
-        if partial_block.height != self._log.height and self._faults.maintains_log_integrity():
+        self._expire_stale_rounds()
+        if (
+            partial_block.group is None
+            and partial_block.height != self._log.height
+            and self._faults.maintains_log_integrity()
+        ):
             # A server that doctored its own log (truncation) is out of sync
             # by construction; it keeps participating rather than crashing
-            # the round, and the audit catches the short log instead.
+            # the round, and the audit catches the short log instead.  Group
+            # blocks carry placeholder chain metadata (the ordering service
+            # assigns the real height), so the check does not apply to them.
             raise ProtocolError(
                 f"{self.server_id}: partial block height {partial_block.height} does not extend "
                 f"local log of height {self._log.height}"
             )
         witness = CoSiWitness(self.server_id, self._keypair)
-        witness.on_announcement(partial_block.body_digest())
+        witness.on_announcement(partial_block.signing_digest())
         commitment = self._faults.corrupt_commitment(witness.commit())
 
         involved = any(self._local_items(txn) for txn in partial_block.transactions)
@@ -186,13 +206,15 @@ class CommitmentLayer:
                 mht_time = time.perf_counter() - mht_started
                 root = self._faults.corrupt_root(speculative_root)
 
-        self._rounds[partial_block.height] = RoundState(
+        self._round_generation += 1
+        self._rounds[partial_block.round_key()] = RoundState(
             height=partial_block.height,
             witness=witness,
             involved=involved,
             local_decision=decision,
             reported_root=root,
             mht_hashes=mht_hashes,
+            generation=self._round_generation,
         )
         return VoteResult(
             server_id=self.server_id,
@@ -227,9 +249,9 @@ class CommitmentLayer:
         self._faults.observe_phase(
             "challenge", block.height, tuple(t.txn_id for t in block.transactions)
         )
-        state = self._rounds.get(block.height)
+        state = self._rounds.get(block.round_key())
         if state is None:
-            raise ProtocolError(f"{self.server_id}: challenge for unknown round {block.height}")
+            raise ProtocolError(f"{self.server_id}: challenge for unknown round {block.round_key()}")
         state.block = block
 
         def refusal(reason: str) -> Dict[str, object]:
@@ -252,7 +274,7 @@ class CommitmentLayer:
                 return refusal("coordinator decided commit although this cohort voted abort")
 
             expected_challenge = compute_challenge(
-                decompress_point(aggregate_commitment), block.body_digest()
+                decompress_point(aggregate_commitment), block.signing_digest()
             )
             if expected_challenge != challenge:
                 return refusal("challenge does not correspond to the received block")
@@ -272,16 +294,37 @@ class CommitmentLayer:
         self, block: Block, public_keys: Dict[str, PublicKey]
     ) -> Dict[str, object]:
         """Verify the finalised block's co-sign, log it, and apply its writes."""
+        return self._accept_final_block(block, public_keys)
+
+    def _accept_final_block(
+        self, block: Block, public_keys: Dict[str, PublicKey]
+    ) -> Dict[str, object]:
+        """The shared terminal path: verify the co-sign, append, apply.
+
+        Used for both the classic phase-5 decision broadcast and the scaled
+        ordered-stream delivery.  A dynamic-group block must be signed by
+        exactly its recorded group regardless of the delivery path --
+        ``cosi_verify`` checks only the signers the signature itself lists,
+        so without this a lone signer could forge "group" blocks.
+        """
         started = time.perf_counter()
         self._faults.observe_phase(
             "decision", block.height, tuple(t.txn_id for t in block.transactions)
         )
-        state = self._rounds.pop(block.height, None)
-        if block.cosign is None or not cosi_verify(block.cosign, block.body_digest(), public_keys):
+        state = self._rounds.pop(block.round_key(), None)
+
+        reason = ""
+        if block.cosign is None or not cosi_verify(
+            block.cosign, block.signing_digest(), public_keys
+        ):
+            reason = "invalid collective signature on final block"
+        elif block.group is not None and set(block.cosign.signer_ids) != set(block.group):
+            reason = "block signer set does not match its recorded group"
+        if reason:
             return {
                 "server_id": self.server_id,
                 "ok": False,
-                "reason": "invalid collective signature on final block",
+                "reason": reason,
                 "compute_time": time.perf_counter() - started,
             }
         self._log.append(block, verify_link=self._faults.maintains_log_integrity())
@@ -325,6 +368,57 @@ class CommitmentLayer:
         if not commits:
             return 0
         return self._store.apply_batch(commits)
+
+    # -- scaled deployment: ordered-stream delivery (Section 4.6) -------------------
+
+    def handle_ordered_block(
+        self, block: Block, public_keys: Dict[str, PublicKey]
+    ) -> Dict[str, object]:
+        """Apply one block of the ordering service's global stream.
+
+        Every server -- group member or not -- receives the stream; it checks
+        the group's collective signature (over the group body digest, which
+        the ordering service's re-chaining left untouched), verifies that the
+        signer set is exactly the recorded group, appends the block to the
+        global chain, and applies the writes landing on its shard.  Group
+        members additionally release the round state they buffered while
+        co-signing the block.
+        """
+        return self._accept_final_block(block, public_keys)
+
+    # -- round-state hygiene ---------------------------------------------------------
+
+    def handle_round_failed(self, round_key: tuple) -> Dict[str, object]:
+        """Release the state of a round its coordinator abandoned.
+
+        Rounds that fail at the challenge phase (refusals, bad co-sign) never
+        receive a decision, so without this notification the cohort's
+        :class:`RoundState` -- witness nonce, speculative root -- would leak
+        forever.
+        """
+        released = self._rounds.pop(tuple(round_key), None)
+        return {"server_id": self.server_id, "ok": True, "released": released is not None}
+
+    def _expire_stale_rounds(self) -> None:
+        """Defensive cleanup for rounds a (crashed or malicious) coordinator
+        never terminated: classic rounds below the log height can no longer
+        receive a decision that appends, and any round (group rounds
+        included, whose placeholder height carries no ordering) that is
+        still undecided ``ROUND_STATE_TTL`` registrations later is
+        abandoned."""
+        expiry_generation = self._round_generation - self.ROUND_STATE_TTL
+        stale = [
+            key
+            for key, state in self._rounds.items()
+            if (key[0] == "height" and state.height < self._log.height)
+            or state.generation <= expiry_generation
+        ]
+        for key in stale:
+            del self._rounds[key]
+
+    def pending_round_count(self) -> int:
+        """How many rounds this cohort is currently buffering state for."""
+        return len(self._rounds)
 
     # -- 2PC baseline (Section 6.1) --------------------------------------------------
 

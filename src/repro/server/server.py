@@ -87,6 +87,8 @@ class DatabaseServer:
             MessageType.GET_VOTE: self._on_get_vote,
             MessageType.CHALLENGE: self._on_challenge,
             MessageType.DECISION: self._on_decision,
+            MessageType.ROUND_FAILED: self._on_round_failed,
+            MessageType.ORDERED_BLOCK: self._on_ordered_block,
             MessageType.PREPARE: self._on_prepare,
             MessageType.COMMIT_DECISION: self._on_2pc_decision,
             MessageType.AUDIT_LOG_REQUEST: self._on_audit_log_request,
@@ -160,6 +162,22 @@ class DatabaseServer:
         if response.get("ok"):
             # The block terminated its transactions; release their buffered
             # execution state so long multi-client runs do not accumulate it.
+            self.execution.finish_many(txn.txn_id for txn in block.transactions)
+        return response
+
+    def _on_round_failed(self, envelope: Envelope):
+        """Release buffered round state for a round the coordinator abandoned."""
+        return self.commitment.handle_round_failed(envelope.payload["round_key"])
+
+    # -- scaled deployment: ordered-stream delivery (Section 4.6) -------------------------
+
+    def _on_ordered_block(self, envelope: Envelope):
+        """Apply one globally ordered block delivered by the ordering service."""
+        block = envelope.payload["block"]
+        response = self.commitment.handle_ordered_block(
+            block, self.network.public_key_directory()
+        )
+        if response.get("ok"):
             self.execution.finish_many(txn.txn_id for txn in block.transactions)
         return response
 

@@ -16,8 +16,9 @@ benchmark harness uses so that a full batch always commits.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.common.errors import ConfigurationError
 from repro.txn.operations import Operation, ReadOp, WriteOp
@@ -139,3 +140,93 @@ class YcsbWorkload:
     def _next_value(self) -> int:
         self._value_counter += 1
         return self._value_counter
+
+
+@dataclass
+class PartitionedWorkload:
+    """Locality-partitioned workload for the scaled deployment (Section 4.6).
+
+    The item universe is split into *locality partitions* (each covering the
+    shards of a few servers); every generated transaction has a home
+    partition and, with probability ``locality``, touches only items of that
+    partition -- so its dynamic group stays small and distinct partitions
+    commit through distinct group coordinators.  The remaining
+    ``1 - locality`` of transactions span the home partition and its
+    neighbour, producing the overlapping groups whose blocks the ordering
+    service must keep dependency-ordered.
+
+    Parameters
+    ----------
+    partitions:
+        Item ids per locality partition (e.g. one entry per pair of servers).
+    ops_per_txn:
+        Items touched per transaction; each is read then written.
+    locality:
+        Fraction of transactions confined to their home partition (1.0 means
+        perfectly partitioned traffic, the paper's best case for scaling).
+    conflict_free_window:
+        Like :class:`YcsbWorkload`: consecutive windows of this many
+        transactions *per partition* touch disjoint items, so per-group
+        batches of that size never conflict.
+    seed:
+        RNG seed for deterministic workloads.
+    """
+
+    partitions: Sequence[Sequence[str]]
+    ops_per_txn: int = 2
+    locality: float = 1.0
+    conflict_free_window: int = 0
+    seed: int = 2020
+    _value_counter: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.partitions or any(not p for p in self.partitions):
+            raise ConfigurationError("every locality partition needs items")
+        if not 0.0 <= self.locality <= 1.0:
+            raise ConfigurationError("locality must be within [0, 1]")
+        if self.ops_per_txn < 1:
+            raise ConfigurationError("ops_per_txn must be >= 1")
+        self._rng = random.Random(self.seed)
+        #: Per-partition items already used in the current conflict-free window.
+        self._window_used: Dict[int, set] = {i: set() for i in range(len(self.partitions))}
+        self._window_progress: Dict[int, int] = {i: 0 for i in range(len(self.partitions))}
+
+    def generate(self, num_transactions: int) -> List[TransactionSpec]:
+        """Generate ``num_transactions`` specs, homes assigned round-robin."""
+        specs: List[TransactionSpec] = []
+        for index in range(num_transactions):
+            home = index % len(self.partitions)
+            pools = [(home, list(self.partitions[home]))]
+            if len(self.partitions) > 1 and self._rng.random() >= self.locality:
+                neighbour = (home + 1) % len(self.partitions)
+                pools.append((neighbour, list(self.partitions[neighbour])))
+            items = self._pick_items(home, pools)
+            operations = []
+            for item_id in items:
+                self._value_counter += 1
+                operations.append(ReadOp(item_id))
+                operations.append(WriteOp(item_id, self._value_counter))
+            specs.append(TransactionSpec(txn_index=index, operations=tuple(operations)))
+        return specs
+
+    def _pick_items(self, home: int, pools: List) -> List[str]:
+        if self.conflict_free_window:
+            if self._window_progress[home] % self.conflict_free_window == 0:
+                self._window_used[home] = set()
+            self._window_progress[home] += 1
+        items: List[str] = []
+        # Spread the picks over every pool so cross-partition transactions
+        # really touch both partitions (and hence widen their group).
+        for position in range(self.ops_per_txn):
+            partition_index, pool = pools[position % len(pools)]
+            used = self._window_used[partition_index]
+            candidates = [item for item in pool if item not in used and item not in items]
+            if not candidates:
+                raise ConfigurationError(
+                    "locality partition exhausted; enlarge the partitions or "
+                    "shrink conflict_free_window"
+                )
+            choice = self._rng.choice(candidates)
+            items.append(choice)
+            used.add(choice)
+        return items

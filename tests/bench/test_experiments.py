@@ -52,10 +52,26 @@ class TestFigureSweeps:
         for row in rows:
             assert {"scenario", "detected", "blocks-to-detect", "audit overhead (x)"} <= set(row)
 
+    def test_scaledgroups_smoke_rows(self):
+        from repro.bench.experiments import scaledgroups
+
+        results, rows = scaledgroups(num_requests=8, smoke=True, return_results=True)
+        assert len(rows) == 1  # one point per axis in smoke mode
+        row = rows[0]
+        assert {"servers", "locality", "scaled tps", "baseline tps", "speedup"} <= set(row)
+        assert results[0].group_coordinators >= 2
+        assert results[0].scaled_tps > 0
+        assert results[0].baseline_tps > 0
+
     def test_registry_covers_every_figure(self):
-        assert {"figure12", "figure13", "figure14", "figure15", "faultmatrix"} <= set(
-            EXPERIMENT_REGISTRY
-        )
+        assert {
+            "figure12",
+            "figure13",
+            "figure14",
+            "figure15",
+            "faultmatrix",
+            "scaledgroups",
+        } <= set(EXPERIMENT_REGISTRY)
 
 
 class TestCli:

@@ -11,6 +11,7 @@ import pytest
 
 from repro.common.config import SystemConfig
 from repro.core.fides import FidesSystem
+from repro.core.scaled import ScaledFidesSystem
 from repro.crypto.keys import keypair_for
 from repro.net.latency import ConstantLatency
 from repro.workload.ycsb import YcsbWorkload
@@ -92,6 +93,38 @@ def make_system():
             seed=seed,
         )
         return FidesSystem(config, protocol=protocol, latency=ConstantLatency(latency_s))
+
+    return build
+
+
+@pytest.fixture
+def make_scaled_system():
+    """Factory for scaled multi-coordinator deployments (Section 4.6)."""
+
+    def build(
+        num_servers: int = 4,
+        items_per_shard: int = 40,
+        txns_per_block: int = 2,
+        ops_per_txn: int = 2,
+        message_signing: str = "hash",
+        seed: int = 11,
+        reorder_window: int = 0,
+        latency_s: float = 0.0002,
+    ) -> ScaledFidesSystem:
+        config = SystemConfig(
+            num_servers=num_servers,
+            items_per_shard=items_per_shard,
+            txns_per_block=txns_per_block,
+            ops_per_txn=ops_per_txn,
+            multi_versioned=True,
+            message_signing=message_signing,
+            seed=seed,
+        )
+        return ScaledFidesSystem(
+            config,
+            latency=ConstantLatency(latency_s),
+            reorder_window=reorder_window,
+        )
 
     return build
 

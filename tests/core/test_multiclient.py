@@ -122,3 +122,48 @@ class TestMultiClientWorkload:
         system.run_workload(conflict_free_specs(workload_factory, system, 8), num_clients=4)
         report = system.audit()
         assert report.ok
+
+
+class TestWorkloadAccounting:
+    def test_second_run_workload_does_not_double_count_blocks(
+        self, make_system, workload_factory
+    ):
+        """Regression: ``result.block_results`` used to copy the coordinator's
+        *cumulative* history, so a second ``run_workload`` double-counted the
+        first run's blocks in throughput/latency metrics."""
+        system = make_system()
+        first = system.run_workload(conflict_free_specs(workload_factory, system, 8, seed=2))
+        second = system.run_workload(conflict_free_specs(workload_factory, system, 8, seed=5))
+        assert len(first.block_results) == 2  # 8 txns / 4 per block
+        assert len(second.block_results) == 2
+        assert len(system.coordinator.results) == 4
+        # The second run's metrics must cover only its own transactions.
+        assert sum(r.timing.num_txns for r in second.block_results) == 8
+
+
+class TestNeverFlushedRelease:
+    def test_never_flushed_transactions_release_execution_state(
+        self, make_system, workload_factory
+    ):
+        """Regression: the "never flushed" terminal path recorded a failure
+        but, unlike the stale path, never released the transaction's buffered
+        execution state on the servers."""
+        system = make_system()
+        real_flush = system.coordinator.flush
+
+        def dropping_flush():
+            # A (crashing or malicious) coordinator that silently discards
+            # one queued transaction: it never enters a block, so no decision
+            # broadcast will ever release its buffered execution state.
+            if system.coordinator._pending:
+                system.coordinator._pending.pop(0)
+            return real_flush()
+
+        system.coordinator.flush = dropping_flush
+        specs = conflict_free_specs(workload_factory, system, 3)
+        result = system.run_workload(specs)
+        never_flushed = [o for o in result.outcomes if o.reason == "never flushed"]
+        assert never_flushed
+        assert len(result.outcomes) == 3
+        for server in system.servers.values():
+            assert server.execution.active_transactions() == []

@@ -49,6 +49,43 @@ class TestFakeRoot:
         assert all(height == 0 for height in small_system.log_heights().values())
 
 
+class TestFailedRoundCleanup:
+    """Regression: rounds that fail before a decision used to leak RoundState.
+
+    ``CommitmentLayer._rounds`` only popped state in ``handle_decision``;
+    rounds failing at the challenge phase (refusals, bad co-sign) never see a
+    decision, so the coordinator now broadcasts an explicit abandonment and
+    every cohort must end up with zero buffered rounds.
+    """
+
+    def _assert_no_round_state(self, system):
+        for server_id, server in system.servers.items():
+            assert server.commitment.pending_round_count() == 0, server_id
+
+    def test_refusal_failed_round_releases_state_everywhere(self, small_system):
+        small_system.inject_fault("s0", FakeRootFault(victim="s1"))
+        item = small_system.shard_map.items_of("s1")[0]
+        assert small_system.run_transaction([WriteOp(item, 9)]).status == "failed"
+        self._assert_no_round_state(small_system)
+
+    def test_bad_cosign_failed_round_releases_state_everywhere(self, small_system):
+        small_system.inject_fault("s2", BadCosiFault(corrupt_resp=True))
+        item = small_system.shard_map.items_of("s1")[0]
+        assert small_system.run_transaction([WriteOp(item, 9)]).status == "failed"
+        self._assert_no_round_state(small_system)
+
+    def test_equivocation_failed_round_releases_state_everywhere(self, small_system):
+        small_system.inject_fault("s0", EquivocatingCoordinatorFault())
+        item = small_system.shard_map.items_of("s1")[0]
+        assert small_system.run_transaction([WriteOp(item, 9)]).status == "failed"
+        self._assert_no_round_state(small_system)
+
+    def test_successful_round_also_leaves_no_state(self, small_system):
+        item = small_system.shard_map.items_of("s1")[0]
+        assert small_system.run_transaction([WriteOp(item, 9)]).committed
+        self._assert_no_round_state(small_system)
+
+
 class TestEquivocatingCoordinator:
     def test_correct_cohorts_refuse_mismatched_challenge(self, small_system):
         """Lemma 5 / Figure 8, Case 1: the same challenge cannot cover two blocks."""

@@ -49,6 +49,64 @@ class TestTwoPhaseCommit:
         assert heights == {5}
 
 
+class TestEmptyCohortGuards:
+    def test_broadcast_phase_with_empty_cohort_list_costs_zero(self, twopc_system):
+        """Regression: the three ``max()`` calls in ``_broadcast_phase`` need
+        ``default=0.0`` guards (ported from TFCommit in PR 1) -- an empty
+        cohort list used to raise ``ValueError: max() arg is an empty
+        sequence``."""
+        from repro.core.tfcommit import TimingBreakdown
+        from repro.core.twopc import TwoPhaseCommitCoordinator
+        from repro.ledger.block import make_partial_block
+        from repro.net.message import MessageType
+
+        coordinator = TwoPhaseCommitCoordinator(
+            server=twopc_system.server("s0"),
+            network=twopc_system.network,
+            server_ids=[],
+            txns_per_block=1,
+        )
+        timing = TimingBreakdown()
+        block = make_partial_block(0, [], b"\x00" * 32)
+        responses = coordinator._broadcast_phase(
+            "prepare", MessageType.PREPARE, {"block": block}, timing
+        )
+        assert responses == {}
+        assert timing.phases["prepare"] == 0.0
+        assert timing.network_time == 0.0
+        assert timing.compute_time == 0.0
+
+    def test_commit_batch_with_empty_cohort_list_does_not_raise(self, twopc_system):
+        from repro.core.twopc import TwoPhaseCommitCoordinator
+        from repro.net.message import Envelope, MessageType
+        from repro.txn.transaction import Transaction
+        from repro.common.timestamps import Timestamp
+
+        coordinator = TwoPhaseCommitCoordinator(
+            server=twopc_system.server("s0"),
+            network=twopc_system.network,
+            server_ids=[],
+            txns_per_block=1,
+        )
+        txn = Transaction(
+            txn_id="t-empty",
+            client_id="c0",
+            commit_ts=Timestamp(1, "c0"),
+            read_set=[],
+            write_set=[],
+        )
+        envelope = Envelope(
+            sender="c0",
+            recipient="s0",
+            message_type=MessageType.END_TRANSACTION,
+            payload={"transaction": txn},
+        )
+        result = coordinator.commit_batch([(txn, envelope)])
+        # No cohort voted, so nothing objected: the round completes instead
+        # of crashing on an empty response set.
+        assert result.status == "committed"
+
+
 class TestProtocolComparison:
     def test_tfcommit_does_more_work_than_2pc(self, small_system, twopc_system):
         """The Figure 12 claim at unit-test scale: trust costs extra phases and crypto."""

@@ -126,6 +126,45 @@ class TestCheckpointApplication:
         assert verify_log_against_checkpoint(log, checkpoint, public_keys)
 
 
+class TestGroupBlockSuffix:
+    def test_suffix_with_doctored_group_signer_set_rejected(self, system_with_history):
+        """A group block signed by fewer servers than its recorded group must
+        fail checkpoint-based verification, exactly as it fails full log
+        verification (the chaining-vs-cosign split's defense)."""
+        from dataclasses import replace as dc_replace
+
+        from repro.crypto.cosi import CoSiWitness, run_cosi_round
+        from repro.ledger.block import Block
+
+        system = system_with_history
+        checkpoint = make_signed_checkpoint(system)
+        item = system.shard_map.items_of("s1")[1]
+        assert system.run_transaction([ReadOp(item), WriteOp(item, 1)]).committed
+        log = system.server("s2").log
+        apply_checkpoint(log, checkpoint)
+        public_keys = system.network.public_key_directory()
+        assert verify_log_against_checkpoint(log, checkpoint, public_keys)
+
+        # Forge a "group" version of the retained block, claiming the full
+        # server set but co-signed by s0 alone over the group body digest.
+        honest = log[0]
+        forged = Block(
+            height=honest.height,
+            transactions=honest.transactions,
+            roots=honest.roots,
+            decision=honest.decision,
+            previous_hash=honest.previous_hash,
+            group=tuple(system.server_ids),
+        )
+        lone_witness = CoSiWitness("s0", system.server("s0").keypair)
+        forged = forged.with_cosign(
+            run_cosi_round(forged.group_body_digest(), [lone_witness])
+        )
+        forged = dc_replace(forged, previous_hash=checkpoint.head_hash)
+        log.tamper_replace(0, forged)
+        assert not verify_log_against_checkpoint(log, checkpoint, public_keys)
+
+
 class TestDropPrefix:
     def test_drop_prefix_bounds(self, system_with_history):
         log = system_with_history.server("s0").log.copy()
