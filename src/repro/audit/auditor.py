@@ -70,21 +70,46 @@ class Auditor:
     # -- log collection and selection (Lemmas 6 & 7) ---------------------------------
 
     def collect_logs(self) -> Dict[str, TransactionLog]:
-        """Gather every server's log copy over the network."""
+        """Gather every server's log copy (and checkpoint, if any) over the network.
+
+        Checkpoints ride along in ``self.collected_checkpoints``:
+        a server whose log was truncated under Section 3.3's checkpointing
+        optimisation presents the co-signed checkpoint in place of the
+        dropped prefix, and :meth:`check_logs` verifies the pair together.
+        """
         logs: Dict[str, TransactionLog] = {}
+        self.collected_checkpoints: Dict[str, object] = {}
         for server_id in self.server_ids:
             response = self.network.send(
                 AUDITOR_ID, server_id, MessageType.AUDIT_LOG_REQUEST, {"full": True}
             )
             logs[server_id] = response["log"]
+            checkpoint = response.get("checkpoint")
+            if checkpoint is not None:
+                self.collected_checkpoints[server_id] = checkpoint
         return logs
 
     def check_logs(
-        self, logs: Mapping[str, TransactionLog], report: AuditReport
+        self,
+        logs: Mapping[str, TransactionLog],
+        report: AuditReport,
+        checkpoints: Optional[Mapping[str, object]] = None,
     ) -> Optional[TransactionLog]:
-        """Verify every copy, pick the reference log, and record log-level violations."""
+        """Verify every copy, pick the reference log, and record log-level violations.
+
+        Copies are compared by *effective* height -- a checkpoint-truncated
+        copy vouches for its dropped prefix with the checkpoint's collective
+        signature, so it competes on equal footing with full copies when the
+        longest correct log is selected (Lemma 7 across the truncation
+        boundary).
+        """
+        if checkpoints is None:
+            checkpoints = getattr(self, "collected_checkpoints", {})
         public_keys = self.network.public_key_directory()
-        results = {server_id: log.verify(public_keys) for server_id, log in logs.items()}
+        results = {
+            server_id: log.verify(public_keys, checkpoint=checkpoints.get(server_id))
+            for server_id, log in logs.items()
+        }
         report.log_results = dict(results)
 
         valid = {
@@ -95,21 +120,28 @@ class Auditor:
                 "no server produced a verifiable log copy; the failure model assumes at "
                 "least one correct server"
             )
-        reference_server = max(valid, key=lambda sid: (len(valid[sid]), sid))
+        reference_server = max(valid, key=lambda sid: (valid[sid].height, sid))
         reference = valid[reference_server]
         report.reference_log_server = reference_server
-        report.reference_log_length = len(reference)
+        report.reference_log_length = reference.height
 
         for server_id, result in results.items():
             if not result.valid:
                 block_height = result.first_invalid_height
                 kind = ViolationType.LOG_TAMPERED
                 description = f"log copy failed verification: {result.reason}"
+                mine = (
+                    logs[server_id].block_at_height(block_height)
+                    if block_height is not None
+                    else None
+                )
+                ref_block = (
+                    reference.block_at_height(block_height)
+                    if block_height is not None
+                    else None
+                )
                 comparable = (
-                    block_height is not None
-                    and block_height < len(reference)
-                    and block_height < len(logs[server_id])
-                    and "signature" in result.reason
+                    mine is not None and ref_block is not None and "signature" in result.reason
                 )
                 # A block at the same height with a *different decision* than
                 # the reference points at a forked commit/abort outcome
@@ -117,19 +149,13 @@ class Auditor:
                 # after-the-fact tampering (Lemma 6).  A block whose *content*
                 # matches the reference but whose signature still fails means
                 # the signature itself was forged or replaced (Lemma 4).
-                if comparable and (
-                    logs[server_id][block_height].body_digest()
-                    == reference[block_height].body_digest()
-                ):
+                if comparable and mine.body_digest() == ref_block.body_digest():
                     kind = ViolationType.INVALID_COSIGN
                     description = (
                         "block content matches the reference log but its collective "
                         "signature does not verify (forged or replaced co-sign)"
                     )
-                elif comparable and (
-                    logs[server_id][block_height].decision
-                    is not reference[block_height].decision
-                ):
+                elif comparable and mine.decision is not ref_block.decision:
                     kind = ViolationType.ATOMICITY_VIOLATION
                     description = (
                         "log copy holds a block with a conflicting decision that is not "
@@ -144,16 +170,16 @@ class Auditor:
                         block_height=block_height,
                     )
                 )
-            elif len(logs[server_id]) < len(reference):
+            elif logs[server_id].height < reference.height:
                 report.add(
                     Violation(
                         kind=ViolationType.LOG_INCOMPLETE,
                         description=(
-                            f"log copy has {len(logs[server_id])} blocks, reference has "
-                            f"{len(reference)} (missing tail)"
+                            f"log copy ends at height {logs[server_id].height}, reference at "
+                            f"{reference.height} (missing tail)"
                         ),
                         culprits=(server_id,),
-                        block_height=len(logs[server_id]),
+                        block_height=logs[server_id].height,
                     )
                 )
             elif not logs[server_id].is_prefix_of(reference):
@@ -452,7 +478,13 @@ class Auditor:
         """
         started = time.perf_counter()
         report = AuditReport()
-        collected = dict(logs) if logs is not None else self.collect_logs()
+        if logs is not None:
+            collected = dict(logs)
+            # Caller-supplied logs come without checkpoints; do not let a
+            # previous collection's checkpoints leak into this audit.
+            self.collected_checkpoints = {}
+        else:
+            collected = self.collect_logs()
         reference = self.check_logs(collected, report)
         if reference is None:
             report.audit_wall_time_s = time.perf_counter() - started

@@ -268,6 +268,124 @@ def scaledgroups(
     return (results, rows) if return_results else rows
 
 
+def recovery(
+    gap_requests: Iterable[int] = (8, 16, 32),
+    checkpoint_intervals: Iterable[int] = (0, 1),
+    store_kinds: Iterable[str] = ("memory", "wal"),
+    warmup_requests: int = 8,
+    num_servers: int = 4,
+    group_size: int = 2,
+    items_per_shard: int = 60,
+    txns_per_block: int = 2,
+    num_clients: int = 2,
+    num_requests: Optional[int] = None,
+    smoke: bool = False,
+    return_results: bool = False,
+):
+    """Crash-recovery sweep: recovery latency vs missed-log length x checkpointing.
+
+    Each point builds a :class:`~repro.core.scaled.ScaledFidesSystem` (the
+    deployment where disjoint groups keep committing while one server is
+    down, so a real catch-up gap accumulates), runs a warm-up workload,
+    optionally installs a checkpoint (``checkpoint_intervals``: 0 = never,
+    1 = after the warm-up -- the recovering server then restores from the
+    checkpoint snapshot instead of replaying from genesis), crashes one
+    server, commits ``gap_requests`` more transactions on the surviving
+    groups, and times :meth:`recover_server` -- restore + verified peer
+    catch-up + rejoin.
+
+    ``store_kinds`` compares the in-memory state store against the real
+    append-only file WAL (``wal``), whose fsync-per-block cost shows up both
+    in the workload wall time and in the recovery restore phase.
+    ``num_requests`` (the CLI's ``--requests``) overrides the largest gap
+    size; ``smoke=True`` restricts the grid to one point per axis.
+    """
+    import shutil
+    import tempfile
+    import time as _time
+
+    from repro.bench.harness import locality_partitions
+    from repro.common.config import SystemConfig
+    from repro.core.scaled import ScaledFidesSystem
+    from repro.net.latency import ConstantLatency
+    from repro.recovery import FileStateStore
+    from repro.workload.ycsb import PartitionedWorkload
+
+    gap_requests = tuple(gap_requests)
+    if num_requests is not None:
+        gap_requests = tuple(g for g in gap_requests if g < num_requests) + (num_requests,)
+    checkpoint_intervals = tuple(checkpoint_intervals)
+    store_kinds = tuple(store_kinds)
+    if smoke:
+        gap_requests = gap_requests[:1]
+        checkpoint_intervals = checkpoint_intervals[-1:]
+
+    results = []
+    for store_kind in store_kinds:
+        for gap in gap_requests:
+            for interval in checkpoint_intervals:
+                tmpdir = tempfile.mkdtemp(prefix="fides-wal-") if store_kind == "wal" else None
+                factory = (
+                    (lambda sid, d=tmpdir: FileStateStore(f"{d}/{sid}.wal"))
+                    if store_kind == "wal"
+                    else None
+                )
+                config = SystemConfig(
+                    num_servers=num_servers,
+                    items_per_shard=items_per_shard,
+                    txns_per_block=txns_per_block,
+                    ops_per_txn=2,
+                    multi_versioned=False,
+                    message_signing="hash",
+                    seed=2020,
+                )
+                system = ScaledFidesSystem(
+                    config,
+                    latency=ConstantLatency(0.0002),
+                    state_store_factory=factory,
+                )
+                workload = PartitionedWorkload(
+                    partitions=locality_partitions(system, group_size),
+                    ops_per_txn=2,
+                    locality=1.0,
+                    conflict_free_window=txns_per_block,
+                    seed=2020,
+                )
+                target = config.server_ids[-1]
+                workload_started = _time.perf_counter()
+                warmup = system.run_workload(
+                    workload.generate(warmup_requests), num_clients=num_clients
+                )
+                if interval:
+                    system.create_checkpoint()
+                system.crash_server(target)
+                gap_result = system.run_workload(
+                    workload.generate(gap), num_clients=num_clients
+                )
+                workload_time = _time.perf_counter() - workload_started
+                recovery_result = system.recover_server(target)
+                wal_bytes = system.servers[target].state_store.size_bytes()
+                if tmpdir is not None:
+                    for server in system.servers.values():
+                        server.state_store.close()
+                    shutil.rmtree(tmpdir, ignore_errors=True)
+                row = {
+                    "label": f"recovery-{store_kind}-gap{gap}-ckpt{interval}",
+                    "store": store_kind,
+                    "checkpointed": bool(interval),
+                    "warmup committed": warmup.committed,
+                    "gap committed": gap_result.committed,
+                    "restored blocks": recovery_result.restored_blocks,
+                    "fetched blocks": recovery_result.fetched_blocks,
+                    "recover (ms)": round(recovery_result.wall_time_s * 1000.0, 3),
+                    "workload (s)": round(workload_time, 3),
+                    "state store (KiB)": round(wal_bytes / 1024.0, 1),
+                }
+                results.append((recovery_result, row))
+    rows = [row for _, row in results]
+    return (results, rows) if return_results else rows
+
+
 def ablation_latency_regime(
     num_requests: int = 60,
     return_results: bool = False,
@@ -316,6 +434,7 @@ EXPERIMENT_REGISTRY = {
     "multiclient": multiclient_scaling,
     "faultmatrix": faultmatrix,
     "scaledgroups": scaledgroups,
+    "recovery": recovery,
     "ablation-latency": ablation_latency_regime,
     "ablation-signing": ablation_signing_scheme,
 }

@@ -17,6 +17,13 @@ canonical encoder:
 The format is not meant to be a general interchange format -- only to be
 deterministic, unambiguous (length-prefixed, so no delimiter injection), and
 cheap.
+
+:func:`canonical_decode` is the exact inverse for the plain-data subset
+(``to_wire`` objects decode back as the dict/list they produced): it powers
+the durable state layer (:mod:`repro.recovery`), whose write-ahead log must
+round-trip blocks and checkpoints through bytes.  Decoding is strict --
+unknown tags, trailing bytes, or truncated payloads raise ``ValueError`` --
+because the decoder's inputs (WAL files, catch-up payloads) are untrusted.
 """
 
 from __future__ import annotations
@@ -92,3 +99,68 @@ def canonical_encode(value: Any) -> bytes:
     if callable(to_wire):
         return canonical_encode(to_wire())
     raise TypeError(f"cannot canonically encode object of type {type(value).__name__}")
+
+
+def _read_length(data: bytes, offset: int) -> tuple:
+    if offset + 4 > len(data):
+        raise ValueError("truncated canonical encoding (missing length prefix)")
+    (length,) = struct.unpack_from(">I", data, offset)
+    return length, offset + 4
+
+
+def _decode_at(data: bytes, offset: int) -> tuple:
+    """Decode one value starting at ``offset``; returns ``(value, next_offset)``."""
+    if offset >= len(data):
+        raise ValueError("truncated canonical encoding (missing type tag)")
+    tag = data[offset : offset + 1]
+    offset += 1
+    if tag == _TAG_NONE:
+        return None, offset
+    if tag == _TAG_TRUE:
+        return True, offset
+    if tag == _TAG_FALSE:
+        return False, offset
+    if tag in (_TAG_INT, _TAG_FLOAT, _TAG_STR, _TAG_BYTES):
+        length, offset = _read_length(data, offset)
+        end = offset + length
+        if end > len(data):
+            raise ValueError("truncated canonical encoding (payload shorter than prefix)")
+        payload = data[offset:end]
+        if tag == _TAG_INT:
+            return int(payload.decode("ascii")), end
+        if tag == _TAG_FLOAT:
+            return float(payload.decode("ascii")), end
+        if tag == _TAG_STR:
+            return payload.decode("utf-8"), end
+        return bytes(payload), end
+    if tag == _TAG_LIST:
+        length, offset = _read_length(data, offset)
+        items = []
+        for _ in range(length):
+            item, offset = _decode_at(data, offset)
+            items.append(item)
+        return items, offset
+    if tag == _TAG_DICT:
+        length, offset = _read_length(data, offset)
+        result = {}
+        for _ in range(length):
+            key, offset = _decode_at(data, offset)
+            value, offset = _decode_at(data, offset)
+            result[key] = value
+        return result, offset
+    raise ValueError(f"unknown canonical-encoding tag {tag!r}")
+
+
+def canonical_decode(data: bytes) -> Any:
+    """Decode one canonically encoded value; the inverse of :func:`canonical_encode`.
+
+    Tuples come back as lists and ``to_wire`` objects as the plain structure
+    their ``to_wire()`` produced -- callers reconstruct domain objects from
+    those (see :mod:`repro.recovery.wire`).
+    """
+    value, offset = _decode_at(bytes(data), 0)
+    if offset != len(data):
+        raise ValueError(
+            f"canonical encoding carries {len(data) - offset} trailing byte(s)"
+        )
+    return value

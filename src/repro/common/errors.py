@@ -37,6 +37,35 @@ class StorageError(FidesError):
     """A datastore or shard operation failed (unknown item, bad version...)."""
 
 
+class UnreachableError(ProtocolError):
+    """A message was addressed to a participant that is currently down.
+
+    Raised when sending to a server that crashed (its handler was
+    unregistered) or that crashes while processing the message.  Protocol
+    drivers treat it as a *liveness* event -- the round fails and is retried
+    after recovery -- never as a safety violation.
+    """
+
+
+class ServerCrashed(FidesError):
+    """Control-flow signal: a fault policy decided the server crashes *now*.
+
+    Raised inside a server's message handler when its
+    :meth:`~repro.server.faults.FaultPolicy.crash_now` hook fires; the server
+    front-end catches it, drops its volatile state, and surfaces
+    :class:`UnreachableError` to the sender.
+    """
+
+
+class RecoveryError(FidesError):
+    """Crash recovery failed: corrupt persisted state or no usable peer.
+
+    Also raised (and caught internally) when a peer's catch-up response fails
+    verification -- broken hash chain, invalid co-sign, or a replay that does
+    not reproduce the advertised shard roots.
+    """
+
+
 class AuditError(FidesError):
     """The auditor could not complete an audit (e.g. no correct log exists)."""
 

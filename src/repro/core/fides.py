@@ -17,7 +17,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.client.client import CommitOutcome, FidesClient
 from repro.common.config import SystemConfig
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ConfigurationError, UnreachableError
 from repro.common.timestamps import Timestamp
 from repro.common.types import ClientId, ServerId, Value, make_client_id
 from repro.core.tfcommit import (
@@ -28,9 +28,11 @@ from repro.core.tfcommit import (
 from repro.core.twopc import TwoPhaseCommitCoordinator
 from repro.crypto.keys import keypair_for
 from repro.crypto.signing import make_signing_scheme
+from repro.ledger.checkpoint import Checkpoint, build_checkpoint, cosign_checkpoint
 from repro.ledger.log import TransactionLog
 from repro.net.latency import LatencyModel, lan_latency
 from repro.net.network import Network
+from repro.recovery.manager import RecoveryResult
 from repro.server.faults import FaultPolicy
 from repro.server.server import DatabaseServer
 from repro.storage.shard import ShardMap, build_uniform_partition
@@ -78,7 +80,13 @@ class FidesSystem:
         protocol: str = PROTOCOL_TFCOMMIT,
         latency: Optional[LatencyModel] = None,
         initial_value: Value = 0,
+        state_store_factory=None,
     ) -> None:
+        """``state_store_factory`` maps a server id to the durable
+        :class:`~repro.recovery.statestore.StateStore` backing that server's
+        crash recovery; the default gives every server an in-memory store
+        (pass a :class:`~repro.recovery.statestore.FileStateStore` factory to
+        measure real WAL overhead)."""
         self.config = config or SystemConfig()
         if protocol not in (PROTOCOL_TFCOMMIT, PROTOCOL_2PC):
             raise ConfigurationError(f"unknown protocol {protocol!r}")
@@ -97,6 +105,9 @@ class FidesSystem:
                 keypair=keypair_for(server_id, seed=self.config.seed),
                 items=per_server_items[server_id],
                 multi_versioned=self.config.multi_versioned,
+                state_store=(
+                    state_store_factory(server_id) if state_store_factory else None
+                ),
             )
             server.attach(self.network)
             self.servers[server_id] = server
@@ -155,8 +166,16 @@ class FidesSystem:
         return [self.coordinator]
 
     def _pending_count(self) -> int:
-        """Transactions queued but not yet proposed, across all coordinators."""
-        return sum(coordinator.pending_count for coordinator in self._coordinators())
+        """Transactions queued but not yet proposed, across all *live* coordinators.
+
+        Transactions stuck in a crashed coordinator's queue cannot be flushed
+        until it recovers, so they must not keep the workload loop spinning.
+        """
+        return sum(
+            coordinator.pending_count
+            for coordinator in self._coordinators()
+            if coordinator.available
+        )
 
     def _flush_pending(self) -> Dict:
         """Flush every coordinator's partial batch; responses are merged."""
@@ -186,12 +205,27 @@ class FidesSystem:
     def _run_transaction_raw(self, operations: Sequence[Operation], client_index: int = 0):
         client = self.client(client_index)
         session = client.begin()
-        for op in operations:
-            if op.is_read:
-                client.read(session, op.item_id)
-            else:
-                client.write(session, op.item_id, op.value)
-        return client.commit_with_response(session)
+        try:
+            for op in operations:
+                if op.is_read:
+                    client.read(session, op.item_id)
+                else:
+                    client.write(session, op.item_id, op.value)
+            return client.commit_with_response(session)
+        except UnreachableError as exc:
+            # A server this transaction touches is down (crashed mid-workload
+            # or mid-round).  The transaction fails -- the client would retry
+            # after recovery -- and the execution state it buffered on the
+            # *reachable* servers is released, as their timeouts would.
+            for server in self.servers.values():
+                if not server.crashed:
+                    server.execution.finish(session.txn_id)
+            outcome = CommitOutcome(
+                txn_id=session.txn_id,
+                status="failed",
+                reason=f"server unreachable: {exc}",
+            )
+            return outcome, {}
 
     def run_workload(
         self,
@@ -254,7 +288,8 @@ class FidesSystem:
                 # real system expires it by timeout, the in-process engine
                 # releases it directly.
                 for server in self.servers.values():
-                    server.execution.finish(outcome.txn_id)
+                    if not server.crashed:
+                        server.execution.finish(outcome.txn_id)
             if stale and attempt < self.STALE_RETRY_LIMIT:
                 frontier = response.get("latest_committed_ts")
                 if frontier is not None:
@@ -295,7 +330,8 @@ class FidesSystem:
             # without a decision broadcast, so its buffered execution state
             # must be released explicitly on every server.
             for server in self.servers.values():
-                server.execution.finish(txn_id)
+                if not server.crashed:
+                    server.execution.finish(txn_id)
             record(
                 CommitOutcome(txn_id=txn_id, status="failed", reason="never flushed"),
                 clients[slot],
@@ -311,6 +347,72 @@ class FidesSystem:
     def flush(self) -> Dict:
         """Force the coordinator to commit any partially filled batch."""
         return self.coordinator.flush()
+
+    # -- crash / recovery / checkpointing ------------------------------------------------
+
+    def crash_server(self, server_id: ServerId) -> None:
+        """Crash one server: volatile state dropped, handler unregistered."""
+        self.servers[server_id].crash()
+
+    def crashed_servers(self) -> List[ServerId]:
+        return [sid for sid, server in self.servers.items() if server.crashed]
+
+    def recover_server(
+        self, server_id: ServerId, peer_order: Optional[Sequence[ServerId]] = None
+    ) -> RecoveryResult:
+        """Recover a crashed server: restore, verified peer catch-up, rejoin.
+
+        ``peer_order`` controls which peers the catch-up consults first
+        (default: every other live server, in id order) -- tests use it to
+        put a malicious peer in front and assert its response is rejected.
+        """
+        peers = (
+            list(peer_order)
+            if peer_order is not None
+            else [
+                sid
+                for sid in self.config.server_ids
+                if sid != server_id and not self.servers[sid].crashed
+            ]
+        )
+        return self.servers[server_id].recover(peers)
+
+    def create_checkpoint(self, install: bool = True) -> Checkpoint:
+        """Build, co-sign, and (by default) install a checkpoint of the full log.
+
+        Mirrors the in-process CoSi round of
+        :func:`~repro.ledger.checkpoint.cosign_checkpoint`: every server
+        contributes its shard root and its signature.  ``install=True``
+        truncates every live server's log under the checkpoint and compacts
+        its durable state store (Section 3.3's storage bound).
+        """
+        reference_server = next(
+            server for server in self.servers.values() if not server.crashed
+        )
+        shard_roots = {
+            sid: server.store.merkle_root()
+            for sid, server in self.servers.items()
+            if not server.crashed
+        }
+        checkpoint = build_checkpoint(
+            reference_server.log,
+            shard_roots,
+            previous=reference_server.latest_checkpoint,
+        )
+        # Only live servers can contribute to the CoSi round; a crashed
+        # machine signs nothing, and cosi_verify checks exactly the signers
+        # the signature lists, so the checkpoint still verifies.
+        keypairs = {
+            sid: server.keypair
+            for sid, server in self.servers.items()
+            if not server.crashed
+        }
+        checkpoint = cosign_checkpoint(checkpoint, keypairs)
+        if install:
+            for server in self.servers.values():
+                if not server.crashed:
+                    server.install_checkpoint(checkpoint)
+        return checkpoint
 
     # -- fault injection and audits ---------------------------------------------------------
 
@@ -346,7 +448,10 @@ class FidesSystem:
         return self.servers[server_id]
 
     def log_heights(self) -> Dict[ServerId, int]:
-        return {server_id: len(server.log) for server_id, server in self.servers.items()}
+        """Global log height per server (immune to checkpoint truncation)."""
+        return {
+            server_id: server.log.height for server_id, server in self.servers.items()
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -176,6 +176,7 @@ class ScaledFidesSystem(FidesSystem):
         latency: Optional[LatencyModel] = None,
         initial_value: Value = 0,
         reorder_window: int = 0,
+        state_store_factory=None,
     ) -> None:
         self._reorder_window = reorder_window
         super().__init__(
@@ -183,6 +184,7 @@ class ScaledFidesSystem(FidesSystem):
             protocol=PROTOCOL_TFCOMMIT,
             latency=latency,
             initial_value=initial_value,
+            state_store_factory=state_store_factory,
         )
 
     # -- wiring ---------------------------------------------------------------------
@@ -314,6 +316,10 @@ class ScaledFidesSystem(FidesSystem):
         merged: Dict[str, Dict] = {}
         frontier: Optional[Tuple[int, str]] = None
         for coordinator in self._coordinators():
+            if not coordinator.available:
+                # The coordinator's server is down; its queue waits for
+                # recovery (clients routed here already saw failures).
+                continue
             response = coordinator.flush()
             merged.update(response.get("results", {}))
             reported = response.get("latest_committed_ts")

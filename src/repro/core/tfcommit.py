@@ -31,7 +31,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.common.errors import ProtocolError
+from repro.common.errors import ProtocolError, UnreachableError
 from repro.common.timestamps import Timestamp
 from repro.crypto.cosi import (
     CollectiveSignature,
@@ -234,9 +234,26 @@ def timed_broadcast(
     measured compute, and one inbound delay -- recipients work in parallel
     on real hardware.  The ``default=0.0`` guards keep empty recipient lists
     and compute-free responses at zero cost.
+
+    A recipient that is down -- crashed before the send, or crashing while
+    handling it -- yields a synthesised ``{"ok": False, "unreachable": True}``
+    response instead of an exception: losing a cohort mid-round is a
+    liveness event the round must observe and fail on, not a crash of the
+    coordinator.
     """
     outbound = max((latency.sample() for _ in recipients), default=0.0)
-    responses = network.broadcast(sender, recipients, message_type, payload)
+    responses: Dict[str, Dict] = {}
+    for recipient in recipients:
+        try:
+            responses[recipient] = network.send(sender, recipient, message_type, payload)
+        except UnreachableError as exc:
+            responses[recipient] = {
+                "server_id": recipient,
+                "ok": False,
+                "unreachable": True,
+                "reason": str(exc),
+                "compute_time": 0.0,
+            }
     inbound = max((latency.sample() for _ in recipients), default=0.0)
     slowest_compute = max(
         ((resp.get("compute_time", 0.0) or 0.0) for resp in responses.values()),
@@ -277,6 +294,16 @@ class TFCommitCoordinator:
     @property
     def coordinator_id(self) -> str:
         return self.server.server_id
+
+    @property
+    def available(self) -> bool:
+        """False while the coordinator's own server is crashed.
+
+        A crashed server cannot drive rounds; its queued transactions stay
+        pending until it recovers (clients see them fail / retry), and the
+        workload engine must not try to flush through it.
+        """
+        return not getattr(self.server, "crashed", False)
 
     @property
     def pending_count(self) -> int:
@@ -340,6 +367,15 @@ class TFCommitCoordinator:
             {"block": partial_block, "client_requests": client_requests},
             timing,
         )
+        unreachable = [resp for resp in votes.values() if resp.get("unreachable")]
+        if unreachable:
+            # A cohort crashed before or during the vote: the block cannot be
+            # co-signed by the full signer set, so the round fails and its
+            # transactions are retried once the server recovers (liveness, not
+            # safety -- nobody is accused).
+            return self._failed_result(
+                transactions, timing, partial_block, abort_reasons=[], refusals=unreachable, culprits=[]
+            )
 
         # Phase 3: <null, SchChallenge> -- aggregate votes into the block.
         coordinator_started = time.perf_counter()
@@ -569,12 +605,15 @@ class TFCommitCoordinator:
         if block is not None:
             # The round will never see a decision; tell the cohorts to drop
             # the state (witness nonce, speculative root) they buffered for
-            # it, so failed rounds do not leak RoundState forever.
+            # it, so failed rounds do not leak RoundState forever.  A crashed
+            # cohort (possibly the very reason the round failed) is skipped:
+            # it lost its round state with the rest of its volatile memory.
             self.network.broadcast(
                 self.coordinator_id,
                 self.server_ids,
                 MessageType.ROUND_FAILED,
                 {"round_key": block.round_key()},
+                skip_unreachable=True,
             )
         outcomes = [
             TxnOutcome(txn_id=txn.txn_id, status="failed", reason="; ".join(filter(None, reasons)))

@@ -57,6 +57,12 @@ class TwoPhaseCommitCoordinator:
         return self.server.server_id
 
     @property
+    def available(self) -> bool:
+        """False while the coordinator's own server is crashed (same
+        contract as the TFCommit coordinator's)."""
+        return not getattr(self.server, "crashed", False)
+
+    @property
     def pending_count(self) -> int:
         return len(self._pending)
 

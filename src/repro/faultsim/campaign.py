@@ -85,11 +85,19 @@ class DetectionResult:
     deterministic: bool
     expected_violation: Optional[ViolationType]
     expected_culprits: Tuple[str, ...]
+    liveness: bool = False
     detected: bool = False
-    detected_by: str = ""  # "audit", "protocol", or ""
+    detected_by: str = ""  # "audit", "protocol", "liveness", or ""
     violation_kinds: Tuple[str, ...] = ()
     culprits: Tuple[str, ...] = ()
     culprit_correct: bool = False
+    #: Crash scenarios: servers the runner recovered before probing/auditing.
+    recovered_servers: Tuple[str, ...] = ()
+    #: Peers whose catch-up response a recovering server rejected.
+    recovery_rejections: Tuple[str, ...] = ()
+    #: True if the audit wrongly pinned a safety violation on a crash target
+    #: (crashes are liveness events and must never be misclassified).
+    misattributed: bool = False
     fault_height: Optional[int] = None
     detection_height: Optional[int] = None
     blocks_until_detection: Optional[int] = None
@@ -112,7 +120,11 @@ class DetectionResult:
             "scenario": self.scenario,
             "faults": "+".join(self.fault_kinds),
             "targets": "+".join(self.targets),
-            "expected": self.expected_violation.value if self.expected_violation else "protocol",
+            "expected": (
+                self.expected_violation.value
+                if self.expected_violation
+                else ("liveness" if self.liveness else "protocol")
+            ),
             "detected": self.detected,
             "detected by": self.detected_by or "-",
             "culprit ok": self.culprit_correct,
@@ -258,7 +270,13 @@ class CampaignRunner:
         workload_result = system.run_workload(
             self.workload_specs(system), num_clients=self.config.num_clients
         )
+        recoveries = self._recover_crashed(system, scenario) if scenario.liveness else {}
         self._run_probe(system, scenario)
+        if scenario.liveness:
+            # A late trigger (height/phase not reached until the probe) can
+            # crash the target mid-probe; recover again so the audit runs on
+            # a live cluster.
+            recoveries.update(self._recover_crashed(system, scenario))
 
         report = system.auditor().run_audit(system.servers, datastore_mode="all")
 
@@ -269,6 +287,7 @@ class CampaignRunner:
             deterministic=scenario.deterministic,
             expected_violation=scenario.expected_violation,
             expected_culprits=scenario.expected_culprits,
+            liveness=scenario.liveness,
             audit_time_s=report.audit_wall_time_s,
             honest_audit_time_s=self._honest_baseline(),
             committed=workload_result.committed,
@@ -280,11 +299,35 @@ class CampaignRunner:
         heights = [h for h in heights if h is not None]
         result.fault_height = min(heights) if heights else None
 
-        if scenario.expected_violation is None:
+        if scenario.liveness:
+            self._detect_liveness(system, scenario, result, recoveries, report)
+        elif scenario.expected_violation is None:
             self._detect_protocol(system, scenario, result)
         else:
             self._detect_audit(report, scenario, result)
         return result
+
+    def _recover_crashed(self, system: FidesSystem, scenario: CampaignScenario) -> Dict:
+        """Recover every crashed server, consulting tampering peers *first*.
+
+        Putting declared catch-up tamperers at the front of the peer order
+        guarantees their doctored ``STATE_RESPONSE`` is actually exercised
+        (and must be rejected) before an honest peer completes the recovery.
+        """
+        tamperers = [
+            plan.target for plan in scenario.plans if plan.fault == "tamper-catchup"
+        ]
+        recoveries = {}
+        for server_id in system.crashed_servers():
+            peers = [peer for peer in tamperers if peer != server_id] + [
+                peer
+                for peer in system.server_ids
+                if peer != server_id
+                and peer not in tamperers
+                and not system.servers[peer].crashed
+            ]
+            recoveries[server_id] = system.recover_server(server_id, peer_order=peers)
+        return recoveries
 
     @staticmethod
     def _resolve(plan: FaultPlan, reserved: Dict[str, str]) -> FaultPlan:
@@ -347,6 +390,65 @@ class CampaignRunner:
             result.blocks_until_detection = 0
             result.culprit_correct = all(
                 culprit in culprits for culprit in scenario.expected_culprits
+            )
+
+    def _detect_liveness(
+        self,
+        system: FidesSystem,
+        scenario: CampaignScenario,
+        result: DetectionResult,
+        recoveries: Dict,
+        report: AuditReport,
+    ) -> None:
+        """Crash/recovery detection: round failures and rejected catch-up.
+
+        A crashed cohort surfaces as an *unreachable* refusal in a failed
+        TFCommit round (the liveness signal); a tampering catch-up peer
+        surfaces as a rejected ``STATE_RESPONSE`` during recovery.  Neither
+        may appear in the audit report as a safety violation pinned on the
+        target -- ``misattributed`` records whether that invariant held.
+        """
+        culprits: List[str] = []
+        for coordinator in system._coordinators():
+            for block_result in coordinator.results:
+                for refusal in block_result.refusals:
+                    server_id = refusal.get("server_id")
+                    if refusal.get("unreachable") and server_id and server_id not in culprits:
+                        culprits.append(server_id)
+        for recovery in recoveries.values():
+            for peer in recovery.rejected_peers:
+                if peer not in culprits:
+                    culprits.append(peer)
+        result.culprits = tuple(culprits)
+        result.recovered_servers = tuple(recoveries)
+        result.recovery_rejections = tuple(
+            sorted(
+                {
+                    peer
+                    for recovery in recoveries.values()
+                    for peer in recovery.rejected_peers
+                }
+            )
+        )
+        result.misattributed = any(
+            violation.involves(target)
+            for violation in report.violations
+            for target in scenario.targets
+        )
+        if culprits:
+            result.detected = True
+            result.detected_by = "liveness"
+            result.blocks_until_detection = 0
+            # Liveness attribution covers the *crash* targets (seen as
+            # unreachable by the failed rounds).  A catch-up tamperer only
+            # becomes observable if its trigger fired during a recovery with
+            # a non-empty gap, so it is asserted via ``recovery_rejections``
+            # where the scenario makes it deterministic, not here.
+            crash_targets = [
+                plan.target for plan in scenario.plans if plan.fault == "crash"
+            ]
+            result.culprit_correct = all(
+                target in culprits for target in crash_targets
             )
 
     # -- the matrix ------------------------------------------------------------

@@ -58,6 +58,14 @@ FAULT_KINDS: Dict[str, Dict[str, object]] = {
     "log-truncate": {"hook": "tamper_log", "scope": "log", "detected_by": "audit"},
     "fork-decision": {"hook": "tamper_log", "scope": "log", "detected_by": "audit"},
     "forge-cosign": {"hook": "tamper_log", "scope": "log", "detected_by": "audit"},
+    # -- crash / recovery (liveness axis) --------------------------------------
+    # A crash is a *liveness* event: it is detected by the TFCommit round
+    # failing (the cohort became unreachable) and must never be attributed as
+    # a protocol violation by the auditor.
+    "crash": {"hook": "crash_now", "scope": "cohort", "detected_by": "liveness"},
+    # A malicious peer serving doctored catch-up blocks to a recovering
+    # server; detection is the recovering server *rejecting* the response.
+    "tamper-catchup": {"hook": "tamper_state_response", "scope": "peer", "detected_by": "recovery"},
 }
 
 
@@ -117,6 +125,11 @@ class CampaignScenario:
     #: False for seeded-probability variants, where the trigger may simply
     #: never draw -- the sweep reports those rather than asserting on them.
     deterministic: bool = True
+    #: True for crash/recovery scenarios: the campaign runner recovers every
+    #: crashed server before probing and auditing, and detection is
+    #: classified as a liveness event (round failure / rejected catch-up),
+    #: never as a safety violation.
+    liveness: bool = False
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "plans", tuple(self.plans))
@@ -255,6 +268,42 @@ def _base_scenarios(server_ids: Sequence[str]) -> List[CampaignScenario]:
             expected_violation=ViolationType.INVALID_COSIGN,
             expected_culprits=(cohort,),
         ),
+        CampaignScenario(
+            # The cohort crashes mid-round (vote phase, one-shot): the round
+            # fails with the cohort unreachable, the runner recovers it via
+            # peer catch-up, and the probe + audit then succeed cleanly.
+            name="crash",
+            plans=(plan("crash", cohort),),
+            probe="rw",
+            expected_violation=None,
+            expected_culprits=(cohort,),
+            liveness=True,
+        ),
+        CampaignScenario(
+            # One cohort crashes; another serves it doctored catch-up blocks
+            # during recovery.  The recovering server must reject the
+            # tampered STATE_RESPONSE (its verification catches the forgery)
+            # and complete recovery from an honest peer.  The crash fires in
+            # the *decision* phase so a block commits cluster-wide that the
+            # crashed server missed -- in the classic full-cluster deployment
+            # that is the only way a catch-up gap can exist (once a cohort is
+            # down, no further round can commit), and a gap is what gives the
+            # tamperer something to doctor.  The phase trigger is scenario
+            # semantics, so the matrix's trigger variants leave it alone.
+            name="tampered-catchup",
+            plans=(
+                FaultPlan(
+                    fault="crash",
+                    target=server_ids[2],
+                    trigger={"kind": "phase", "phases": ["decision"]},
+                ),
+                plan("tamper-catchup", cohort),
+            ),
+            probe="rw",
+            expected_violation=None,
+            expected_culprits=(server_ids[2], cohort),
+            liveness=True,
+        ),
     ]
 
 
@@ -282,7 +331,11 @@ def build_fault_matrix(
                 FaultPlan(
                     fault=plan.fault,
                     target=plan.target,
-                    trigger=trigger_spec,
+                    # A plan whose base scenario already pins a trigger keeps
+                    # it (the trigger is part of the scenario's semantics,
+                    # e.g. the decision-phase crash of tampered-catchup);
+                    # only open triggers are swept across the variants.
+                    trigger=plan.trigger if plan.trigger else trigger_spec,
                     params=plan.params,
                 )
                 for plan in scenario.plans
@@ -295,6 +348,7 @@ def build_fault_matrix(
                     expected_violation=scenario.expected_violation,
                     expected_culprits=scenario.expected_culprits,
                     deterministic=deterministic and scenario.deterministic,
+                    liveness=scenario.liveness,
                 )
             )
     return matrix

@@ -165,6 +165,53 @@ class PlannedFaultPolicy(FaultPolicy):
                 return None
         return root
 
+    # -- crash / recovery hooks ----------------------------------------------
+
+    def crash_now(self) -> bool:
+        # One-shot per plan: a recovered server must not crash again the
+        # moment it rejoins (the trigger would keep firing forever for
+        # "always" / latched-probability / at-height->= specs), so a crash
+        # plan that has fired is permanently spent.
+        for index in self.plans_for("crash"):
+            if self.fired(self._plans[index].fault):
+                continue
+            if self._fire(index):
+                return True
+        return False
+
+    def tamper_state_response(self, blocks: list) -> list:
+        """Doctor the catch-up payload served to a recovering peer.
+
+        Flips the first write value of the first served block (wire-dict
+        level, so the peer's own log is untouched); the recovering server's
+        co-sign verification must reject the whole response.
+        """
+        for index in self.plans_for("tamper-catchup"):
+            if not blocks or not self._fire(index):
+                continue
+            doctored = [dict(block) for block in blocks]
+            body = dict(doctored[0]["body"])
+            transactions = [dict(txn) for txn in body["transactions"]]
+            tampered = False
+            for t_index, txn in enumerate(transactions):
+                if txn["write_set"]:
+                    write_set = [dict(entry) for entry in txn["write_set"]]
+                    write_set[0]["new_value"] = self._plans[index].params.get(
+                        "value", "__tampered__"
+                    )
+                    txn = dict(txn)
+                    txn["write_set"] = write_set
+                    transactions[t_index] = txn
+                    tampered = True
+                    break
+            if not tampered:
+                continue
+            body["transactions"] = transactions
+            doctored[0] = dict(doctored[0])
+            doctored[0]["body"] = body
+            return doctored
+        return blocks
+
     # -- log hooks -----------------------------------------------------------
 
     def maintains_log_integrity(self) -> bool:

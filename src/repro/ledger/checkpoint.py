@@ -32,7 +32,7 @@ from repro.common.timestamps import Timestamp
 from repro.crypto.cosi import CollectiveSignature, CoSiWitness, cosi_verify, run_cosi_round
 from repro.crypto.hashing import hash_concat
 from repro.crypto.keys import KeyPair, PublicKey
-from repro.ledger.log import TransactionLog
+from repro.ledger.log import TransactionLog, verify_block_cosign
 
 
 @dataclass(frozen=True)
@@ -76,19 +76,47 @@ class Checkpoint:
             cosign=cosign,
         )
 
+    def to_wire(self):
+        return {
+            "height": self.height,
+            "head_hash": self.head_hash,
+            "shard_roots": {sid: root for sid, root in sorted(self.shard_roots.items())},
+            "latest_commit_ts": self.latest_commit_ts.as_tuple(),
+            "transactions_covered": self.transactions_covered,
+            "cosign": self.cosign.to_wire() if self.cosign is not None else None,
+        }
 
-def build_checkpoint(log: TransactionLog, shard_roots: Mapping[str, bytes]) -> Checkpoint:
+
+def build_checkpoint(
+    log: TransactionLog,
+    shard_roots: Mapping[str, bytes],
+    previous: Optional[Checkpoint] = None,
+) -> Checkpoint:
     """Summarise the full current contents of ``log`` into an (unsigned) checkpoint.
 
     ``shard_roots`` are the current Merkle roots of every shard (each server
     contributes its own root; the coordinator aggregates them, exactly like
     the vote phase of TFCommit aggregates per-shard roots into a block).
+
+    For a log already truncated under an earlier checkpoint, pass it as
+    ``previous`` so the transaction count and the commit-timestamp frontier
+    accumulate across checkpoints instead of restarting at the truncation
+    boundary.
     """
     if len(log) == 0:
         raise ValidationError("cannot checkpoint an empty log")
+    if log.base_height > 0:
+        if previous is None:
+            raise ValidationError(
+                "checkpointing an already-truncated log needs the previous checkpoint"
+            )
+        if previous.height + 1 != log.base_height or previous.head_hash != log.base_hash:
+            raise ValidationError(
+                "previous checkpoint does not cover this log's truncation boundary"
+            )
     last_block = log.last_block()
-    latest_ts = Timestamp.zero()
-    transactions = 0
+    latest_ts = previous.latest_commit_ts if previous is not None else Timestamp.zero()
+    transactions = previous.transactions_covered if previous is not None else 0
     for block in log:
         if block.is_commit:
             transactions += len(block.transactions)
@@ -122,16 +150,21 @@ def apply_checkpoint(log: TransactionLog, checkpoint: Checkpoint) -> int:
 
     Returns the number of blocks removed.  The retained suffix still chains
     correctly: its first block's ``previous_hash`` equals
-    ``checkpoint.head_hash``.
+    ``checkpoint.head_hash``.  Blocks are addressed by *global height*, so
+    repeated checkpoints compose: applying a newer checkpoint to an
+    already-truncated log drops exactly the newly covered blocks, and a
+    checkpoint at or below the current truncation boundary is a no-op.
     """
     if checkpoint.cosign is None:
         raise ValidationError("refusing to apply an unsigned checkpoint")
-    if checkpoint.height >= len(log):
+    if checkpoint.height < log.base_height:
+        return 0
+    if checkpoint.height >= log.height:
         raise ValidationError("checkpoint covers blocks this log does not have")
-    covered_block = log[checkpoint.height]
-    if covered_block.block_hash() != checkpoint.head_hash:
+    covered_block = log.block_at_height(checkpoint.height)
+    if covered_block is None or covered_block.block_hash() != checkpoint.head_hash:
         raise ValidationError("checkpoint head hash does not match the local log")
-    return log.drop_prefix(checkpoint.height + 1)
+    return log.drop_prefix(checkpoint.height + 1 - log.base_height)
 
 
 def verify_log_against_checkpoint(
@@ -155,17 +188,18 @@ def verify_log_against_checkpoint(
     if first.height != checkpoint.height + 1:
         return False
     expected_prev = first.previous_hash
-    for block in log:
+    for index, block in enumerate(log):
+        # Heights must stay sequential across the truncation boundary; the
+        # hash pointer covers the height so a doctored height breaks the
+        # chain anyway, but checking it directly gives a precise failure.
+        if block.height != checkpoint.height + 1 + index:
+            return False
         if block.previous_hash != expected_prev:
             return False
-        if block.cosign is None or not cosi_verify(
-            block.cosign, block.signing_digest(), public_keys
-        ):
-            return False
-        if block.group is not None and set(block.cosign.signer_ids) != set(block.group):
-            # Same defense as TransactionLog.verify: a dynamic-group block
-            # must be signed by exactly its recorded group, or a lone signer
-            # could forge "group" blocks that still cosi-verify.
+        if verify_block_cosign(block, public_keys):
+            # Non-empty reason: missing/invalid co-sign, or a group block
+            # whose signer set does not match its recorded group (the
+            # chaining-vs-cosign split's defense, same as full-log verify).
             return False
         expected_prev = block.block_hash()
     return True

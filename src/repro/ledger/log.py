@@ -36,11 +36,52 @@ class LogVerificationResult:
     reason: str = ""
 
 
-class TransactionLog:
-    """One server's copy of the globally replicated block log."""
+def verify_block_cosign(block: Block, public_keys: Dict[str, PublicKey]) -> str:
+    """Check one block's collective signature; returns "" or a failure reason.
 
-    def __init__(self, blocks: Optional[Sequence[Block]] = None) -> None:
+    The single source of truth for the co-sign rules shared by full-log
+    verification, checkpoint-suffix verification, and recovery catch-up:
+
+    * a collective signature must be present and verify over the block's
+      signing digest (group body digest for dynamic-group blocks);
+    * a dynamic-group block must be signed by *exactly* its recorded group --
+      a subset could not have run the round, and extra signers mean the
+      recorded membership was doctored.
+    """
+    if block.cosign is None:
+        return "missing collective signature"
+    if block.group is not None and set(block.cosign.signer_ids) != set(block.group):
+        return "group block signer set does not match its recorded group"
+    if not cosi_verify(block.cosign, block.signing_digest(), public_keys):
+        return "invalid collective signature"
+    return ""
+
+
+class TransactionLog:
+    """One server's copy of the globally replicated block log.
+
+    A log can be *checkpoint-truncated* (Section 3.3): ``base_height`` blocks
+    at the front were dropped under a collectively signed checkpoint whose
+    head hash is ``base_hash``.  Heights stay **global**: the next block
+    appended to a truncated log carries ``base_height + len(blocks)``, so
+    truncation is invisible to the commit protocol and to hash chaining.
+    Indexing (``log[i]``, iteration) remains positional over the *retained*
+    blocks; :meth:`block_at_height` maps a global height to its block.
+    """
+
+    def __init__(
+        self,
+        blocks: Optional[Sequence[Block]] = None,
+        base_height: int = 0,
+        base_hash: Optional[bytes] = None,
+    ) -> None:
+        if base_height < 0:
+            raise ValidationError("base_height must be >= 0")
+        if base_height > 0 and base_hash is None:
+            raise ValidationError("a truncated log needs the checkpoint head hash")
         self._blocks: List[Block] = list(blocks) if blocks else []
+        self._base_height = base_height
+        self._base_hash = base_hash if base_hash is not None else genesis_previous_hash()
 
     # -- honest operations ----------------------------------------------------
 
@@ -58,16 +99,33 @@ class TransactionLog:
         return list(self._blocks)
 
     @property
+    def base_height(self) -> int:
+        """Number of leading blocks dropped under a checkpoint (0 = full log)."""
+        return self._base_height
+
+    @property
+    def base_hash(self) -> bytes:
+        """Hash the first retained block chains onto (genesis or checkpoint head)."""
+        return self._base_hash
+
+    @property
     def head_hash(self) -> bytes:
         """Hash pointer to be embedded in the next block."""
         if not self._blocks:
-            return genesis_previous_hash()
+            return self._base_hash
         return self._blocks[-1].block_hash()
 
     @property
     def height(self) -> int:
-        """Height the *next* block should carry."""
-        return len(self._blocks)
+        """Global height the *next* block should carry."""
+        return self._base_height + len(self._blocks)
+
+    def block_at_height(self, height: int) -> Optional[Block]:
+        """The retained block carrying global ``height`` (None if dropped/absent)."""
+        index = height - self._base_height
+        if 0 <= index < len(self._blocks):
+            return self._blocks[index]
+        return None
 
     def last_block(self) -> Optional[Block]:
         return self._blocks[-1] if self._blocks else None
@@ -79,9 +137,9 @@ class TransactionLog:
         injection can disable the check to model sloppy/malicious servers.
         """
         if verify_link:
-            if block.height != len(self._blocks):
+            if block.height != self.height:
                 raise ValidationError(
-                    f"block height {block.height} does not extend log of length {len(self._blocks)}"
+                    f"block height {block.height} does not extend log of height {self.height}"
                 )
             if block.previous_hash != self.head_hash:
                 raise ValidationError("block previous_hash does not match log head")
@@ -97,57 +155,90 @@ class TransactionLog:
                     yield block.height, txn
 
     def copy(self) -> "TransactionLog":
-        return TransactionLog(self._blocks)
+        return TransactionLog(
+            self._blocks, base_height=self._base_height, base_hash=self._base_hash
+        )
 
     # -- verification ---------------------------------------------------------
 
-    def verify(self, public_keys: Dict[str, PublicKey]) -> LogVerificationResult:
+    def verify(
+        self, public_keys: Dict[str, PublicKey], checkpoint=None
+    ) -> LogVerificationResult:
         """Verify hash chaining and every block's collective signature.
 
         This is the procedure the auditor runs on each collected log copy to
         decide whether it is correct (Lemma 6) before picking the longest
-        correct copy (Lemma 7).
+        correct copy (Lemma 7).  A checkpoint-truncated copy verifies only
+        against its ``checkpoint``: the checkpoint's own co-sign must verify,
+        its coverage must match the truncation boundary, and the retained
+        suffix must chain onto its head hash.
         """
-        expected_prev = genesis_previous_hash()
-        for index, block in enumerate(self._blocks):
-            if block.height != index:
-                return LogVerificationResult(
-                    False, len(self._blocks), index, index, "block height out of sequence"
-                )
-            if block.previous_hash != expected_prev:
-                return LogVerificationResult(
-                    False, len(self._blocks), index, index, "broken hash pointer"
-                )
-            if block.cosign is None:
-                return LogVerificationResult(
-                    False, len(self._blocks), index, index, "missing collective signature"
-                )
-            if block.group is not None and set(block.cosign.signer_ids) != set(block.group):
-                # A dynamic-group block must be signed by exactly its group:
-                # a subset could not have run the round, and extra signers
-                # mean the recorded group membership was doctored.
+        if self._base_height > 0:
+            if checkpoint is None:
                 return LogVerificationResult(
                     False,
                     len(self._blocks),
-                    index,
-                    index,
-                    "group block signer set does not match its recorded group",
+                    0,
+                    self._base_height,
+                    "log is checkpoint-truncated but no checkpoint was presented",
                 )
-            if not cosi_verify(block.cosign, block.signing_digest(), public_keys):
+            if checkpoint.cosign is None or not cosi_verify(
+                checkpoint.cosign, checkpoint.digest(), public_keys
+            ):
+                # Wording deliberately avoids "signature": the auditor's
+                # forged-block classifier keys on that word to refine a
+                # *block*-level co-sign failure, and this failure is about
+                # the checkpoint artifact, not any retained block.
                 return LogVerificationResult(
-                    False, len(self._blocks), index, index, "invalid collective signature"
+                    False,
+                    len(self._blocks),
+                    0,
+                    self._base_height,
+                    "checkpoint cosign failed verification",
                 )
+            if (
+                checkpoint.height + 1 != self._base_height
+                or checkpoint.head_hash != self._base_hash
+            ):
+                return LogVerificationResult(
+                    False,
+                    len(self._blocks),
+                    0,
+                    self._base_height,
+                    "checkpoint does not cover this log's truncation boundary",
+                )
+        expected_prev = self._base_hash
+        for index, block in enumerate(self._blocks):
+            height = self._base_height + index
+            if block.height != height:
+                return LogVerificationResult(
+                    False, len(self._blocks), index, height, "block height out of sequence"
+                )
+            if block.previous_hash != expected_prev:
+                return LogVerificationResult(
+                    False, len(self._blocks), index, height, "broken hash pointer"
+                )
+            reason = verify_block_cosign(block, public_keys)
+            if reason:
+                return LogVerificationResult(False, len(self._blocks), index, height, reason)
             expected_prev = block.block_hash()
         return LogVerificationResult(True, len(self._blocks), len(self._blocks))
 
     def is_prefix_of(self, other: "TransactionLog") -> bool:
-        """True if this log is a (possibly equal) prefix of ``other``."""
-        if len(self) > len(other):
+        """True if this log's history is a (possibly equal) prefix of ``other``'s.
+
+        Logs are compared by *global height*: every block both logs retain
+        must be identical, and this log must not extend beyond ``other``.
+        Heights only one side retains (checkpointed away on the other) are
+        vouched for by that side's checkpoint and are not compared here.
+        """
+        if self.height > other.height:
             return False
-        return all(
-            mine.block_hash() == theirs.block_hash()
-            for mine, theirs in zip(self._blocks, other._blocks)
-        )
+        for block in self._blocks:
+            theirs = other.block_at_height(block.height)
+            if theirs is not None and theirs.block_hash() != block.block_hash():
+                return False
+        return True
 
     # -- tampering helpers (fault injection only) ------------------------------
 
@@ -169,17 +260,22 @@ class TransactionLog:
         del self._blocks[keep:]
 
     def drop_prefix(self, count: int) -> int:
-        """Drop the first ``count`` blocks (checkpointing support).
+        """Drop the first ``count`` retained blocks (checkpointing support).
 
         Unlike the tampering helpers this is an *honest* operation: it is only
         safe when the dropped prefix is covered by a collectively signed
-        checkpoint (see :mod:`repro.ledger.checkpoint`).  Returns the number
-        of blocks removed.
+        checkpoint (see :mod:`repro.ledger.checkpoint`).  The truncation
+        boundary advances with the drop -- global heights, the head hash, and
+        chaining of future appends are unaffected.  Returns the number of
+        blocks removed.
         """
         if count < 0:
             raise ValidationError("cannot drop a negative number of blocks")
         count = min(count, len(self._blocks))
-        del self._blocks[:count]
+        if count:
+            self._base_hash = self._blocks[count - 1].block_hash()
+            self._base_height += count
+            del self._blocks[:count]
         return count
 
 

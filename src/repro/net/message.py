@@ -49,6 +49,11 @@ class MessageType(Enum):
     PREPARE_VOTE = "prepare_vote"
     COMMIT_DECISION = "commit_decision"
 
+    # Crash recovery: a restarted server fetches its missing block range from
+    # (untrusted) peers and verifies it before applying.
+    STATE_REQUEST = "state_request"
+    STATE_RESPONSE = "state_response"
+
     # Audit traffic (auditor <-> servers).
     AUDIT_LOG_REQUEST = "audit_log_request"
     AUDIT_LOG_RESPONSE = "audit_log_response"

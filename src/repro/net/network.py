@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional
 
-from repro.common.errors import ConfigurationError, SignatureError
+from repro.common.errors import ConfigurationError, SignatureError, UnreachableError
 from repro.crypto.keys import KeyPair, PublicKey
 from repro.crypto.signing import SigningScheme, make_signing_scheme
 from repro.net.latency import LatencyModel, lan_latency
@@ -35,17 +35,26 @@ Handler = Callable[[Envelope], Any]
 
 @dataclass
 class NetworkStats:
-    """Counters the benchmark harness and tests read back."""
+    """Counters the benchmark harness and tests read back.
+
+    ``per_node`` counts messages *delivered to* each participant; it survives
+    a participant crashing and re-registering (the stats object belongs to
+    the network, not to the handler), so restart-heavy runs keep an accurate
+    per-node traffic picture.
+    """
 
     messages_sent: int = 0
     messages_rejected: int = 0
+    messages_undeliverable: int = 0
     simulated_delay: float = 0.0
     per_type: Dict[str, int] = field(default_factory=dict)
+    per_node: Dict[str, int] = field(default_factory=dict)
 
-    def record(self, message_type: MessageType, delay: float) -> None:
+    def record(self, message_type: MessageType, recipient: str, delay: float) -> None:
         self.messages_sent += 1
         self.simulated_delay += delay
         self.per_type[message_type.value] = self.per_type.get(message_type.value, 0) + 1
+        self.per_node[recipient] = self.per_node.get(recipient, 0) + 1
 
 
 class Network:
@@ -61,15 +70,52 @@ class Network:
         self._handlers: Dict[str, Handler] = {}
         self._keypairs: Dict[str, KeyPair] = {}
         self._public_keys: Dict[str, PublicKey] = {}
+        #: Participants that registered a handler once but are currently down
+        #: (crashed servers awaiting recovery).  Their keys stay in the
+        #: directory -- co-signs involving them must keep verifying -- but
+        #: delivery raises :class:`UnreachableError` until they re-register.
+        self._departed: set = set()
         self.stats = NetworkStats()
 
     # -- membership -----------------------------------------------------------
 
-    def register(self, identity: str, keypair: KeyPair, handler: Handler) -> None:
-        """Register a participant: its key pair and its message handler."""
+    def register(
+        self, identity: str, keypair: KeyPair, handler: Handler, replace: bool = False
+    ) -> None:
+        """Register a participant: its key pair and its message handler.
+
+        A participant id can only be taken once; a *restarting* server rejoins
+        with ``replace=True``, which requires the same key pair it registered
+        with originally (a rejoin must not be able to swap identities) and
+        preserves the per-node traffic stats accumulated before the crash.
+        """
+        if identity in self._handlers and not replace:
+            raise ConfigurationError(
+                f"participant {identity!r} is already registered; "
+                "rejoin with replace=True"
+            )
+        existing = self._public_keys.get(identity)
+        if existing is not None and existing.encode() != keypair.public.encode():
+            raise ConfigurationError(
+                f"participant {identity!r} attempted to re-register with a different key"
+            )
         self._handlers[identity] = handler
         self._keypairs[identity] = keypair
         self._public_keys[identity] = keypair.public
+        self._departed.discard(identity)
+
+    def unregister(self, identity: str) -> None:
+        """Take a participant's handler off the network (crash / shutdown).
+
+        The identity's keys remain in the public-key directory so historical
+        signatures keep verifying; subsequent sends to it raise
+        :class:`UnreachableError` until it re-registers.
+        """
+        if self._handlers.pop(identity, None) is not None:
+            self._departed.add(identity)
+
+    def is_reachable(self, identity: str) -> bool:
+        return identity in self._handlers
 
     def register_observer(self, identity: str, keypair: KeyPair) -> None:
         """Register a participant that only sends (e.g. a client or the auditor)."""
@@ -136,13 +182,16 @@ class Network:
         )
         handler = self._handlers.get(recipient)
         if handler is None:
+            if recipient in self._departed:
+                self.stats.messages_undeliverable += 1
+                raise UnreachableError(f"participant {recipient!r} is down (crashed)")
             raise ConfigurationError(f"recipient {recipient!r} has no registered handler")
         if not self.verify_envelope(envelope):
             self.stats.messages_rejected += 1
             raise SignatureError(
                 f"envelope from {envelope.sender!r} to {recipient!r} failed signature verification"
             )
-        self.stats.record(message_type, self._latency.sample())
+        self.stats.record(message_type, recipient, self._latency.sample())
         return handler(envelope)
 
     def broadcast(
@@ -151,9 +200,19 @@ class Network:
         recipients,
         message_type: MessageType,
         payload: Any,
+        skip_unreachable: bool = False,
     ) -> Dict[str, Any]:
-        """Send the same payload to several recipients; returns responses by id."""
-        return {
-            recipient: self.send(sender, recipient, message_type, payload)
-            for recipient in recipients
-        }
+        """Send the same payload to several recipients; returns responses by id.
+
+        ``skip_unreachable=True`` silently drops recipients that are down --
+        used for best-effort notifications (e.g. ``ROUND_FAILED``, whose very
+        cause may be a crashed cohort).
+        """
+        responses: Dict[str, Any] = {}
+        for recipient in recipients:
+            try:
+                responses[recipient] = self.send(sender, recipient, message_type, payload)
+            except UnreachableError:
+                if not skip_unreachable:
+                    raise
+        return responses

@@ -1,0 +1,50 @@
+"""Crash recovery: durable server state, verified catch-up, rejoin.
+
+The subsystem behind ``DatabaseServer.crash()`` / ``recover()``:
+
+* :mod:`repro.recovery.statestore` -- the durable state layer (in-memory and
+  append-only file WAL with snapshot compaction);
+* :mod:`repro.recovery.wire` -- strict decoders for the byte boundary;
+* :mod:`repro.recovery.manager` -- restore-and-verify plus the
+  ``STATE_REQUEST``/``STATE_RESPONSE`` catch-up protocol against untrusted
+  peers.
+
+See DESIGN.md section 6 for the recovery state machine and the trust
+argument.
+"""
+
+from repro.recovery.manager import (
+    RecoveryResult,
+    catch_up_from_peers,
+    recover_server_state,
+    restore_from_state,
+    verify_and_apply_catchup,
+)
+from repro.recovery.statestore import (
+    FileStateStore,
+    MemoryStateStore,
+    PersistedState,
+    StateStore,
+)
+from repro.recovery.wire import (
+    block_from_wire,
+    checkpoint_from_wire,
+    cosign_from_wire,
+    transaction_from_wire,
+)
+
+__all__ = [
+    "RecoveryResult",
+    "catch_up_from_peers",
+    "recover_server_state",
+    "restore_from_state",
+    "verify_and_apply_catchup",
+    "FileStateStore",
+    "MemoryStateStore",
+    "PersistedState",
+    "StateStore",
+    "block_from_wire",
+    "checkpoint_from_wire",
+    "cosign_from_wire",
+    "transaction_from_wire",
+]

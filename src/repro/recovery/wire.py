@@ -1,0 +1,139 @@
+"""Decoding untrusted wire/WAL structures back into domain objects.
+
+The recovery subsystem is the one place where blocks and checkpoints cross a
+*byte* boundary: the write-ahead log persists them across a crash, and the
+catch-up protocol ships them from peers that may lie.  Every ``to_wire()``
+producer in the library therefore gets its inverse here, in one module, so
+the trust boundary is explicit: anything built by these functions came from
+bytes an attacker could have chosen and **must** still pass hash-chain,
+co-sign, and root-replay verification before it is believed (see
+:mod:`repro.recovery.manager`).
+
+Decoders are strict -- missing fields, wrong types, or malformed nesting
+raise :class:`~repro.common.errors.ValidationError` -- because a garbled
+record must never half-materialise into a plausible-looking block.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.common.errors import ValidationError
+from repro.common.timestamps import Timestamp
+from repro.crypto.cosi import CollectiveSignature
+from repro.ledger.block import Block, BlockDecision
+from repro.ledger.checkpoint import Checkpoint
+from repro.txn.transaction import ReadSetEntry, Transaction, WriteSetEntry
+
+
+def _fail(what: str, exc: Exception) -> ValidationError:
+    return ValidationError(f"malformed wire encoding of {what}: {exc}")
+
+
+def timestamp_from_wire(pair) -> Timestamp:
+    """Inverse of :meth:`Timestamp.as_tuple` (tuples arrive as lists)."""
+    try:
+        counter, client_id = pair
+        return Timestamp(int(counter), str(client_id))
+    except (TypeError, ValueError) as exc:
+        raise _fail("timestamp", exc) from None
+
+
+def read_entry_from_wire(data: Mapping) -> ReadSetEntry:
+    try:
+        return ReadSetEntry(
+            item_id=data["item_id"],
+            value=data["value"],
+            rts=timestamp_from_wire(data["rts"]),
+            wts=timestamp_from_wire(data["wts"]),
+        )
+    except (KeyError, TypeError) as exc:
+        raise _fail("read-set entry", exc) from None
+
+
+def write_entry_from_wire(data: Mapping) -> WriteSetEntry:
+    try:
+        return WriteSetEntry(
+            item_id=data["item_id"],
+            new_value=data["new_value"],
+            old_value=data["old_value"],
+            rts=timestamp_from_wire(data["rts"]),
+            wts=timestamp_from_wire(data["wts"]),
+            blind=bool(data["blind"]),
+        )
+    except (KeyError, TypeError) as exc:
+        raise _fail("write-set entry", exc) from None
+
+
+def transaction_from_wire(data: Mapping) -> Transaction:
+    try:
+        return Transaction(
+            txn_id=data["txn_id"],
+            client_id=data["client_id"],
+            commit_ts=timestamp_from_wire(data["commit_ts"]),
+            read_set=tuple(read_entry_from_wire(entry) for entry in data["read_set"]),
+            write_set=tuple(write_entry_from_wire(entry) for entry in data["write_set"]),
+        )
+    except (KeyError, TypeError) as exc:
+        raise _fail("transaction", exc) from None
+
+
+def cosign_from_wire(data: Optional[Mapping]) -> Optional[CollectiveSignature]:
+    if data is None:
+        return None
+    try:
+        return CollectiveSignature(
+            challenge=int(data["challenge"]),
+            response=int(data["response"]),
+            signer_ids=tuple(str(signer) for signer in data["signers"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise _fail("collective signature", exc) from None
+
+
+def block_from_wire(data: Mapping) -> Block:
+    """Inverse of :meth:`Block.to_wire`."""
+    try:
+        body = data["body"]
+        group = body["group"]
+        roots = body["roots"]
+        if not isinstance(roots, Mapping) or not all(
+            isinstance(root, bytes) for root in roots.values()
+        ):
+            raise ValidationError("block roots must map server ids to bytes")
+        if not isinstance(body["previous_hash"], bytes):
+            raise ValidationError("block previous_hash must be bytes")
+        return Block(
+            height=int(body["height"]),
+            transactions=tuple(
+                transaction_from_wire(txn) for txn in body["transactions"]
+            ),
+            roots=dict(roots),
+            decision=BlockDecision(body["decision"]),
+            previous_hash=body["previous_hash"],
+            cosign=cosign_from_wire(data["cosign"]),
+            group=tuple(group) if group is not None else None,
+        )
+    except ValidationError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise _fail("block", exc) from None
+
+
+def checkpoint_from_wire(data: Mapping) -> Checkpoint:
+    """Inverse of :meth:`Checkpoint.to_wire`."""
+    try:
+        if not isinstance(data["head_hash"], bytes):
+            raise ValidationError("checkpoint head_hash must be bytes")
+        return Checkpoint(
+            height=int(data["height"]),
+            head_hash=data["head_hash"],
+            shard_roots=dict(data["shard_roots"]),
+            latest_commit_ts=timestamp_from_wire(data["latest_commit_ts"]),
+            transactions_covered=int(data["transactions_covered"]),
+            cosign=cosign_from_wire(data["cosign"]),
+        )
+    except ValidationError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise _fail("checkpoint", exc) from None

@@ -29,7 +29,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.common.errors import ProtocolError
+from repro.common.errors import ProtocolError, ServerCrashed
 from repro.common.types import ServerId
 from repro.crypto.cosi import CoSiWitness, compute_challenge, cosi_verify
 from repro.crypto.group import Point, decompress_point
@@ -37,6 +37,7 @@ from repro.crypto.keys import KeyPair, PublicKey
 from repro.ledger.block import Block, BlockDecision
 from repro.ledger.log import TransactionLog
 from repro.server.faults import FaultPolicy, HonestBehavior
+from repro.storage.apply import block_local_writes, block_store_commits
 from repro.storage.datastore import DataStore
 from repro.txn.occ import OccValidator
 from repro.txn.transaction import Transaction
@@ -105,6 +106,7 @@ class CommitmentLayer:
         store: DataStore,
         log: TransactionLog,
         faults: Optional[FaultPolicy] = None,
+        on_block_applied=None,
     ) -> None:
         self.server_id = server_id
         self._keypair = keypair
@@ -114,6 +116,14 @@ class CommitmentLayer:
         self._validator = OccValidator(store)
         self._rounds: Dict[tuple, RoundState] = {}
         self._round_generation = 0
+        #: Durability hook: called with each block after it is appended and
+        #: applied, so the server can persist it to its state store.
+        self._on_block_applied = on_block_applied
+
+    def _maybe_crash(self) -> None:
+        """Crash-fault injection point, consulted after each phase observation."""
+        if self._faults.crash_now():
+            raise ServerCrashed(f"{self.server_id} crashed (injected fault)")
 
     @property
     def log(self) -> TransactionLog:
@@ -137,12 +147,7 @@ class CommitmentLayer:
 
     def _local_writes(self, transactions) -> Dict[str, object]:
         """Writes from the batch that land on this shard, latest timestamp wins."""
-        writes: Dict[str, object] = {}
-        for txn in sorted(transactions, key=lambda t: t.commit_ts):
-            for entry in txn.write_set:
-                if entry.item_id in self._store:
-                    writes[entry.item_id] = entry.new_value
-        return writes
+        return block_local_writes(transactions, self._store)
 
     # -- TFCommit phase 2: <Vote, SchCommitment> ----------------------------------
 
@@ -160,6 +165,7 @@ class CommitmentLayer:
         self._faults.observe_phase(
             "vote", partial_block.height, tuple(t.txn_id for t in partial_block.transactions)
         )
+        self._maybe_crash()
         self._expire_stale_rounds()
         if (
             partial_block.group is None
@@ -249,6 +255,7 @@ class CommitmentLayer:
         self._faults.observe_phase(
             "challenge", block.height, tuple(t.txn_id for t in block.transactions)
         )
+        self._maybe_crash()
         state = self._rounds.get(block.round_key())
         if state is None:
             raise ProtocolError(f"{self.server_id}: challenge for unknown round {block.round_key()}")
@@ -311,6 +318,7 @@ class CommitmentLayer:
         self._faults.observe_phase(
             "decision", block.height, tuple(t.txn_id for t in block.transactions)
         )
+        self._maybe_crash()
         state = self._rounds.pop(block.round_key(), None)
 
         reason = ""
@@ -331,6 +339,8 @@ class CommitmentLayer:
         mht_hashes = 0
         if block.is_commit:
             mht_hashes = self._apply_block(block)
+        if self._on_block_applied is not None:
+            self._on_block_applied(block)
         corruption = self._faults.post_commit_corruption()
         for item_id, value in corruption.items():
             if item_id in self._store:
@@ -353,18 +363,10 @@ class CommitmentLayer:
         transaction (see DESIGN.md on batched MHT accounting).
         """
         commits = []
-        for txn in block.transactions:
-            local_writes = {
-                entry.item_id: entry.new_value
-                for entry in txn.write_set
-                if entry.item_id in self._store
-            }
+        for commit_ts, local_writes, local_reads in block_store_commits(block, self._store):
             local_writes = self._faults.filter_applied_writes(local_writes)
-            local_reads = [
-                entry.item_id for entry in txn.read_set if entry.item_id in self._store
-            ]
             if local_writes or local_reads:
-                commits.append((txn.commit_ts, local_writes, local_reads))
+                commits.append((commit_ts, local_writes, local_reads))
         if not commits:
             return 0
         return self._store.apply_batch(commits)
@@ -457,6 +459,8 @@ class CommitmentLayer:
         self._log.append(block, verify_link=False)
         if block.is_commit:
             self._apply_block(block)
+        if self._on_block_applied is not None:
+            self._on_block_applied(block)
         return {
             "server_id": self.server_id,
             "ok": True,

@@ -137,6 +137,26 @@ class FaultPolicy:
         """Root the coordinator records for ``server_id`` in the block (Scenario 2)."""
         return root
 
+    # -- crash / recovery hooks --------------------------------------------------
+
+    def crash_now(self) -> bool:
+        """Return True for the server to crash at the current protocol point.
+
+        Consulted by the commitment layer after each phase observation; a
+        firing hook makes the server drop its volatile state mid-round, which
+        the round's coordinator sees as the cohort becoming unreachable (a
+        *liveness* fault -- never attributed as a protocol violation).
+        """
+        return False
+
+    def tamper_state_response(self, blocks: list) -> list:
+        """Catch-up blocks (wire dicts) this server serves to a recovering peer.
+
+        A malicious peer returns a doctored list; the recovering server's
+        verification (hash chain, co-sign, root replay) must reject it.
+        """
+        return blocks
+
     # -- log hooks -----------------------------------------------------------------
 
     def tamper_log(self, log) -> None:
@@ -275,6 +295,35 @@ class LogTamperFault(FaultPolicy):
             block, transactions=(forged_txn,) + tuple(block.transactions[1:])
         )
         log.tamper_replace(self.target_height, forged_block)
+
+
+@dataclass
+class CrashFault(FaultPolicy):
+    """Crash the server once, in a given protocol phase (optionally at a height).
+
+    One-shot by construction: a crashed server that recovers must not crash
+    again the moment it rejoins, so the hook latches after firing.  ``phase``
+    is one of the commitment phases ("vote", "challenge", "decision");
+    ``at_height`` restricts the crash to rounds at or above that block height.
+    """
+
+    phase: str = "vote"
+    at_height: Optional[int] = None
+    name = "crash"
+    _fired: bool = False
+
+    def crash_now(self) -> bool:
+        if self._fired:
+            return False
+        ctx = self.context
+        if ctx.phase != self.phase:
+            return False
+        if self.at_height is not None and (
+            ctx.block_height is None or ctx.block_height < self.at_height
+        ):
+            return False
+        self._fired = True
+        return True
 
 
 @dataclass

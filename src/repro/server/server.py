@@ -7,19 +7,38 @@ server is deliberately simple ("we choose a simplified design for a database
 server to minimize the potential for failure", Section 3.1): it has no
 front-end transaction manager; clients talk to it directly for data access,
 and the designated coordinator talks to it during transaction termination.
+
+Servers can **crash and recover** (the liveness half of the fault model):
+:meth:`DatabaseServer.crash` drops every piece of volatile state -- the
+execution buffers, the commitment layer's round state, the live datastore
+and log objects, the network handler -- keeping only the identity keys and
+the durable :class:`~repro.recovery.statestore.StateStore`.
+:meth:`DatabaseServer.recover` rebuilds the server from that store, fetches
+the block range it missed from (untrusted) peers via ``STATE_REQUEST``, and
+re-registers on the network; see :mod:`repro.recovery` for the verification
+the catch-up performs.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional
+from typing import Dict, Mapping, Optional, Sequence
 
-from repro.common.errors import ProtocolError, ValidationError
+from repro.common.errors import (
+    ProtocolError,
+    RecoveryError,
+    ServerCrashed,
+    UnreachableError,
+    ValidationError,
+)
 from repro.common.timestamps import Timestamp
 from repro.common.types import ServerId, Value
 from repro.crypto.keys import KeyPair
+from repro.ledger.checkpoint import Checkpoint, apply_checkpoint
 from repro.ledger.log import TransactionLog
 from repro.net.message import Envelope, MessageType
 from repro.net.network import Network
+from repro.recovery.manager import RecoveryResult, recover_server_state
+from repro.recovery.statestore import MemoryStateStore, StateStore
 from repro.server.commitment import CommitmentLayer
 from repro.server.execution import ExecutionLayer
 from repro.server.faults import FaultPolicy, HonestBehavior
@@ -36,14 +55,31 @@ class DatabaseServer:
         items: Mapping[str, Value],
         multi_versioned: bool = True,
         faults: Optional[FaultPolicy] = None,
+        state_store: Optional[StateStore] = None,
     ) -> None:
         self.server_id = server_id
         self.keypair = keypair
         faults = faults or HonestBehavior()
+        #: Durable state (WAL or its in-memory simulation).  Every server has
+        #: one -- crash/recovery is part of the deployment model, not an
+        #: optional extra -- and it survives :meth:`crash` untouched.
+        self.state_store = state_store or MemoryStateStore()
         self.store = DataStore(items, multi_versioned=multi_versioned)
         self.log = TransactionLog()
         self.execution = ExecutionLayer(self.store, faults)
-        self.commitment = CommitmentLayer(server_id, keypair, self.store, self.log, faults)
+        self.commitment = CommitmentLayer(
+            server_id,
+            keypair,
+            self.store,
+            self.log,
+            faults,
+            on_block_applied=self._persist_block,
+        )
+        self.state_store.initialize(server_id, self.store.export_state())
+        #: Latest collectively signed checkpoint this server's log was
+        #: truncated under (None until one is installed).
+        self.latest_checkpoint: Optional[Checkpoint] = None
+        self.crashed = False
         self._network: Optional[Network] = None
         #: Coordinator role (TFCommit or 2PC) if this server is the designated
         #: coordinator; set via :meth:`set_coordinator_role`.
@@ -51,10 +87,10 @@ class DatabaseServer:
 
     # -- wiring ---------------------------------------------------------------
 
-    def attach(self, network: Network) -> None:
+    def attach(self, network: Network, rejoin: bool = False) -> None:
         """Register this server's handler and keys on the network."""
         self._network = network
-        network.register(self.server_id, self.keypair, self.handle)
+        network.register(self.server_id, self.keypair, self.handle, replace=rejoin)
 
     @property
     def network(self) -> Network:
@@ -75,6 +111,85 @@ class DatabaseServer:
         """Give this server the coordinator's extra termination duties (Section 4.1)."""
         self.coordinator_role = role
 
+    def _persist_block(self, block) -> None:
+        """Durability hook: record each applied block + resulting shard root."""
+        self.state_store.record_block(block, self.store.merkle_root())
+
+    # -- crash / recovery life-cycle -------------------------------------------
+
+    def crash(self) -> None:
+        """Crash: drop all volatile state, keeping only identity + durable state.
+
+        The network handler is unregistered (messages to this server now
+        raise :class:`UnreachableError`), and the live store, log, execution
+        buffers, and per-round commitment state are discarded.  The
+        :attr:`state_store` and the key pair survive -- they are what
+        :meth:`recover` rebuilds from.
+        """
+        if self.crashed:
+            return
+        if self._network is not None:
+            self._network.unregister(self.server_id)
+        # The behaviour policy is configuration, not volatile state: a faulty
+        # machine that reboots is still the same (possibly faulty) machine.
+        self._faults_across_crash = self.commitment.faults
+        self.crashed = True
+        self.store = None
+        self.log = None
+        self.execution = None
+        self.commitment = None
+
+    def recover(self, peers: Sequence[ServerId] = ()) -> RecoveryResult:
+        """Restore from the state store, catch up from ``peers``, and rejoin.
+
+        The crash -> restore -> catch-up -> verify -> rejoin state machine of
+        DESIGN.md section 6.  Raises
+        :class:`~repro.common.errors.RecoveryError` if the persisted state is
+        unusable or no peer's catch-up response survives verification.
+        """
+        if not self.crashed:
+            raise ProtocolError(f"server {self.server_id} is not crashed")
+        if self._network is None:
+            raise ProtocolError(f"server {self.server_id} was never attached to a network")
+        store, log, checkpoint, result = recover_server_state(
+            self.server_id, self.state_store, self._network, list(peers)
+        )
+        self.store = store
+        self.log = log
+        self.latest_checkpoint = checkpoint
+        faults = getattr(self, "_faults_across_crash", None) or HonestBehavior()
+        self.execution = ExecutionLayer(self.store, faults)
+        self.commitment = CommitmentLayer(
+            self.server_id,
+            self.keypair,
+            self.store,
+            self.log,
+            faults,
+            on_block_applied=self._persist_block,
+        )
+        self.crashed = False
+        self.attach(self._network, rejoin=True)
+        return result
+
+    def install_checkpoint(self, checkpoint: Checkpoint) -> int:
+        """Truncate the local log under a co-signed checkpoint (Section 3.3).
+
+        Persists the checkpoint (with a fresh datastore snapshot) to the
+        state store, compacting its WAL; returns the number of log blocks
+        dropped.  A *stale* checkpoint -- at or below the boundary already
+        installed -- is a no-op: regressing ``latest_checkpoint`` or
+        rewriting the snapshot to an older boundary would leave the WAL
+        inconsistent with the live log and unrecoverable.
+        """
+        if checkpoint.height < self.log.base_height:
+            return 0
+        removed = apply_checkpoint(self.log, checkpoint)
+        self.latest_checkpoint = checkpoint
+        self.state_store.install_checkpoint(
+            checkpoint, self.store.export_state(), self.log.height, self.server_id
+        )
+        return removed
+
     # -- message dispatch -------------------------------------------------------
 
     def handle(self, envelope: Envelope):
@@ -91,6 +206,7 @@ class DatabaseServer:
             MessageType.ORDERED_BLOCK: self._on_ordered_block,
             MessageType.PREPARE: self._on_prepare,
             MessageType.COMMIT_DECISION: self._on_2pc_decision,
+            MessageType.STATE_REQUEST: self._on_state_request,
             MessageType.AUDIT_LOG_REQUEST: self._on_audit_log_request,
             MessageType.AUDIT_VO_REQUEST: self._on_audit_vo_request,
         }.get(envelope.message_type)
@@ -98,7 +214,14 @@ class DatabaseServer:
             raise ProtocolError(
                 f"server {self.server_id} cannot handle message type {envelope.message_type}"
             )
-        return handler(envelope)
+        try:
+            return handler(envelope)
+        except ServerCrashed as exc:
+            # A crash fault fired mid-message: drop volatile state and surface
+            # the loss of the reply as unreachability, exactly what the sender
+            # of a message to a just-crashed machine observes.
+            self.crash()
+            raise UnreachableError(str(exc)) from None
 
     # -- execution-layer messages (Figure 6) --------------------------------------
 
@@ -193,11 +316,53 @@ class DatabaseServer:
             self.execution.finish_many(txn.txn_id for txn in block.transactions)
         return response
 
+    # -- crash recovery: serving catch-up state to a restarted peer ------------------------
+
+    def _on_state_request(self, envelope: Envelope):
+        """Serve the block range a recovering peer is missing.
+
+        Blocks cross this boundary as *wire dicts* (a real deployment ships
+        bytes): the requester decodes and fully re-verifies them, because
+        this server -- like any server -- is untrusted.  The fault policy's
+        :meth:`~repro.server.faults.FaultPolicy.tamper_state_response` hook
+        models a malicious peer doctoring the payload.
+        """
+        from_height = int(envelope.payload["from_height"])
+        if from_height < self.log.base_height:
+            return {
+                "server_id": self.server_id,
+                "ok": False,
+                "reason": (
+                    f"blocks below height {self.log.base_height} were checkpointed away"
+                ),
+                "head_height": self.log.height,
+                "checkpoint": (
+                    self.latest_checkpoint.to_wire()
+                    if self.latest_checkpoint is not None
+                    else None
+                ),
+            }
+        blocks = [
+            block.to_wire() for block in self.log if block.height >= from_height
+        ]
+        blocks = self.faults.tamper_state_response(blocks)
+        return {
+            "server_id": self.server_id,
+            "ok": True,
+            "from_height": from_height,
+            "head_height": self.log.height,
+            "blocks": blocks,
+        }
+
     # -- audit messages (Section 3.3) -----------------------------------------------------
 
     def _on_audit_log_request(self, envelope: Envelope):
-        """Hand over (a copy of) the local log for an offline audit."""
-        return {"server_id": self.server_id, "log": self.log.copy()}
+        """Hand over (a copy of) the local log, and its checkpoint if truncated."""
+        return {
+            "server_id": self.server_id,
+            "log": self.log.copy(),
+            "checkpoint": self.latest_checkpoint,
+        }
 
     def _on_audit_vo_request(self, envelope: Envelope):
         """Produce a Verification Object for one item, optionally at a version."""

@@ -249,6 +249,53 @@ class DataStore:
         """Latest committed value of every item (id -> value)."""
         return {item_id: record.value for item_id, record in self._records.items()}
 
+    # -- durable-state support (crash recovery) -------------------------------
+
+    def export_state(self) -> Dict[str, object]:
+        """Wire-encodable dump of every record's full version chain.
+
+        The shape round-trips through :func:`~repro.common.encoding.canonical_encode`
+        / ``canonical_decode`` and is what the recovery
+        :class:`~repro.recovery.statestore.StateStore` persists in snapshot
+        records; :meth:`import_state` is the exact inverse (byte-identical
+        Merkle root, identical rts/wts on every version).
+        """
+        return {
+            "multi_versioned": self._multi_versioned,
+            "items": {
+                item_id: [version.to_wire() for version in record.versions]
+                for item_id, record in self._records.items()
+            },
+        }
+
+    @classmethod
+    def import_state(cls, state: Mapping[str, object]) -> "DataStore":
+        """Rebuild a datastore from an :meth:`export_state` dump."""
+        store = cls.__new__(cls)
+        store._multi_versioned = bool(state["multi_versioned"])
+        records: Dict[ItemId, VersionedRecord] = {}
+        for item_id, versions in state["items"].items():
+            if not versions:
+                raise StorageError(f"persisted item {item_id!r} has no versions")
+            records[item_id] = VersionedRecord(
+                item_id=item_id,
+                versions=[
+                    RecordVersion(
+                        value=version["value"],
+                        wts=Timestamp(*version["wts"]),
+                        rts=Timestamp(*version["rts"]),
+                    )
+                    for version in versions
+                ],
+            )
+        store._records = records
+        store._merkle = MerkleTree.from_items(
+            {item_id: record.value for item_id, record in records.items()}
+        )
+        store._mht_node_updates = 0
+        store._historical_trees = {}
+        return store
+
     def _rebuild_merkle(self) -> None:
         self._merkle = MerkleTree.from_items(self.snapshot())
         self._historical_trees.clear()

@@ -48,7 +48,7 @@ class TestFigureSweeps:
         from repro.bench.experiments import faultmatrix
 
         rows = faultmatrix(num_requests=2, smoke=True)
-        assert len(rows) == 14  # one per fault kind, always-trigger grid
+        assert len(rows) == 16  # one per fault kind, always-trigger grid
         for row in rows:
             assert {"scenario", "detected", "blocks-to-detect", "audit overhead (x)"} <= set(row)
 
@@ -98,5 +98,5 @@ class TestCli:
         assert main(["faultmatrix", "--requests", "2", "--smoke", "--json", str(out)]) == 0
         data = json.loads(out.read_text())
         assert data["experiment"] == "faultmatrix"
-        assert len(data["rows"]) == 14
+        assert len(data["rows"]) == 16
         assert all(row["detected"] for row in data["rows"])

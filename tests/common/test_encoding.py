@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.common.encoding import canonical_encode
+from repro.common.encoding import canonical_decode, canonical_encode
 
 
 class TestCanonicalEncodeBasics:
@@ -128,3 +128,45 @@ class TestCanonicalEncodeProperties:
     def test_dict_insertion_order_irrelevant(self, mapping):
         reordered = dict(reversed(list(mapping.items())))
         assert canonical_encode(mapping) == canonical_encode(reordered)
+
+
+def _normalise(value):
+    """Tuples decode as lists; floats only survive if finite and exact."""
+    if isinstance(value, tuple):
+        return [_normalise(item) for item in value]
+    if isinstance(value, list):
+        return [_normalise(item) for item in value]
+    if isinstance(value, dict):
+        return {key: _normalise(item) for key, item in value.items()}
+    return value
+
+
+class TestCanonicalDecode:
+    """The decoder is the exact inverse (WAL files depend on this)."""
+
+    @settings(max_examples=80, deadline=None)
+    @given(_values)
+    def test_round_trip(self, value):
+        assert canonical_decode(canonical_encode(value)) == _normalise(value)
+
+    def test_round_trips_floats(self):
+        for value in (0.0, -1.5, 3.141592653589793, 1e300):
+            assert canonical_decode(canonical_encode(value)) == value
+
+    def test_rejects_trailing_bytes(self):
+        with pytest.raises(ValueError):
+            canonical_decode(canonical_encode(1) + b"x")
+
+    def test_rejects_truncation(self):
+        encoded = canonical_encode({"key": [1, 2, 3]})
+        for cut in range(1, len(encoded)):
+            with pytest.raises(ValueError):
+                canonical_decode(encoded[:cut])
+
+    def test_rejects_unknown_tag(self):
+        with pytest.raises(ValueError):
+            canonical_decode(b"Z\x00\x00\x00\x00")
+
+    def test_rejects_empty_input(self):
+        with pytest.raises(ValueError):
+            canonical_decode(b"")

@@ -61,7 +61,9 @@ class TestViolationTypeCoverage:
         """Crypto and block-assembly faults never reach the log; the round
         itself identifies the culprit (Lemma 4) or refuses to sign (Lemma 5)."""
         protocol_scenarios = [
-            result for result in campaign.values() if result.expected_violation is None
+            result
+            for result in campaign.values()
+            if result.expected_violation is None and not result.liveness
         ]
         assert {r.fault_kinds[0] for r in protocol_scenarios} == PROTOCOL_ONLY_FAULTS
         for result in protocol_scenarios:
@@ -69,6 +71,40 @@ class TestViolationTypeCoverage:
             assert result.detected_by == "protocol"
             assert result.culprit_correct
             assert result.blocks_until_detection == 0
+
+    def test_crash_faults_are_liveness_events_not_safety_violations(self, campaign):
+        """Crash faults are detected via round failure (and recovery-time
+        rejection of tampered catch-up), recovered from, and never attributed
+        by the auditor as a protocol violation."""
+        liveness_scenarios = [
+            result for result in campaign.values() if result.liveness
+        ]
+        assert liveness_scenarios, "the matrix lost its crash/recovery rows"
+        for result in liveness_scenarios:
+            assert result.detected, f"{result.scenario} went undetected"
+            assert result.detected_by == "liveness"
+            assert result.culprit_correct, (
+                f"{result.scenario}: expected {result.expected_culprits}, "
+                f"observed {result.culprits}"
+            )
+            assert result.recovered_servers, (
+                f"{result.scenario}: no server was recovered"
+            )
+            assert not result.misattributed, (
+                f"{result.scenario}: the audit pinned a safety violation on a "
+                "crash target"
+            )
+            # After recovery the audit must be clean: the crash left no trace
+            # a safety check could (or should) flag.
+            assert result.report is not None and result.report.ok
+
+    def test_tampered_catchup_is_rejected_during_recovery(self, campaign):
+        """The decision-phase crash leaves a one-block gap; the tamperer's
+        doctored STATE_RESPONSE must be rejected before an honest peer
+        completes the catch-up."""
+        result = campaign["tampered-catchup@always"]
+        assert result.recovery_rejections == ("s1",)
+        assert "s1" in result.culprits
 
 
 class TestAttributionQuality:

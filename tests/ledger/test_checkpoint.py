@@ -172,3 +172,88 @@ class TestDropPrefix:
         assert log.drop_prefix(100) == 6
         with pytest.raises(ValidationError):
             log.drop_prefix(-1)
+
+    def test_drop_prefix_preserves_global_heights_and_head(self, system_with_history):
+        log = system_with_history.server("s0").log.copy()
+        head_before = log.head_hash
+        height_before = log.height
+        log.drop_prefix(3)
+        assert log.base_height == 3
+        assert log.height == height_before
+        assert log.head_hash == head_before
+        assert log.block_at_height(2) is None
+        assert log.block_at_height(3).height == 3
+
+
+class TestLiveSystemKeepsOperatingAfterCheckpoint:
+    """Regression (scaled deployment support): installing a checkpoint must
+    not disturb the commit protocol -- heights stay global, chaining intact,
+    repeated checkpoints compose, and the auditor accepts the truncated
+    logs."""
+
+    def test_commits_continue_and_repeat_checkpoints_compose(
+        self, system_with_history, workload_factory
+    ):
+        system = system_with_history
+        first = system.create_checkpoint()
+        assert all(
+            server.log.base_height == first.height + 1
+            for server in system.servers.values()
+        )
+        workload = workload_factory(system, seed=67)
+        assert system.run_workload(workload.generate(4)).committed == 4
+        # Second checkpoint over the already-truncated log: transaction
+        # accounting accumulates across the boundary.
+        second = system.create_checkpoint()
+        assert second.height == first.height + 4
+        assert second.transactions_covered == first.transactions_covered + 4
+        assert system.run_workload(workload.generate(2)).committed == 2
+        report = system.audit()
+        assert report.ok, report.summary()
+
+    def test_auditor_accepts_all_truncated_logs_and_still_detects_tampering(
+        self, system_with_history, workload_factory
+    ):
+        from repro.audit.violations import ViolationType
+
+        system = system_with_history
+        system.create_checkpoint()
+        workload = workload_factory(system, seed=68)
+        assert system.run_workload(workload.generate(3)).committed == 3
+        assert system.audit().ok
+        # Tail-truncating a checkpointed copy is still caught (Lemma 7 does
+        # not weaken across the checkpoint boundary).
+        system.server("s2").log.truncate(1)
+        report = system.audit()
+        assert not report.ok
+        assert report.violations_of(ViolationType.LOG_INCOMPLETE)
+        assert report.culprit_servers() == ("s2",)
+
+    def test_checkpoint_covering_group_blocks_survives_auditor_verification(
+        self, make_scaled_system, workload_factory
+    ):
+        """The satellite regression: a checkpoint whose boundary block is a
+        dynamic-group block (group co-sign over the chain-free group body
+        digest) must verify end to end after truncation."""
+        system = make_scaled_system(num_servers=4, txns_per_block=2)
+        workload = workload_factory(system, ops_per_txn=2, window=2, seed=41)
+        assert system.run_workload(workload.generate(8)).committed == 8
+        checkpoint = system.create_checkpoint()
+        boundary = checkpoint.height
+        assert system.run_workload(workload.generate(4)).committed == 4
+        log = system.server("s1").log
+        assert log.base_height == boundary + 1
+        # Every retained block is a group block; the suffix still verifies
+        # against the checkpoint (co-sign over group body digest + signer
+        # set == recorded group).
+        assert all(block.group is not None for block in log)
+        public_keys = system.network.public_key_directory()
+        assert verify_log_against_checkpoint(log.copy(), checkpoint, public_keys)
+        report = system.audit()
+        assert report.ok, report.summary()
+
+    def test_stale_checkpoint_application_is_a_noop(self, system_with_history):
+        system = system_with_history
+        first = system.create_checkpoint()
+        # Re-applying the same (or an older) checkpoint drops nothing.
+        assert apply_checkpoint(system.server("s0").log, first) == 0
