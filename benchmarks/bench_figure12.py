@@ -13,7 +13,6 @@ from __future__ import annotations
 from conftest import run_once
 
 from repro.bench.experiments import figure12_2pc_vs_tfcommit
-from repro.bench.harness import ExperimentConfig, run_experiment
 from repro.core.fides import PROTOCOL_2PC, PROTOCOL_TFCOMMIT
 
 

@@ -16,7 +16,7 @@ Run with::
 from __future__ import annotations
 
 from repro import FidesSystem, SystemConfig
-from repro.txn.operations import ReadOp, WriteOp
+from repro.txn.operations import WriteOp
 
 
 def main() -> None:

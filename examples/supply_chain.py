@@ -23,7 +23,6 @@ Run with::
 from __future__ import annotations
 
 from repro import FidesSystem, SystemConfig
-from repro.txn.operations import ReadOp, WriteOp
 
 DOMAINS = {"s0": "manufacturer", "s1": "shipping company", "s2": "retailer"}
 STAGES = ("manufactured", "in-transit", "delivered")

@@ -11,7 +11,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.audit.violations import Violation, ViolationType
-from repro.ledger.log import LogVerificationResult, TransactionLog
+from repro.ledger.log import LogVerificationResult
 
 
 @dataclass

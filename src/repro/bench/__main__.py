@@ -13,6 +13,11 @@ Run the paper-sized Figure 12 sweep (slow; pure-Python crypto)::
 List available experiments::
 
     python -m repro.bench --list
+
+Exit codes: 0 on success, 1 when the sweep raised or produced no rows (so a
+silently empty sweep can never pass a CI smoke step), 2 for usage errors.
+``--json`` writes the canonical report schema consumed by the CI baseline
+gate (:mod:`repro.bench.gate`).
 """
 
 from __future__ import annotations
@@ -21,10 +26,12 @@ import argparse
 import inspect
 import json
 import sys
+import traceback
 from typing import List, Optional
 
 from repro.bench.experiments import EXPERIMENT_REGISTRY
 from repro.bench.reporting import format_table, rows_to_csv
+from repro.bench.schema import canonical_report
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -47,10 +54,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="reduced grid for experiments that support it (faultmatrix: always-trigger only)",
     )
     parser.add_argument(
+        "--fixed-compute-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="charge a fixed per-phase compute instead of measured wall time, "
+        "making simulated throughput deterministic (experiments that support it; "
+        "used by the CI baseline gate)",
+    )
+    parser.add_argument(
         "--json",
         metavar="PATH",
         default=None,
-        help="additionally write the result rows as JSON (CI artifact)",
+        help="additionally write the canonical report schema as JSON (CI artifact)",
     )
     return parser
 
@@ -63,19 +79,40 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"  {name}")
         return 0
     runner = EXPERIMENT_REGISTRY[args.experiment]
+    parameters = inspect.signature(runner).parameters
     kwargs = {}
     if args.requests is not None:
         kwargs["num_requests"] = args.requests
-    if args.smoke and "smoke" in inspect.signature(runner).parameters:
+    if args.smoke and "smoke" in parameters:
         kwargs["smoke"] = True
-    rows = runner(**kwargs)
+    if args.fixed_compute_ms is not None:
+        if "fixed_compute_ms" not in parameters:
+            print(
+                f"{args.experiment} does not support --fixed-compute-ms", file=sys.stderr
+            )
+            return 2
+        kwargs["fixed_compute_ms"] = args.fixed_compute_ms
+    try:
+        rows = runner(**kwargs)
+    except Exception:
+        traceback.print_exc()
+        print(f"sweep {args.experiment!r} raised; failing the run", file=sys.stderr)
+        return 1
+    if not rows:
+        print(
+            f"sweep {args.experiment!r} produced no result rows; failing the run",
+            file=sys.stderr,
+        )
+        return 1
     if args.csv:
         print(rows_to_csv(rows), end="")
     else:
         print(format_table(rows, title=args.experiment))
     if args.json is not None:
+        report = canonical_report(args.experiment, rows, config=kwargs)
         with open(args.json, "w", encoding="utf-8") as handle:
-            json.dump({"experiment": args.experiment, "rows": rows}, handle, indent=2, default=str)
+            json.dump(report, handle, indent=2, default=str)
+            handle.write("\n")
         print(f"wrote {len(rows)} rows to {args.json}")
     return 0
 

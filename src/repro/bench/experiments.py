@@ -13,13 +13,15 @@ live here as well; they back the design-choice discussion in DESIGN.md.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.bench.harness import (
     ExperimentConfig,
     ExperimentResult,
+    PipelineExperimentResult,
     ScaledExperimentResult,
     run_experiment,
+    run_pipelined_experiment,
     run_scaled_experiment,
 )
 from repro.core.fides import PROTOCOL_2PC, PROTOCOL_TFCOMMIT
@@ -68,12 +70,15 @@ def figure13_txns_per_block(
     batch_sizes: Iterable[int] = (2, 20, 40, 60, 80, 100, 120),
     num_requests: int = 240,
     items_per_shard: int = 1000,
+    fixed_compute_ms: Optional[float] = None,
     return_results: bool = False,
 ):
     """Latency and throughput as the block batch grows from 2 to 120 (5 servers).
 
     The paper reports per-transaction latency dropping ~2.6x and throughput
     rising ~2.5x once >= 80 transactions share a block.
+    ``fixed_compute_ms`` makes the sweep's simulated throughput
+    deterministic (the CI baseline gate runs it that way).
     """
     results: List[ExperimentResult] = []
     for batch in batch_sizes:
@@ -84,6 +89,7 @@ def figure13_txns_per_block(
             items_per_shard=items_per_shard,
             txns_per_block=batch,
             num_requests=max(num_requests, batch),
+            fixed_compute_ms=fixed_compute_ms,
         )
         results.append(run_experiment(config))
     return (results, _rows(results)) if return_results else _rows(results)
@@ -158,6 +164,7 @@ def multiclient_scaling(
     num_requests: int = 64,
     items_per_shard: int = 1000,
     txns_per_block: int = 8,
+    fixed_compute_ms: Optional[float] = None,
     return_results: bool = False,
 ):
     """Throughput and latency as concurrent clients grow (Section 6 setup).
@@ -178,6 +185,7 @@ def multiclient_scaling(
             txns_per_block=txns_per_block,
             num_requests=num_requests,
             num_clients=clients,
+            fixed_compute_ms=fixed_compute_ms,
         )
         results.append(run_experiment(config))
     return (results, _rows(results)) if return_results else _rows(results)
@@ -262,6 +270,59 @@ def scaledgroups(
                         txns_per_block=batch,
                         num_requests=num_requests,
                         num_clients=num_clients,
+                    )
+                )
+    rows = [result.as_row() for result in results]
+    return (results, rows) if return_results else rows
+
+
+def pipeline(
+    depths: Iterable[int] = (1, 2, 4),
+    deployments: Iterable[str] = ("classic", "scaled"),
+    batch_sizes: Iterable[int] = (2, 4),
+    num_servers: int = 4,
+    group_size: int = 2,
+    num_requests: int = 32,
+    smoke: bool = False,
+    return_results: bool = False,
+):
+    """The event-driven pipelining sweep: depth x deployment x txns/block.
+
+    Every point runs the same workload twice -- once at the given pipeline
+    depth, once sequentially (depth 1) -- on the discrete-event timeline
+    (DESIGN.md section 7) and reports the pipelined-vs-sequential speedup.
+    The ``classic`` deployment pipelines one coordinator's consecutive
+    blocks (phase 1 of block N+1 overlapping phases 2-5 of block N); the
+    ``scaled`` deployment additionally interleaves per-group coordinators
+    and the ordering service on the shared timeline.  Runs use the
+    deterministic fixed-compute model, so every number is reproducible
+    bit-for-bit -- the CI baseline gate compares these throughputs exactly.
+
+    The depth-1 points are sanity anchors (speedup 1.0 by construction);
+    ``smoke=True`` restricts the grid to one depth >= 2 point per
+    deployment (the CI configuration).
+    """
+    depths = tuple(depths)
+    deployments = tuple(deployments)
+    batch_sizes = tuple(batch_sizes)
+    if smoke:
+        depths = tuple(d for d in depths if d >= 2)[:1] or (2,)
+        batch_sizes = batch_sizes[:1]
+        num_requests = min(num_requests, 16)
+    results: List[PipelineExperimentResult] = []
+    for deployment in deployments:
+        scaled = deployment == "scaled"
+        for depth in depths:
+            for batch in batch_sizes:
+                results.append(
+                    run_pipelined_experiment(
+                        label=f"pipeline-{deployment}-d{depth}-b{batch}",
+                        pipeline_depth=depth,
+                        num_servers=num_servers,
+                        group_size=group_size if scaled else 0,
+                        txns_per_block=batch,
+                        num_requests=num_requests,
+                        num_clients=2 if scaled else 1,
                     )
                 )
     rows = [result.as_row() for result in results]
@@ -433,6 +494,7 @@ EXPERIMENT_REGISTRY = {
     "figure15": figure15_items_per_shard,
     "multiclient": multiclient_scaling,
     "faultmatrix": faultmatrix,
+    "pipeline": pipeline,
     "scaledgroups": scaledgroups,
     "recovery": recovery,
     "ablation-latency": ablation_latency_regime,

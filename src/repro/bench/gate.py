@@ -1,0 +1,187 @@
+"""The benchmark regression gate: compare canonical reports to a baseline.
+
+CI runs the smoke sweeps with ``--json``, then::
+
+    python -m repro.bench.gate --baseline benchmarks/baseline.json \\
+        --tolerance 0.25 --output bench-comparison.json reports/*.json
+
+The gate fails (exit 1) when a sweep or label recorded in the baseline is
+missing from the reports, when a report was produced under a different sweep
+configuration than the baseline records (a silent config drift would make
+the comparison meaningless), or when any label's throughput fell more than
+``tolerance`` below its baseline.  Improvements pass (the comparison report
+flags them so the baseline can be refreshed).
+
+``--update`` rewrites the baseline from the given reports instead of
+comparing -- run it locally after an intentional performance change and
+commit the result.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional
+
+from repro.bench.schema import SCHEMA_VERSION, current_commit, validate_report
+
+BASELINE_SCHEMA_VERSION = 1
+
+
+def load_json(path: str) -> Dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def build_baseline(reports: List[Dict], tolerance: float) -> Dict:
+    """Distil canonical reports into the committed baseline shape."""
+    sweeps: Dict[str, Dict] = {}
+    for report in reports:
+        labels = {
+            label: {"throughput_tps": metrics.get("throughput_tps")}
+            for label, metrics in report["metrics"]["labels"].items()
+            if metrics.get("throughput_tps") is not None
+        }
+        if not labels:
+            continue  # nothing gateable (e.g. the fault-matrix report)
+        sweeps[report["sweep"]] = {"config": report.get("config", {}), "labels": labels}
+    return {
+        "schema_version": BASELINE_SCHEMA_VERSION,
+        "recorded_commit": current_commit(),
+        "default_tolerance": tolerance,
+        "sweeps": sweeps,
+    }
+
+
+def compare(baseline: Dict, reports: List[Dict], tolerance: float) -> Dict:
+    """Compare reports against the baseline; returns the comparison document.
+
+    The document's ``failures`` list is empty exactly when the gate passes.
+    """
+    by_sweep = {report["sweep"]: report for report in reports}
+    failures: List[str] = []
+    improvements: List[str] = []
+    rows: List[Dict] = []
+    for sweep, recorded in baseline.get("sweeps", {}).items():
+        report = by_sweep.get(sweep)
+        if report is None:
+            failures.append(f"{sweep}: no report provided for baselined sweep")
+            continue
+        if report.get("config", {}) != recorded.get("config", {}):
+            failures.append(
+                f"{sweep}: report config {report.get('config')} differs from the "
+                f"baseline's {recorded.get('config')}; refresh the baseline with --update"
+            )
+            continue
+        current_labels = report["metrics"]["labels"]
+        for label, recorded_metrics in recorded["labels"].items():
+            recorded_tps = recorded_metrics["throughput_tps"]
+            current = current_labels.get(label, {}).get("throughput_tps")
+            row = {
+                "sweep": sweep,
+                "label": label,
+                "baseline_tps": recorded_tps,
+                "current_tps": current,
+                "ratio": (current / recorded_tps) if current and recorded_tps else None,
+                "status": "ok",
+            }
+            if current is None:
+                row["status"] = "missing"
+                failures.append(f"{sweep}/{label}: label missing from report")
+            elif recorded_tps and current < recorded_tps * (1.0 - tolerance):
+                row["status"] = "regression"
+                failures.append(
+                    f"{sweep}/{label}: throughput {current:.1f} fell more than "
+                    f"{tolerance:.0%} below baseline {recorded_tps:.1f}"
+                )
+            elif recorded_tps and current > recorded_tps * (1.0 + tolerance):
+                row["status"] = "improvement"
+                improvements.append(
+                    f"{sweep}/{label}: throughput {current:.1f} beats baseline "
+                    f"{recorded_tps:.1f}; consider refreshing the baseline"
+                )
+            rows.append(row)
+    return {
+        "schema_version": BASELINE_SCHEMA_VERSION,
+        "baseline_commit": baseline.get("recorded_commit", "unknown"),
+        "compared_commit": current_commit(),
+        "tolerance": tolerance,
+        "rows": rows,
+        "failures": failures,
+        "improvements": improvements,
+        "passed": not failures,
+    }
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.gate",
+        description="Compare canonical benchmark reports against the committed baseline.",
+    )
+    parser.add_argument("reports", nargs="+", help="canonical report JSON files")
+    parser.add_argument("--baseline", required=True, help="baseline JSON path")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="max allowed relative throughput drop (default 0.25)",
+    )
+    parser.add_argument(
+        "--output", default=None, help="write the comparison document here (CI artifact)"
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline from the reports instead of comparing",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    reports = []
+    for path in args.reports:
+        report = load_json(path)
+        problems = validate_report(report)
+        if problems:
+            print(f"{path}: not a canonical v{SCHEMA_VERSION} report: {problems}", file=sys.stderr)
+            return 2
+        reports.append(report)
+
+    if args.update:
+        baseline = build_baseline(reports, args.tolerance)
+        with open(args.baseline, "w", encoding="utf-8") as handle:
+            json.dump(baseline, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        total = sum(len(sweep["labels"]) for sweep in baseline["sweeps"].values())
+        print(f"recorded baseline for {len(baseline['sweeps'])} sweeps ({total} labels)")
+        return 0
+
+    baseline = load_json(args.baseline)
+    if baseline.get("schema_version") != BASELINE_SCHEMA_VERSION:
+        print(f"{args.baseline}: unsupported baseline schema", file=sys.stderr)
+        return 2
+    comparison = compare(baseline, reports, args.tolerance)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(comparison, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    for row in comparison["rows"]:
+        ratio = f"{row['ratio']:.3f}" if row["ratio"] is not None else "-"
+        print(
+            f"[{row['status']:<11}] {row['sweep']}/{row['label']}: "
+            f"baseline {row['baseline_tps']} -> current {row['current_tps']} (x{ratio})"
+        )
+    for note in comparison["improvements"]:
+        print(f"note: {note}")
+    if not comparison["passed"]:
+        for failure in comparison["failures"]:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"benchmark gate passed ({len(comparison['rows'])} labels within tolerance)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

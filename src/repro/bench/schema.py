@@ -1,0 +1,140 @@
+"""The canonical benchmark-report schema and the JSON report builder.
+
+Every ``python -m repro.bench <sweep> --json PATH`` invocation emits one
+report in this schema; ``benchmarks/baseline.json`` stores the recorded
+per-label throughputs CI compares new reports against (see
+:mod:`repro.bench.gate` and DESIGN.md section 7).
+
+Schema (version 1)::
+
+    {
+      "schema_version": 1,
+      "sweep": "<registry name>",
+      "commit": "<git SHA or 'unknown'>",
+      "config": {"requests": ..., "smoke": ..., "fixed_compute_ms": ...},
+      "rows": [...],                      # the sweep's table rows, verbatim
+      "metrics": {
+        "labels": {"<row label>": {"throughput_tps": .., "latency_ms": ..}},
+        "throughput_tps": {"mean": .., "min": ..},
+        "latency_ms": {"p50": .., "p95": .., "p99": ..}
+      }
+    }
+
+Sweeps report throughput and latency under sweep-specific column names
+(classic sweeps in txns/s and amortised ms, the scaled sweep as
+``scaled tps``, the pipeline sweep as ``pipelined tps``, the recovery sweep
+as ``recover (ms)``); :func:`summarize_rows` normalises them so the gate --
+and anyone plotting trajectories across sweeps -- reads one shape.
+Fault-matrix rows carry neither metric; their report has an empty
+``labels`` map and the gate skips them.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from typing import Dict, List, Optional, Sequence
+
+SCHEMA_VERSION = 1
+
+#: Column names carrying a row's throughput, in priority order.
+THROUGHPUT_COLUMNS = ("throughput (txns/s)", "pipelined tps", "scaled tps")
+#: Column names carrying a row's headline latency, in priority order.
+LATENCY_COLUMNS = ("txn latency (ms)", "recover (ms)")
+#: Latency-percentile columns (present on the classic experiment rows).
+PERCENTILE_COLUMNS = {
+    "p50": "txn p50 (ms)",
+    "p95": "txn p95 (ms)",
+    "p99": "txn p99 (ms)",
+}
+
+
+def current_commit() -> str:
+    """The repository's HEAD SHA, or ``"unknown"`` outside a git checkout."""
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = completed.stdout.strip()
+    return sha if completed.returncode == 0 and sha else "unknown"
+
+
+def _first_number(row: Dict[str, object], columns: Sequence[str]) -> Optional[float]:
+    for column in columns:
+        value = row.get(column)
+        if isinstance(value, bool) or value is None:
+            continue
+        try:
+            return float(value)
+        except (TypeError, ValueError):
+            continue
+    return None
+
+
+def _mean(values: List[float]) -> Optional[float]:
+    return sum(values) / len(values) if values else None
+
+
+def summarize_rows(rows: Sequence[Dict[str, object]]) -> Dict[str, object]:
+    """Normalise a sweep's rows into the canonical ``metrics`` block."""
+    labels: Dict[str, Dict[str, Optional[float]]] = {}
+    throughputs: List[float] = []
+    latencies: Dict[str, List[float]] = {"p50": [], "p95": [], "p99": []}
+    for index, row in enumerate(rows):
+        label = str(row.get("label", f"row-{index}"))
+        throughput = _first_number(row, THROUGHPUT_COLUMNS)
+        latency = _first_number(row, LATENCY_COLUMNS)
+        if throughput is None and latency is None:
+            continue
+        labels[label] = {"throughput_tps": throughput, "latency_ms": latency}
+        if throughput is not None:
+            throughputs.append(throughput)
+        for name, column in PERCENTILE_COLUMNS.items():
+            value = _first_number(row, (column,))
+            if value is not None:
+                latencies[name].append(value)
+    return {
+        "labels": labels,
+        "throughput_tps": {
+            "mean": _mean(throughputs),
+            "min": min(throughputs) if throughputs else None,
+        },
+        "latency_ms": {name: _mean(values) for name, values in latencies.items()},
+    }
+
+
+def canonical_report(
+    sweep: str,
+    rows: Sequence[Dict[str, object]],
+    config: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Build one canonical report dict for a finished sweep."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "sweep": sweep,
+        "commit": current_commit(),
+        "config": dict(config or {}),
+        "rows": list(rows),
+        "metrics": summarize_rows(rows),
+    }
+
+
+def validate_report(report: Dict[str, object]) -> List[str]:
+    """Return the list of schema problems (empty = valid)."""
+    problems: List[str] = []
+    if report.get("schema_version") != SCHEMA_VERSION:
+        problems.append(
+            f"schema_version {report.get('schema_version')!r} != {SCHEMA_VERSION}"
+        )
+    for key in ("sweep", "commit", "config", "rows", "metrics"):
+        if key not in report:
+            problems.append(f"missing key {key!r}")
+    metrics = report.get("metrics")
+    if isinstance(metrics, dict) and "labels" not in metrics:
+        problems.append("metrics block is missing 'labels'")
+    return problems

@@ -19,7 +19,7 @@ from typing import Callable, Dict, Optional
 from repro.common.errors import SignatureError
 from repro.common.timestamps import Timestamp, TimestampGenerator
 from repro.common.types import ClientId, ItemId, Value
-from repro.crypto.cosi import CollectiveSignature, cosi_verify
+from repro.crypto.cosi import cosi_verify
 from repro.crypto.keys import KeyPair
 from repro.net.message import MessageType
 from repro.net.network import Network
@@ -37,6 +37,9 @@ class CommitOutcome:
     block_height: Optional[int] = None
     reason: str = ""
     cosign_verified: bool = False
+    #: Virtual time the terminating block's decision landed on the simulated
+    #: event timeline (``None`` for queued outcomes or sim-less deployments).
+    decided_at: Optional[float] = None
 
     @property
     def committed(self) -> bool:
@@ -199,6 +202,7 @@ class FidesClient:
             block_height=mine.get("block_height"),
             reason=mine.get("reason", ""),
             cosign_verified=verified,
+            decided_at=mine.get("decided_at"),
         )
 
     # -- helpers ------------------------------------------------------------------------------

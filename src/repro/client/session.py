@@ -9,7 +9,7 @@ Figure 5: begin transaction, read/write requests, end transaction.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Set
 
 from repro.common.errors import ProtocolError
 from repro.common.timestamps import Timestamp

@@ -10,7 +10,7 @@ experimental setup of Section 6 of the paper (10 000 items per shard,
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List
 
 from repro.common.errors import ConfigurationError
@@ -40,6 +40,12 @@ class SystemConfig:
         ``"schnorr"`` (real public-key signatures, default) or ``"hash"``
         (an HMAC-style scheme used to keep very large benchmark sweeps
         tractable; block co-signing always uses real Schnorr/CoSi).
+    pipeline_depth:
+        How many consecutive block rounds one coordinator may keep in
+        flight on the simulated timeline (DESIGN.md section 7).  The default
+        of 1 reproduces the paper's sequential block production; depth >= 2
+        lets phase 1 of block N+1 overlap phases 2-5 of block N where the
+        chaining / commit-frontier / conflict rules allow.
     seed:
         Seed for deterministic key generation and workload generation.
     """
@@ -50,6 +56,7 @@ class SystemConfig:
     ops_per_txn: int = 5
     multi_versioned: bool = True
     message_signing: str = "schnorr"
+    pipeline_depth: int = 1
     seed: int = 2020
 
     def __post_init__(self) -> None:
@@ -66,6 +73,8 @@ class SystemConfig:
                 f"unknown message_signing scheme {self.message_signing!r};"
                 " expected 'schnorr' or 'hash'"
             )
+        if self.pipeline_depth < 1:
+            raise ConfigurationError("pipeline_depth must be >= 1")
 
     @property
     def server_ids(self) -> List[ServerId]:
@@ -86,6 +95,7 @@ class SystemConfig:
             "ops_per_txn": self.ops_per_txn,
             "multi_versioned": self.multi_versioned,
             "message_signing": self.message_signing,
+            "pipeline_depth": self.pipeline_depth,
             "seed": self.seed,
         }
         current.update(changes)

@@ -35,7 +35,8 @@ from repro.net.network import Network
 from repro.recovery.manager import RecoveryResult
 from repro.server.faults import FaultPolicy
 from repro.server.server import DatabaseServer
-from repro.storage.shard import ShardMap, build_uniform_partition
+from repro.sim.context import ComputeModel, SimContext
+from repro.storage.shard import build_uniform_partition
 from repro.txn.operations import Operation
 from repro.workload.ycsb import TransactionSpec
 
@@ -81,21 +82,34 @@ class FidesSystem:
         latency: Optional[LatencyModel] = None,
         initial_value: Value = 0,
         state_store_factory=None,
+        compute_model: Optional[ComputeModel] = None,
     ) -> None:
         """``state_store_factory`` maps a server id to the durable
         :class:`~repro.recovery.statestore.StateStore` backing that server's
         crash recovery; the default gives every server an in-memory store
         (pass a :class:`~repro.recovery.statestore.FileStateStore` factory to
-        measure real WAL overhead)."""
+        measure real WAL overhead).  ``compute_model`` overrides the measured
+        per-phase compute charges on the simulated timeline (pass
+        :class:`~repro.sim.context.FixedCompute` for bit-identical repeated
+        runs; see DESIGN.md section 7)."""
         self.config = config or SystemConfig()
         if protocol not in (PROTOCOL_TFCOMMIT, PROTOCOL_2PC):
             raise ConfigurationError(f"unknown protocol {protocol!r}")
         self.protocol = protocol
         self.latency = latency or lan_latency(seed=self.config.seed)
+        #: The deployment's discrete-event timeline: every protocol phase is
+        #: scheduled on it, and the benchmark harness reads the run's
+        #: makespan off it (DESIGN.md section 7).
+        self.sim = SimContext(
+            seed=self.config.seed,
+            pipeline_depth=self.config.pipeline_depth,
+            compute_model=compute_model,
+        )
         self.network = Network(
             signing_scheme=make_signing_scheme(self.config.message_signing),
             latency=self.latency,
         )
+        self.network.attach_sim(self.sim)
 
         per_server_items, self.shard_map = build_uniform_partition(self.config, initial_value)
         self.servers: Dict[ServerId, DatabaseServer] = {}
@@ -110,6 +124,7 @@ class FidesSystem:
                 ),
             )
             server.attach(self.network)
+            server.attach_sim_clock(self.sim.clock)
             self.servers[server_id] = server
 
         self.coordinator_id = self.config.server_ids[0]
@@ -126,22 +141,19 @@ class FidesSystem:
         per-group coordinators and the ordering service instead.
         """
         coordinator_server = self.servers[self.coordinator_id]
-        if self.protocol == PROTOCOL_TFCOMMIT:
-            self.coordinator = TFCommitCoordinator(
-                server=coordinator_server,
-                network=self.network,
-                server_ids=self.config.server_ids,
-                txns_per_block=self.config.txns_per_block,
-                latency=self.latency,
-            )
-        else:
-            self.coordinator = TwoPhaseCommitCoordinator(
-                server=coordinator_server,
-                network=self.network,
-                server_ids=self.config.server_ids,
-                txns_per_block=self.config.txns_per_block,
-                latency=self.latency,
-            )
+        coordinator_cls = (
+            TFCommitCoordinator
+            if self.protocol == PROTOCOL_TFCOMMIT
+            else TwoPhaseCommitCoordinator
+        )
+        self.coordinator = coordinator_cls(
+            server=coordinator_server,
+            network=self.network,
+            server_ids=self.config.server_ids,
+            txns_per_block=self.config.txns_per_block,
+            latency=self.latency,
+            sim=self.sim,
+        )
         coordinator_server.set_coordinator_role(self.coordinator)
 
     def _make_client(self, client_id: ClientId) -> FidesClient:
@@ -337,6 +349,9 @@ class FidesSystem:
                 clients[slot],
             )
         self._finish_workload()
+        # Fire the timeline's pending events in deterministic order so the
+        # run's makespan and event trace are final when the caller reads them.
+        self.sim.drain()
         result.block_results = [
             block_result
             for coordinator in self._coordinators()

@@ -10,8 +10,8 @@ single consistently ordered block stream to all servers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import FrozenSet, List, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import FrozenSet, Sequence, Set
 
 from repro.storage.shard import ShardMap
 from repro.txn.transaction import Transaction

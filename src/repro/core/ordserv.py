@@ -22,10 +22,9 @@ substitution table): a sequencer that
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass, replace
+from typing import Callable, List
 
-from repro.common.errors import ValidationError
 from repro.core.grouping import ServerGroup, dependency_between
 from repro.crypto.hashing import EMPTY_HASH
 from repro.ledger.block import Block

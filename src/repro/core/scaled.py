@@ -43,6 +43,8 @@ from repro.ledger.block import Block, make_group_partial_block
 from repro.net.latency import LatencyModel
 from repro.net.message import Envelope, MessageType
 from repro.net.network import Network
+from repro.sim.context import SimContext
+from repro.sim.scheduler import BlockTask
 from repro.storage.shard import ShardMap
 from repro.txn.transaction import Transaction
 
@@ -70,6 +72,7 @@ class GroupTFCommitCoordinator(TFCommitCoordinator):
         system: "ScaledFidesSystem",
         txns_per_block: int = 1,
         latency: Optional[LatencyModel] = None,
+        sim: Optional[SimContext] = None,
     ) -> None:
         super().__init__(
             server=server,
@@ -77,6 +80,7 @@ class GroupTFCommitCoordinator(TFCommitCoordinator):
             server_ids=[server.server_id],
             txns_per_block=txns_per_block,
             latency=latency,
+            sim=sim,
         )
         self._shard_map = shard_map
         self._ordering = ordering
@@ -121,15 +125,32 @@ class GroupTFCommitCoordinator(TFCommitCoordinator):
             transactions, group_members=sorted(self._current_group.members)
         )
 
+    def _sim_chained(self) -> bool:
+        # Group blocks carry no chain metadata at proposal time (the
+        # ordering service assigns height and hash pointer), so consecutive
+        # rounds of one group coordinator have no chaining dependency.
+        return False
+
+    def _sim_group_members(self):
+        if self._current_group is None:
+            return None
+        return frozenset(self._current_group.members)
+
     def _deliver_block(self, final_block: Block, timing: TimingBreakdown) -> List[Dict]:
         """Publish the co-signed group block; delivery happens via OrdServ.
 
         The ordering service may hold the block in its reorder window, so the
         delivery cost is charged to this round's timing when the block is
         actually finalised (the system keeps the timing registered until
-        then).
+        then).  The round's timeline task is handed over with it: the
+        ordering service's delivery is the round's terminal phase, scheduled
+        on the shared ``ordserv`` resource when the block lands in the
+        stream.
         """
-        self._system.register_inflight(final_block.signing_digest(), timing)
+        self._system.register_inflight(
+            final_block.signing_digest(), timing, self._sim_task
+        )
+        self._sim_task = None
         self._ordering.publish(final_block, self._current_group)
         return []
 
@@ -177,6 +198,7 @@ class ScaledFidesSystem(FidesSystem):
         initial_value: Value = 0,
         reorder_window: int = 0,
         state_store_factory=None,
+        compute_model=None,
     ) -> None:
         self._reorder_window = reorder_window
         super().__init__(
@@ -185,6 +207,7 @@ class ScaledFidesSystem(FidesSystem):
             latency=latency,
             initial_value=initial_value,
             state_store_factory=state_store_factory,
+            compute_model=compute_model,
         )
 
     # -- wiring ---------------------------------------------------------------------
@@ -194,6 +217,13 @@ class ScaledFidesSystem(FidesSystem):
         self._group_coordinators: Dict[ServerId, GroupTFCommitCoordinator] = {}
         #: signing digest -> the round timing awaiting its delivery charge.
         self._inflight_timings: Dict[bytes, TimingBreakdown] = {}
+        #: signing digest -> the round's timeline task awaiting its terminal
+        #: ``order`` phase (scheduled when the stream delivers the block).
+        self._inflight_tasks: Dict[bytes, BlockTask] = {}
+        #: signing digest -> virtual time the ordered delivery completed.
+        #: Bounded: a result is restamped at (or within the same round as)
+        #: its block's delivery, so only a recent window is ever read.
+        self._decided_at_by_digest: Dict[bytes, float] = {}
         #: signing digest -> the chained block as finalised by the ordering
         #: service (the group digest is untouched by re-chaining, so it is a
         #: stable key from publication through delivery).
@@ -226,14 +256,23 @@ class ScaledFidesSystem(FidesSystem):
                 system=self,
                 txns_per_block=self.config.txns_per_block,
                 latency=self.latency,
+                sim=self.sim,
             )
         return self._group_coordinators[server_id]
 
     # -- ordered-stream delivery ------------------------------------------------------
 
-    def register_inflight(self, signing_digest: bytes, timing: TimingBreakdown) -> None:
-        """Remember a published block's timing until the stream delivers it."""
+    def register_inflight(
+        self,
+        signing_digest: bytes,
+        timing: TimingBreakdown,
+        task: Optional[BlockTask] = None,
+    ) -> None:
+        """Remember a published block's timing (and its timeline task) until
+        the stream delivers it."""
         self._inflight_timings[signing_digest] = timing
+        if task is not None:
+            self._inflight_tasks[signing_digest] = task
 
     def chained_block(self, signing_digest: bytes) -> Optional[Block]:
         """The globally chained block for a group digest, once delivered."""
@@ -255,8 +294,10 @@ class ScaledFidesSystem(FidesSystem):
 
     def _restamp_result(self, result, chained: Block) -> None:
         result.block = chained
+        decided_at = self._decided_at_by_digest.get(chained.signing_digest())
         result.outcomes = [
-            replace(outcome, block_height=chained.height) for outcome in result.outcomes
+            replace(outcome, block_height=chained.height, decided_at=decided_at)
+            for outcome in result.outcomes
         ]
         # A server that rejected the ordered block (diverged log, bad
         # signature under fault injection) surfaces exactly like a phase-5
@@ -273,6 +314,15 @@ class ScaledFidesSystem(FidesSystem):
         delay; the cost is charged to the originating round's ``order`` phase.
         """
         block = ordered.block
+        digest = block.signing_digest()
+        # The delivery is the round's terminal phase on the virtual timeline:
+        # it serializes on the shared "ordserv" resource (the service emits
+        # one stream) and cannot start before the publishing round's
+        # co-signing finished.  Assigning the start before the sends lets
+        # fault hooks inside the apply handlers fire at the delivery's time.
+        task = self._inflight_tasks.pop(digest, None)
+        label = f"ordserv/deliver-{ordered.global_height}"
+        start = self.sim.scheduler.begin_delivery(task, label)
         # A scratch breakdown lets the shared helper do the accounting even
         # when no round timing is registered (blocks published directly by
         # tests); the charge is transferred to the originating round's if any.
@@ -286,8 +336,24 @@ class ScaledFidesSystem(FidesSystem):
             {"block": block},
             scratch,
             "order",
+            sim=self.sim,
         )
-        digest = block.signing_digest()
+        _, delivered_at = self.sim.scheduler.end_delivery(
+            task,
+            label,
+            start,
+            scratch.phases["order"],
+            read_items=frozenset(
+                entry.item_id for txn in block.transactions for entry in txn.read_set
+            ),
+            write_items=frozenset(
+                entry.item_id for txn in block.transactions for entry in txn.write_set
+            ),
+            status="committed" if block.is_commit else "aborted",
+        )
+        self._decided_at_by_digest[digest] = delivered_at
+        while len(self._decided_at_by_digest) > 256:
+            self._decided_at_by_digest.pop(next(iter(self._decided_at_by_digest)))
         failures = [resp for resp in responses.values() if not resp.get("ok")]
         self.delivery_failures.extend(failures)
         if failures:

@@ -46,6 +46,8 @@ from repro.ledger.block import Block, BlockDecision, make_partial_block
 from repro.net.latency import LatencyModel
 from repro.net.message import Envelope, MessageType
 from repro.net.network import Network
+from repro.sim.context import SimContext
+from repro.sim.scheduler import KIND_BROADCAST, KIND_COMPUTE, KIND_TERMINAL, BlockTask
 from repro.txn.transaction import Transaction
 
 
@@ -89,6 +91,10 @@ class TxnOutcome:
     status: str  # "committed" / "aborted" / "failed"
     block_height: Optional[int] = None
     reason: str = ""
+    #: Virtual time at which the block's decision landed (the end of the
+    #: round's terminal phase on the simulated timeline); ``None`` when the
+    #: coordinator runs without a simulation context.
+    decided_at: Optional[float] = None
 
     def to_wire(self, block_digest: Optional[bytes] = None, cosign=None):
         return {
@@ -96,6 +102,7 @@ class TxnOutcome:
             "status": self.status,
             "block_height": self.block_height,
             "reason": self.reason,
+            "decided_at": self.decided_at,
             "block_digest": block_digest,
             "cosign": cosign,
         }
@@ -225,15 +232,29 @@ def timed_broadcast(
     payload: Dict,
     timing: TimingBreakdown,
     phase: str,
+    sim: Optional[SimContext] = None,
+    task: Optional[BlockTask] = None,
+    kind: str = KIND_BROADCAST,
 ) -> Dict[str, Dict]:
     """Broadcast one phase's message and charge it to ``timing``.
 
     The simulated-time rule lives here, shared by TFCommit, the 2PC
-    baseline, and the ordering service's delivery: a phase costs one
-    outbound delay (the slowest recipient's sample), the slowest recipient's
-    measured compute, and one inbound delay -- recipients work in parallel
-    on real hardware.  The ``default=0.0`` guards keep empty recipient lists
-    and compute-free responses at zero cost.
+    baseline, and the ordering service's delivery: each recipient gets its
+    own sampled outbound delay, its measured compute, and its own sampled
+    inbound delay, and the phase costs the slowest recipient's *round trip*
+    -- the coordinator waits for the last response, and a server's reply
+    can only travel after its own request arrived and its own compute ran
+    (pairing one server's outbound sample with another's inbound sample
+    would build a round trip no single machine experienced).  Recipients
+    work in parallel on real hardware, so the max is the right aggregate;
+    the ``default=0.0`` guards keep empty recipient lists at zero cost.
+
+    When a simulation context and a block task are given, the phase is also
+    scheduled as an event window on the shared virtual timeline (its start
+    is assigned *before* the messages go out, so fault hooks fire at the
+    phase's virtual time); with only ``sim`` given, the context's compute
+    model still applies but no window is scheduled (the caller schedules
+    the activity itself, e.g. the ordering service's delivery).
 
     A recipient that is down -- crashed before the send, or crashing while
     handling it -- yields a synthesised ``{"ok": False, "unreachable": True}``
@@ -241,7 +262,9 @@ def timed_broadcast(
     liveness event the round must observe and fail on, not a crash of the
     coordinator.
     """
-    outbound = max((latency.sample() for _ in recipients), default=0.0)
+    if sim is not None and task is not None:
+        sim.scheduler.begin_phase(task, phase, kind=kind)
+    outbound = {recipient: latency.sample() for recipient in recipients}
     responses: Dict[str, Dict] = {}
     for recipient in recipients:
         try:
@@ -254,18 +277,91 @@ def timed_broadcast(
                 "reason": str(exc),
                 "compute_time": 0.0,
             }
-    inbound = max((latency.sample() for _ in recipients), default=0.0)
-    slowest_compute = max(
-        ((resp.get("compute_time", 0.0) or 0.0) for resp in responses.values()),
-        default=0.0,
-    )
-    timing.phases[phase] = outbound + slowest_compute + inbound
-    timing.network_time += outbound + inbound
+    inbound = {recipient: latency.sample() for recipient in recipients}
+    slowest = slowest_net = slowest_compute = 0.0
+    for recipient in recipients:
+        compute = responses[recipient].get("compute_time", 0.0) or 0.0
+        if sim is not None:
+            compute = sim.effective_compute(phase, compute)
+        round_trip = outbound[recipient] + compute + inbound[recipient]
+        if round_trip >= slowest:
+            slowest = round_trip
+            slowest_net = outbound[recipient] + inbound[recipient]
+            slowest_compute = compute
+    timing.phases[phase] = slowest
+    timing.network_time += slowest_net
     timing.compute_time += slowest_compute
+    if sim is not None and task is not None:
+        sim.scheduler.end_phase(task, phase, slowest)
     return responses
 
 
-class TFCommitCoordinator:
+class SimScheduledRounds:
+    """Mixin: schedule a coordinator's block rounds on the virtual timeline.
+
+    Shared by the TFCommit coordinator and the 2PC baseline -- both chain
+    blocks at aggregation time and deliver decisions in order, so the same
+    dependency rules govern how far their rounds pipeline.  Requires the
+    host class to provide ``coordinator_id``, ``_sim``, ``_sim_task``, and
+    ``_sim_blocks``.
+    """
+
+    def _begin_sim_block(self, transactions: Sequence[Transaction]) -> Optional[BlockTask]:
+        """Admit this round to the virtual timeline (no-op without a sim).
+
+        The task carries the batch's read/write footprint and commit-
+        timestamp range so the scheduler can decide how far this round may
+        overlap earlier in-flight rounds (see the dependency rules in
+        :mod:`repro.sim.scheduler`).
+        """
+        if self._sim is None:
+            self._sim_task = None
+            return None
+        self._sim_blocks += 1
+        reads = frozenset(
+            entry.item_id for txn in transactions for entry in txn.read_set
+        )
+        writes = frozenset(
+            entry.item_id for txn in transactions for entry in txn.write_set
+        )
+        stamps = [txn.commit_ts for txn in transactions]
+        self._sim_task = self._sim.scheduler.begin_block(
+            resource=self.coordinator_id,
+            label=f"{self.coordinator_id}/round-{self._sim_blocks}",
+            read_items=reads,
+            write_items=writes,
+            min_commit_ts=min(stamps).as_tuple() if stamps else None,
+            max_commit_ts=max(stamps).as_tuple() if stamps else None,
+            chained=self._sim_chained(),
+            group_members=self._sim_group_members(),
+        )
+        return self._sim_task
+
+    def _sim_chained(self) -> bool:
+        """Whether this coordinator's blocks chain onto its local log at
+        proposal time (the classic deployment); group blocks do not -- the
+        ordering service assigns their chain metadata later."""
+        return True
+
+    def _sim_group_members(self):
+        """The dynamic group this round covers (scaled deployment only)."""
+        return None
+
+    def _end_sim_block(self, status: str) -> Optional[float]:
+        """Finish the round on the timeline; returns its virtual end time."""
+        task, self._sim_task = self._sim_task, None
+        if task is None or self._sim is None:
+            return None
+        return self._sim.scheduler.end_block(task, status=status)
+
+    def _effective_compute(self, phase: str, measured: float) -> float:
+        """Measured coordinator compute, overridden by the sim's compute model."""
+        if self._sim is None:
+            return measured
+        return self._sim.effective_compute(phase, measured)
+
+
+class TFCommitCoordinator(SimScheduledRounds):
     """The designated coordinator driving TFCommit rounds.
 
     The coordinator is itself an untrusted database server with additional
@@ -280,6 +376,7 @@ class TFCommitCoordinator:
         server_ids: Sequence[str],
         txns_per_block: int = 1,
         latency: Optional[LatencyModel] = None,
+        sim: Optional[SimContext] = None,
     ) -> None:
         self.server = server
         self.network = network
@@ -288,6 +385,12 @@ class TFCommitCoordinator:
         self._latency = latency or network.latency_model
         self._pending: List[Tuple[Transaction, Envelope]] = []
         self._latest_committed_ts = Timestamp.zero()
+        #: Simulation context: when present, every phase of every round is
+        #: scheduled as an event window on the shared virtual timeline and
+        #: consecutive rounds pipeline per the scheduler's dependency rules.
+        self._sim = sim
+        self._sim_task: Optional[BlockTask] = None
+        self._sim_blocks = 0
         #: History of every block round driven by this coordinator.
         self.results: List[BlockCommitResult] = []
 
@@ -352,15 +455,18 @@ class TFCommitCoordinator:
         client_requests = [envelope for _, envelope in batch]
         timing = TimingBreakdown(num_txns=len(transactions))
         faults = self.server.faults
+        self._begin_sim_block(transactions)
 
         # Phase 1+2: <GetVote, SchAnnouncement> / <Vote, SchCommitment>.
-        coordinator_started = time.perf_counter()
+        # Block assembly (and hence encoding the transactions) happens here,
+        # on the coordinator, when the get_vote message is built; its compute
+        # is charged to the "aggregate" phase entry together with the vote
+        # aggregation below, keeping every second of coordinator work in
+        # exactly one phase entry.
+        assembly_started = time.perf_counter()
         partial_block = self._make_partial_block(transactions)
-        # Serialising the block (and hence encoding its transactions) happens
-        # here, on the coordinator, when the get_vote message is built; the
-        # cached encodings keep the cohorts' own hashing cheap.
         partial_block.signing_digest()
-        timing.coordinator_time += time.perf_counter() - coordinator_started
+        assembly_elapsed = time.perf_counter() - assembly_started
         votes = self._broadcast_phase(
             "get_vote",
             MessageType.GET_VOTE,
@@ -373,11 +479,14 @@ class TFCommitCoordinator:
             # co-signed by the full signer set, so the round fails and its
             # transactions are retried once the server recovers (liveness, not
             # safety -- nobody is accused).
+            timing.coordinator_time += self._effective_compute("aggregate", assembly_elapsed)
             return self._failed_result(
                 transactions, timing, partial_block, abort_reasons=[], refusals=unreachable, culprits=[]
             )
 
         # Phase 3: <null, SchChallenge> -- aggregate votes into the block.
+        if self._sim_task is not None:
+            self._sim.scheduler.begin_phase(self._sim_task, "aggregate", kind=KIND_COMPUTE)
         coordinator_started = time.perf_counter()
         faults.observe_phase(
             "coordinate", partial_block.height, tuple(t.txn_id for t in transactions)
@@ -413,8 +522,13 @@ class TFCommitCoordinator:
         block = partial_block.with_decision(decision, roots)
         aggregate_commitment = aggregate_points(commitments.values())
         challenge = compute_challenge(aggregate_commitment, block.signing_digest())
-        timing.coordinator_time += time.perf_counter() - coordinator_started
-        timing.phases["aggregate"] = timing.coordinator_time
+        aggregate_elapsed = self._effective_compute(
+            "aggregate", assembly_elapsed + (time.perf_counter() - coordinator_started)
+        )
+        timing.coordinator_time += aggregate_elapsed
+        timing.phases["aggregate"] = aggregate_elapsed
+        if self._sim_task is not None:
+            self._sim.scheduler.end_phase(self._sim_task, "aggregate", aggregate_elapsed)
 
         # Phase 4: <null, SchResponse>.
         if faults.equivocate() and decision is BlockDecision.COMMIT:
@@ -467,12 +581,14 @@ class TFCommitCoordinator:
                 self._latest_committed_ts, final_block.max_commit_ts
             )
         status = "committed" if final_block.is_commit else "aborted"
+        decided_at = self._end_sim_block(status)
         outcomes = [
             TxnOutcome(
                 txn_id=txn.txn_id,
                 status=status,
                 block_height=final_block.height,
                 reason="; ".join(abort_reasons),
+                decided_at=decided_at,
             )
             for txn in transactions
         ]
@@ -510,23 +626,31 @@ class TFCommitCoordinator:
         stream to all servers.
         """
         decisions = self._broadcast_phase(
-            "decision", MessageType.DECISION, {"block": final_block}, timing
+            "decision", MessageType.DECISION, {"block": final_block}, timing,
+            kind=KIND_TERMINAL,
         )
         return [resp for resp in decisions.values() if not resp.get("ok")]
 
     # -- helpers -------------------------------------------------------------------------
 
-    @staticmethod
-    def _record_finalize_time(timing: TimingBreakdown, started: float) -> None:
+    def _record_finalize_time(self, timing: TimingBreakdown, started: float) -> None:
         """Charge the phase-5 coordinator work (signature aggregation and
         co-sign verification) to both ``coordinator_time`` and a ``finalize``
         phase entry so :attr:`TimingBreakdown.total` accounts for it."""
-        elapsed = time.perf_counter() - started
+        elapsed = self._effective_compute("finalize", time.perf_counter() - started)
         timing.coordinator_time += elapsed
         timing.phases["finalize"] = timing.phases.get("finalize", 0.0) + elapsed
+        if self._sim_task is not None:
+            self._sim.scheduler.begin_phase(self._sim_task, "finalize", kind=KIND_COMPUTE)
+            self._sim.scheduler.end_phase(self._sim_task, "finalize", elapsed)
 
     def _broadcast_phase(
-        self, phase: str, message_type: MessageType, payload: Dict, timing: TimingBreakdown
+        self,
+        phase: str,
+        message_type: MessageType,
+        payload: Dict,
+        timing: TimingBreakdown,
+        kind: str = KIND_BROADCAST,
     ) -> Dict[str, Dict]:
         """Send one phase's message to every cohort via :func:`timed_broadcast`."""
         return timed_broadcast(
@@ -538,6 +662,9 @@ class TFCommitCoordinator:
             payload,
             timing,
             phase,
+            sim=self._sim,
+            task=self._sim_task,
+            kind=kind,
         )
 
     def _equivocate_challenge(
@@ -557,10 +684,12 @@ class TFCommitCoordinator:
         abort_block = commit_block.with_decision(BlockDecision.ABORT, {})
         half = len(self.server_ids) // 2 or 1
         commit_group = self.server_ids[:half]
-        abort_group = self.server_ids[half:]
+        if self._sim_task is not None:
+            self._sim.scheduler.begin_phase(self._sim_task, "challenge", kind=KIND_BROADCAST)
+        outbound = {server_id: self._latency.sample() for server_id in self.server_ids}
         responses: Dict[str, Dict] = {}
-        outbound = max((self._latency.sample() for _ in self.server_ids), default=0.0)
-        for server_id in commit_group:
+        for server_id in self.server_ids:
+            block = commit_block if server_id in commit_group else abort_block
             responses[server_id] = self.network.send(
                 self.coordinator_id,
                 server_id,
@@ -568,28 +697,25 @@ class TFCommitCoordinator:
                 {
                     "challenge": challenge,
                     "aggregate_commitment": aggregate_commitment.encode(),
-                    "block": commit_block,
+                    "block": block,
                 },
             )
-        for server_id in abort_group:
-            responses[server_id] = self.network.send(
-                self.coordinator_id,
-                server_id,
-                MessageType.CHALLENGE,
-                {
-                    "challenge": challenge,
-                    "aggregate_commitment": aggregate_commitment.encode(),
-                    "block": abort_block,
-                },
+        inbound = {server_id: self._latency.sample() for server_id in self.server_ids}
+        slowest = slowest_net = slowest_compute = 0.0
+        for server_id in self.server_ids:
+            compute = self._effective_compute(
+                "challenge", responses[server_id].get("compute_time", 0.0) or 0.0
             )
-        inbound = max((self._latency.sample() for _ in self.server_ids), default=0.0)
-        slowest = max(
-            ((resp.get("compute_time", 0.0) or 0.0) for resp in responses.values()),
-            default=0.0,
-        )
-        timing.phases["challenge"] = outbound + slowest + inbound
-        timing.network_time += outbound + inbound
-        timing.compute_time += slowest
+            round_trip = outbound[server_id] + compute + inbound[server_id]
+            if round_trip >= slowest:
+                slowest = round_trip
+                slowest_net = outbound[server_id] + inbound[server_id]
+                slowest_compute = compute
+        timing.phases["challenge"] = slowest
+        timing.network_time += slowest_net
+        timing.compute_time += slowest_compute
+        if self._sim_task is not None:
+            self._sim.scheduler.end_phase(self._sim_task, "challenge", slowest)
         return responses
 
     def _failed_result(
@@ -615,8 +741,14 @@ class TFCommitCoordinator:
                 {"round_key": block.round_key()},
                 skip_unreachable=True,
             )
+        failed_at = self._end_sim_block("failed")
         outcomes = [
-            TxnOutcome(txn_id=txn.txn_id, status="failed", reason="; ".join(filter(None, reasons)))
+            TxnOutcome(
+                txn_id=txn.txn_id,
+                status="failed",
+                reason="; ".join(filter(None, reasons)),
+                decided_at=failed_at,
+            )
             for txn in transactions
         ]
         result = BlockCommitResult(

@@ -18,6 +18,7 @@ from repro.common.timestamps import Timestamp
 from repro.core.tfcommit import (
     BatchBuilder,
     BlockCommitResult,
+    SimScheduledRounds,
     TimingBreakdown,
     TxnOutcome,
     drain_stale,
@@ -29,10 +30,12 @@ from repro.ledger.block import Block, BlockDecision, make_partial_block
 from repro.net.latency import LatencyModel
 from repro.net.message import Envelope, MessageType
 from repro.net.network import Network
+from repro.sim.context import SimContext
+from repro.sim.scheduler import KIND_BROADCAST, KIND_COMPUTE, KIND_TERMINAL, BlockTask
 from repro.txn.transaction import Transaction
 
 
-class TwoPhaseCommitCoordinator:
+class TwoPhaseCommitCoordinator(SimScheduledRounds):
     """Classic 2PC over the same servers, clients, and network as TFCommit."""
 
     def __init__(
@@ -42,6 +45,7 @@ class TwoPhaseCommitCoordinator:
         server_ids: Sequence[str],
         txns_per_block: int = 1,
         latency: Optional[LatencyModel] = None,
+        sim: Optional[SimContext] = None,
     ) -> None:
         self.server = server
         self.network = network
@@ -50,6 +54,9 @@ class TwoPhaseCommitCoordinator:
         self._latency = latency or network.latency_model
         self._pending: List[Tuple[Transaction, Envelope]] = []
         self._latest_committed_ts = Timestamp.zero()
+        self._sim = sim
+        self._sim_task: Optional[BlockTask] = None
+        self._sim_blocks = 0
         self.results: List[BlockCommitResult] = []
 
     @property
@@ -98,17 +105,20 @@ class TwoPhaseCommitCoordinator:
         """One 2PC round: prepare/vote then decision."""
         transactions = [txn for txn, _ in batch]
         timing = TimingBreakdown(num_txns=len(transactions))
+        self._begin_sim_block(transactions)
 
-        coordinator_started = time.perf_counter()
+        assembly_started = time.perf_counter()
         block = make_partial_block(
             height=self.server.log.height,
             transactions=transactions,
             previous_hash=self.server.log.head_hash,
         )
-        timing.coordinator_time += time.perf_counter() - coordinator_started
+        assembly_elapsed = time.perf_counter() - assembly_started
 
         votes = self._broadcast_phase("prepare", MessageType.PREPARE, {"block": block}, timing)
 
+        if self._sim_task is not None:
+            self._sim.scheduler.begin_phase(self._sim_task, "aggregate", kind=KIND_COMPUTE)
         coordinator_started = time.perf_counter()
         decision = BlockDecision.COMMIT
         abort_reasons: List[str] = []
@@ -118,11 +128,17 @@ class TwoPhaseCommitCoordinator:
                 if vote["reason"]:
                     abort_reasons.append(f"{server_id}: {vote['reason']}")
         final_block = block.with_decision(decision, {})
-        timing.coordinator_time += time.perf_counter() - coordinator_started
-        timing.phases["aggregate"] = timing.coordinator_time
+        aggregate_elapsed = self._effective_compute(
+            "aggregate", assembly_elapsed + (time.perf_counter() - coordinator_started)
+        )
+        timing.coordinator_time += aggregate_elapsed
+        timing.phases["aggregate"] = aggregate_elapsed
+        if self._sim_task is not None:
+            self._sim.scheduler.end_phase(self._sim_task, "aggregate", aggregate_elapsed)
 
         self._broadcast_phase(
-            "decision", MessageType.COMMIT_DECISION, {"block": final_block}, timing
+            "decision", MessageType.COMMIT_DECISION, {"block": final_block}, timing,
+            kind=KIND_TERMINAL,
         )
 
         if final_block.is_commit:
@@ -130,12 +146,14 @@ class TwoPhaseCommitCoordinator:
                 self._latest_committed_ts, final_block.max_commit_ts
             )
         status = "committed" if final_block.is_commit else "aborted"
+        decided_at = self._end_sim_block(status)
         outcomes = [
             TxnOutcome(
                 txn_id=txn.txn_id,
                 status=status,
                 block_height=final_block.height,
                 reason="; ".join(abort_reasons),
+                decided_at=decided_at,
             )
             for txn in transactions
         ]
@@ -152,7 +170,12 @@ class TwoPhaseCommitCoordinator:
     # -- helpers ---------------------------------------------------------------------------
 
     def _broadcast_phase(
-        self, phase: str, message_type: MessageType, payload: Dict, timing: TimingBreakdown
+        self,
+        phase: str,
+        message_type: MessageType,
+        payload: Dict,
+        timing: TimingBreakdown,
+        kind: str = KIND_BROADCAST,
     ) -> Dict[str, Dict]:
         """Send one phase's message via :func:`timed_broadcast`.
 
@@ -170,4 +193,7 @@ class TwoPhaseCommitCoordinator:
             payload,
             timing,
             phase,
+            sim=self._sim,
+            task=self._sim_task,
+            kind=kind,
         )

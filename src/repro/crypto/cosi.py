@@ -29,17 +29,15 @@ witnesses that lied.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.common.errors import ProtocolError
 from repro.crypto.group import (
     CURVE_ORDER,
-    GENERATOR,
     INFINITY,
     Point,
     cached_scalar_multiply,
-    double_scalar_multiply,
     generator_multiply,
     point_add,
     scalar_multiply,

@@ -24,6 +24,7 @@ from repro.faultsim.policy import PlannedFaultPolicy
 from repro.faultsim.triggers import (
     AfterCallsTrigger,
     AtHeightTrigger,
+    AtTimeTrigger,
     PhaseTrigger,
     ProbabilisticTrigger,
     Trigger,
@@ -34,6 +35,7 @@ from repro.faultsim.triggers import (
 __all__ = [
     "AfterCallsTrigger",
     "AtHeightTrigger",
+    "AtTimeTrigger",
     "CampaignConfig",
     "CampaignRunner",
     "CampaignScenario",

@@ -103,6 +103,27 @@ class TxnPredicateTrigger(Trigger):
 
 
 @dataclass
+class AtTimeTrigger(Trigger):
+    """Fire from a given virtual time on the simulated event timeline.
+
+    ``ctx.sim_time`` is stamped by :meth:`~repro.server.faults.FaultPolicy.observe_phase`
+    from the deployment's :class:`~repro.sim.clock.VirtualClock`, so the
+    trigger fires based on *when the phase occurs on the timeline*, not on
+    Python execution order -- under pipelining the two differ.  Outside a
+    simulation context ``sim_time`` is ``None`` and the trigger never fires.
+    """
+
+    time: float = 0.0
+    kind = "at-time"
+
+    def fires(self, ctx, item_id=None, txn_id=None) -> bool:
+        return ctx.sim_time is not None and ctx.sim_time >= self.time
+
+    def describe(self) -> str:
+        return f"t>={self.time}"
+
+
+@dataclass
 class ProbabilisticTrigger(Trigger):
     """Fire with seeded probability; latches on once fired (deterministic runs)."""
 
@@ -149,6 +170,7 @@ class AfterCallsTrigger(Trigger):
 _TRIGGER_KINDS = {
     "always": Trigger,
     "at-height": AtHeightTrigger,
+    "at-time": AtTimeTrigger,
     "phase": PhaseTrigger,
     "txn": TxnPredicateTrigger,
     "probability": ProbabilisticTrigger,

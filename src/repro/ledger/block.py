@@ -41,13 +41,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 from enum import Enum
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+from typing import Mapping, Optional, Sequence, Tuple
 
 from repro.common.errors import ValidationError
 from repro.common.timestamps import Timestamp
 from repro.common.types import ServerId
 from repro.crypto.cosi import CollectiveSignature
-from repro.crypto.hashing import EMPTY_HASH, hash_concat, hash_object
+from repro.crypto.hashing import EMPTY_HASH, hash_concat
 from repro.txn.transaction import Transaction
 
 

@@ -25,7 +25,7 @@ checks the co-sign and the chaining of the remaining log.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Sequence
+from typing import Dict, Mapping, Optional
 
 from repro.common.errors import ValidationError
 from repro.common.timestamps import Timestamp

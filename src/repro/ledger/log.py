@@ -12,7 +12,7 @@ Lemmas 6 and 7 so the auditor's detection can be exercised.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence
 
 from repro.common.errors import ValidationError

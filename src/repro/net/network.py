@@ -67,6 +67,10 @@ class Network:
     ) -> None:
         self._scheme = signing_scheme or make_signing_scheme("schnorr")
         self._latency = latency or lan_latency()
+        #: Optional simulation context: when attached, every delivered
+        #: message is also recorded as an event on the virtual timeline at
+        #: the clock's current activity time (see repro.sim).
+        self._sim = None
         self._handlers: Dict[str, Handler] = {}
         self._keypairs: Dict[str, KeyPair] = {}
         self._public_keys: Dict[str, PublicKey] = {}
@@ -76,6 +80,10 @@ class Network:
         #: delivery raises :class:`UnreachableError` until they re-register.
         self._departed: set = set()
         self.stats = NetworkStats()
+
+    def attach_sim(self, sim) -> None:
+        """Record delivered messages on a simulation context's timeline."""
+        self._sim = sim
 
     # -- membership -----------------------------------------------------------
 
@@ -192,6 +200,14 @@ class Network:
                 f"envelope from {envelope.sender!r} to {recipient!r} failed signature verification"
             )
         self.stats.record(message_type, recipient, self._latency.sample())
+        if self._sim is not None:
+            self._sim.loop.schedule(
+                self._sim.clock.now,
+                "message",
+                resource=recipient,
+                label=message_type.value,
+                detail={"sender": sender},
+            )
         return handler(envelope)
 
     def broadcast(

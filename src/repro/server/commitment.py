@@ -26,13 +26,13 @@ latency accounting (see DESIGN.md).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, Optional
 
 from repro.common.errors import ProtocolError, ServerCrashed
 from repro.common.types import ServerId
 from repro.crypto.cosi import CoSiWitness, compute_challenge, cosi_verify
-from repro.crypto.group import Point, decompress_point
+from repro.crypto.group import decompress_point
 from repro.crypto.keys import KeyPair, PublicKey
 from repro.ledger.block import Block, BlockDecision
 from repro.ledger.log import TransactionLog

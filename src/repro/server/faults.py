@@ -38,6 +38,10 @@ class FaultContext:
     block_height: Optional[int] = None
     #: Transactions in flight for the current hook consultation.
     txn_ids: Tuple[str, ...] = ()
+    #: Virtual time of the phase being executed on the simulated event
+    #: timeline (``None`` outside a simulation context); time-based triggers
+    #: fire on this, so fault campaigns compose with pipelined rounds.
+    sim_time: Optional[float] = None
 
 
 class FaultPolicy:
@@ -62,6 +66,14 @@ class FaultPolicy:
             self._context = ctx
         return ctx
 
+    def attach_clock(self, clock) -> None:
+        """Stamp subsequent phase observations with a virtual clock's time.
+
+        Called by the server when the policy is installed (and re-attached
+        across crash/recovery); ``None`` detaches.
+        """
+        self._sim_clock = clock
+
     def observe_phase(
         self,
         phase: str,
@@ -73,6 +85,8 @@ class FaultPolicy:
         ctx.phase = phase
         ctx.block_height = block_height
         ctx.txn_ids = tuple(txn_ids)
+        clock = getattr(self, "_sim_clock", None)
+        ctx.sim_time = clock.now if clock is not None else None
 
     # -- execution-layer hooks -------------------------------------------------
 

@@ -28,7 +28,6 @@ from repro.common.errors import (
     RecoveryError,
     ServerCrashed,
     UnreachableError,
-    ValidationError,
 )
 from repro.common.timestamps import Timestamp
 from repro.common.types import ServerId, Value
@@ -81,6 +80,11 @@ class DatabaseServer:
         self.latest_checkpoint: Optional[Checkpoint] = None
         self.crashed = False
         self._network: Optional[Network] = None
+        #: Virtual clock of the deployment's simulation context (if any);
+        #: survives crashes (it is configuration, like the keys) and is
+        #: re-attached to whatever fault policy is active so time-based
+        #: triggers fire on the event timeline.
+        self._sim_clock = None
         #: Coordinator role (TFCommit or 2PC) if this server is the designated
         #: coordinator; set via :meth:`set_coordinator_role`.
         self.coordinator_role = None
@@ -102,8 +106,14 @@ class DatabaseServer:
     def faults(self) -> FaultPolicy:
         return self.commitment.faults
 
+    def attach_sim_clock(self, clock) -> None:
+        """Thread the deployment's virtual clock into the fault hooks."""
+        self._sim_clock = clock
+        self.faults.attach_clock(clock)
+
     def set_faults(self, faults: FaultPolicy) -> None:
         """Swap in a (possibly malicious) behaviour policy for both layers."""
+        faults.attach_clock(self._sim_clock)
         self.execution.set_faults(faults)
         self.commitment.set_faults(faults)
 
@@ -158,6 +168,7 @@ class DatabaseServer:
         self.log = log
         self.latest_checkpoint = checkpoint
         faults = getattr(self, "_faults_across_crash", None) or HonestBehavior()
+        faults.attach_clock(self._sim_clock)
         self.execution = ExecutionLayer(self.store, faults)
         self.commitment = CommitmentLayer(
             self.server_id,

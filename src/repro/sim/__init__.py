@@ -1,0 +1,34 @@
+"""Discrete-event simulation core: virtual clock, event loop, round scheduler.
+
+This package replaces the ad-hoc "sum of per-block latencies" accounting with
+a deterministic, seeded discrete-event timeline: protocol phases are
+scheduled as events, consecutive block rounds pipeline where the dependency
+rules allow, and per-group coordinators plus the ordering service interleave
+on one shared virtual clock.  See DESIGN.md section 7.
+"""
+
+from repro.sim.clock import VirtualClock
+from repro.sim.context import FixedCompute, SimContext
+from repro.sim.events import EventLoop, SimEvent
+from repro.sim.scheduler import (
+    KIND_BROADCAST,
+    KIND_COMPUTE,
+    KIND_TERMINAL,
+    ORDSERV_RESOURCE,
+    BlockTask,
+    PipelinedRoundScheduler,
+)
+
+__all__ = [
+    "VirtualClock",
+    "EventLoop",
+    "SimEvent",
+    "SimContext",
+    "FixedCompute",
+    "BlockTask",
+    "PipelinedRoundScheduler",
+    "KIND_BROADCAST",
+    "KIND_COMPUTE",
+    "KIND_TERMINAL",
+    "ORDSERV_RESOURCE",
+]

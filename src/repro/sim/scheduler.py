@@ -1,0 +1,324 @@
+"""The pipelined round scheduler: protocol phases as discrete events.
+
+The protocol implementations still *execute* one synchronous round at a time
+(block N's five phases run to completion in Python before block N+1's
+begin), but their *timing* is decided here: every phase of every block round
+is an activity with a start and an end on the shared virtual timeline, and
+consecutive blocks overlap exactly as far as the dependency rules allow.
+
+Dependency rules (documented in DESIGN.md section 7):
+
+* **Intra-block order** -- phase ``i`` of a block starts no earlier than
+  phase ``i-1`` of the same block ends.
+* **Chain rule** (classic chained blocks only) -- phase 1 of block ``N+1``
+  starts no earlier than block ``N``'s ``aggregate`` phase ends: that is when
+  block ``N``'s body (decision + roots) is complete, so its hash -- block
+  ``N+1``'s ``h_prev`` -- exists.  Dynamic-group blocks carry no chain
+  metadata at proposal time (the ordering service assigns it), so the rule
+  does not apply to them.
+* **Commit-frontier rule** -- if any transaction of block ``N+1`` carries a
+  commit timestamp at or below the largest commit timestamp of an earlier
+  in-flight block, its staleness check depends on that block's decision, so
+  block ``N+1`` waits for the earlier block to finish.
+* **Conflict rule** -- a block whose read/write footprint intersects an
+  earlier in-flight block's footprint (with a write on either side) waits
+  for that block to finish: its speculative roots must reflect the earlier
+  writes.
+* **Depth rule** -- at most ``pipeline_depth`` blocks of one coordinator may
+  be in flight; depth 1 reproduces the sequential model exactly.
+* **Coordinator serialization** -- a coordinator is one machine: its compute
+  phases (``aggregate``, ``finalize``) never overlap each other, even across
+  pipelined blocks.  Cohort compute inside broadcast phases is treated as
+  parallel-capable (multi-core servers), as in the sequential model.
+* **In-order apply** -- terminal phases (``decision`` broadcasts, ordered
+  ``order`` deliveries) serialize per delivering resource and therefore
+  reach cohorts in block order; the ordering service is a single shared
+  resource, so ordered deliveries additionally serialize *across* group
+  coordinators.
+* **Cross-group rule** -- a new group round starts no earlier than the last
+  ordered delivery whose item footprint *conflicts* with its own ended: its
+  OCC validation and speculative roots depend on that delivery's applied
+  writes.  Non-conflicting deliveries (even of the same group) do not gate
+  -- pipelined cohorts chain speculative state over in-flight blocks, just
+  as the classic conflict rule allows within one coordinator.  Gating on
+  *completed* deliveries suffices even under a reorder window: an item
+  conflict implies a shared shard server, hence overlapping groups, and a
+  group coordinator force-lands every pending overlapping block
+  (``OrderingService.flush_conflicting``) before its round begins -- so a
+  conflicting block is always delivered (and recorded here) by the time the
+  dependent round's ``begin_block`` computes its frontier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.sim.clock import VirtualClock
+from repro.sim.events import EventLoop
+
+#: Phase kinds: how an activity occupies its resource.
+KIND_BROADCAST = "broadcast"  # network round trip + parallel cohort compute
+KIND_COMPUTE = "compute"  # coordinator-local compute; serializes per resource
+KIND_TERMINAL = "terminal"  # decision/apply delivery; serializes per resource
+
+#: The identity under which ordered deliveries occupy the shared timeline.
+ORDSERV_RESOURCE = "ordserv"
+
+#: How many finished tasks each resource keeps for dependency checks.  Tasks
+#: older than the window are complete long before any new block could start
+#: (their terminal phases serialize in order), so dropping them is safe.
+_TASK_WINDOW = 64
+#: How many ordered deliveries the cross-group frontier remembers.
+_DELIVERY_WINDOW = 64
+
+
+@dataclass
+class BlockTask:
+    """One block round's activities on the virtual timeline."""
+
+    label: str
+    resource: str
+    ready_at: float
+    started_at: float
+    chained: bool = True
+    read_items: FrozenSet[str] = frozenset()
+    write_items: FrozenSet[str] = frozenset()
+    min_commit_ts: Optional[tuple] = None
+    max_commit_ts: Optional[tuple] = None
+    group_members: Optional[FrozenSet[str]] = None
+    #: phase name -> (start, end) once the phase completed.
+    phases: Dict[str, Tuple[float, float]] = field(default_factory=dict)
+    chain_ready_at: Optional[float] = None
+    done_at: Optional[float] = None
+    status: str = "in-flight"
+    _pending_phase: Optional[Tuple[str, float, str]] = None
+
+    @property
+    def gate_at(self) -> float:
+        """The time this task stops gating its coordinator's next block.
+
+        A task awaiting its ordered delivery (reorder window) has finished
+        all coordinator-side work at ``ready_at``; the pending ``order``
+        phase occupies the ordering service, not the coordinator.
+        """
+        return self.done_at if self.done_at is not None else self.ready_at
+
+    def conflicts_with(self, read_items: FrozenSet[str], write_items: FrozenSet[str]) -> bool:
+        return bool(
+            (self.write_items & (read_items | write_items))
+            or (write_items & (self.read_items | self.write_items))
+        )
+
+    def phase_window(self, phase: str) -> Optional[Tuple[float, float]]:
+        return self.phases.get(phase)
+
+
+class PipelinedRoundScheduler:
+    """Assigns every protocol phase a window on the shared virtual timeline."""
+
+    #: The phase whose completion makes a chained block's hash available.
+    CHAIN_PHASE = "aggregate"
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        clock: Optional[VirtualClock] = None,
+        pipeline_depth: int = 1,
+    ) -> None:
+        if pipeline_depth < 1:
+            raise ValueError("pipeline_depth must be >= 1")
+        self.loop = loop
+        self.clock = clock or VirtualClock()
+        self.pipeline_depth = pipeline_depth
+        self._tasks: Dict[str, List[BlockTask]] = {}
+        self._compute_free: Dict[str, float] = {}
+        self._terminal_free: Dict[str, float] = {}
+        #: Completed ordered deliveries: (read items, write items, end time).
+        self._deliveries: List[Tuple[FrozenSet[str], FrozenSet[str], float]] = []
+        self.blocks_scheduled = 0
+
+    # -- block life-cycle ----------------------------------------------------------
+
+    def begin_block(
+        self,
+        resource: str,
+        label: str,
+        read_items: FrozenSet[str] = frozenset(),
+        write_items: FrozenSet[str] = frozenset(),
+        min_commit_ts: Optional[tuple] = None,
+        max_commit_ts: Optional[tuple] = None,
+        chained: bool = True,
+        group_members: Optional[FrozenSet[str]] = None,
+    ) -> BlockTask:
+        """Admit a new block round and compute its earliest start."""
+        history = self._tasks.setdefault(resource, [])
+        earliest = 0.0
+        if history:
+            previous = history[-1]
+            if chained:
+                chain_ready = (
+                    previous.chain_ready_at
+                    if previous.chain_ready_at is not None
+                    else previous.gate_at
+                )
+                earliest = max(earliest, chain_ready)
+            if len(history) >= self.pipeline_depth:
+                earliest = max(earliest, history[-self.pipeline_depth].gate_at)
+            for prior in history:
+                gated = prior.conflicts_with(read_items, write_items) or (
+                    min_commit_ts is not None
+                    and prior.max_commit_ts is not None
+                    and min_commit_ts <= prior.max_commit_ts
+                )
+                if gated:
+                    earliest = max(earliest, prior.gate_at)
+        if group_members is not None:
+            earliest = max(earliest, self.delivery_frontier(read_items, write_items))
+        task = BlockTask(
+            label=label,
+            resource=resource,
+            ready_at=earliest,
+            started_at=earliest,
+            chained=chained,
+            read_items=frozenset(read_items),
+            write_items=frozenset(write_items),
+            min_commit_ts=min_commit_ts,
+            max_commit_ts=max_commit_ts,
+            group_members=frozenset(group_members) if group_members is not None else None,
+        )
+        history.append(task)
+        del history[:-_TASK_WINDOW]
+        self.blocks_scheduled += 1
+        self.clock.set(earliest)
+        self.loop.schedule(earliest, "block_start", resource=resource, label=label)
+        return task
+
+    def begin_phase(self, task: BlockTask, phase: str, kind: str = KIND_BROADCAST) -> float:
+        """Assign the phase's start time and point the clock at it.
+
+        Called *before* the phase's messages are sent, so fault hooks and
+        message records that run inside the handlers observe the phase's
+        virtual start time.
+        """
+        if task._pending_phase is not None:
+            raise RuntimeError(
+                f"{task.label}: phase {task._pending_phase[0]!r} is still open"
+            )
+        start = task.ready_at
+        if kind == KIND_COMPUTE:
+            start = max(start, self._compute_free.get(task.resource, 0.0))
+        elif kind == KIND_TERMINAL:
+            start = max(start, self._terminal_free.get(task.resource, 0.0))
+        task._pending_phase = (phase, start, kind)
+        self.clock.set(start)
+        self.loop.schedule(
+            start, "phase_start", resource=task.resource, label=f"{task.label}/{phase}"
+        )
+        return start
+
+    def end_phase(self, task: BlockTask, phase: str, duration: float) -> Tuple[float, float]:
+        """Close the open phase with its measured/sampled duration."""
+        if task._pending_phase is None or task._pending_phase[0] != phase:
+            raise RuntimeError(
+                f"{task.label}: end_phase({phase!r}) without a matching begin_phase"
+            )
+        _, start, kind = task._pending_phase
+        task._pending_phase = None
+        end = start + max(0.0, duration)
+        task.phases[phase] = (start, end)
+        task.ready_at = end
+        if kind == KIND_COMPUTE:
+            self._compute_free[task.resource] = end
+        elif kind == KIND_TERMINAL:
+            self._terminal_free[task.resource] = end
+        if phase == self.CHAIN_PHASE:
+            task.chain_ready_at = end
+        self.clock.set(end)
+        self.loop.schedule(
+            end, "phase_end", resource=task.resource, label=f"{task.label}/{phase}"
+        )
+        return start, end
+
+    def end_block(self, task: BlockTask, status: str = "committed") -> float:
+        """Mark the round finished; its last phase's end is the block's end."""
+        if task._pending_phase is not None:
+            # A round that failed mid-phase (e.g. coordinator crash) closes
+            # the phase at zero additional cost.
+            self.end_phase(task, task._pending_phase[0], 0.0)
+        task.done_at = task.ready_at
+        task.status = status
+        self.loop.schedule(
+            task.done_at,
+            "block_end",
+            resource=task.resource,
+            label=task.label,
+            detail={"status": status},
+        )
+        return task.done_at
+
+    # -- ordered deliveries (scaled deployment) ---------------------------------------
+
+    def begin_delivery(self, task: Optional[BlockTask], label: str) -> float:
+        """Start an ordered-stream delivery on the shared ordering resource.
+
+        Deliveries serialize globally (the ordering service emits one
+        stream), and a block cannot be delivered before its own co-signing
+        finished (``task.ready_at``).
+        """
+        start = self._terminal_free.get(ORDSERV_RESOURCE, 0.0)
+        if task is not None:
+            if task._pending_phase is not None:
+                raise RuntimeError(f"{task.label}: delivery while a phase is open")
+            start = max(start, task.ready_at)
+        self.clock.set(start)
+        self.loop.schedule(start, "phase_start", resource=ORDSERV_RESOURCE, label=label)
+        return start
+
+    def end_delivery(
+        self,
+        task: Optional[BlockTask],
+        label: str,
+        start: float,
+        duration: float,
+        read_items: FrozenSet[str] = frozenset(),
+        write_items: FrozenSet[str] = frozenset(),
+        phase: str = "order",
+        status: str = "committed",
+    ) -> Tuple[float, float]:
+        """Close an ordered delivery and record the cross-group frontier."""
+        end = start + max(0.0, duration)
+        self._terminal_free[ORDSERV_RESOURCE] = end
+        self._deliveries.append((frozenset(read_items), frozenset(write_items), end))
+        del self._deliveries[:-_DELIVERY_WINDOW]
+        self.clock.set(end)
+        self.loop.schedule(end, "phase_end", resource=ORDSERV_RESOURCE, label=label)
+        if task is not None:
+            task.phases[phase] = (start, end)
+            task.ready_at = end
+            self.end_block(task, status=status)
+        return start, end
+
+    def delivery_frontier(
+        self, read_items: FrozenSet[str], write_items: FrozenSet[str]
+    ) -> float:
+        """When the last ordered delivery conflicting with the footprint ended."""
+        return max(
+            (
+                end
+                for delivered_reads, delivered_writes, end in self._deliveries
+                if (delivered_writes & (read_items | write_items))
+                or (write_items & (delivered_reads | delivered_writes))
+            ),
+            default=0.0,
+        )
+
+    # -- introspection -----------------------------------------------------------------
+
+    def tasks_of(self, resource: str) -> List[BlockTask]:
+        return list(self._tasks.get(resource, ()))
+
+    @property
+    def makespan(self) -> float:
+        """The end of the last scheduled activity -- the run's virtual duration."""
+        return self.loop.horizon

@@ -17,7 +17,7 @@ operations the execution and commitment layers need:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
 
 from repro.common.errors import StorageError
 from repro.common.timestamps import Timestamp

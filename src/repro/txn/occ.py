@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.common.timestamps import Timestamp
 from repro.storage.datastore import DataStore

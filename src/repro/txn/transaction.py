@@ -13,7 +13,7 @@ inside a block (Table 1 of the paper):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Dict, Optional, Sequence, Set
 
 from repro.common.timestamps import Timestamp
 from repro.common.types import ClientId, ItemId, TxnId, Value

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 from dataclasses import replace
 
-import pytest
 
 from repro.audit.violations import ViolationType
 from repro.ledger.block import BlockDecision

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.net.message import MessageType
 from repro.txn.operations import ReadOp, WriteOp

@@ -7,7 +7,6 @@ columns the reporting layer expects.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.bench.experiments import (
     EXPERIMENT_REGISTRY,
@@ -71,6 +70,7 @@ class TestFigureSweeps:
             "figure15",
             "faultmatrix",
             "scaledgroups",
+            "pipeline",
         } <= set(EXPERIMENT_REGISTRY)
 
 
@@ -97,6 +97,11 @@ class TestCli:
         out = tmp_path / "faultmatrix.json"
         assert main(["faultmatrix", "--requests", "2", "--smoke", "--json", str(out)]) == 0
         data = json.loads(out.read_text())
-        assert data["experiment"] == "faultmatrix"
+        assert data["schema_version"] == 1
+        assert data["sweep"] == "faultmatrix"
+        assert data["commit"]
+        assert data["config"] == {"num_requests": 2, "smoke": True}
         assert len(data["rows"]) == 16
         assert all(row["detected"] for row in data["rows"])
+        # Fault-matrix rows carry no throughput, so nothing is gateable.
+        assert data["metrics"]["labels"] == {}

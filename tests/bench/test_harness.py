@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bench.harness import ExperimentConfig, ExperimentResult, run_average, run_experiment
+from repro.bench.harness import ExperimentConfig, run_average, run_experiment
 from repro.core.fides import PROTOCOL_2PC, PROTOCOL_TFCOMMIT
 
 

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.common.config import SystemConfig
 from repro.common.errors import ConfigurationError
 from repro.core.fides import FidesSystem
 from repro.txn.operations import WriteOp

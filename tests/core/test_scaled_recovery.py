@@ -11,7 +11,6 @@ completes with all servers holding identical, auditor-clean logs.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.server.faults import CrashFault, FaultPolicy
 

@@ -17,7 +17,6 @@ import pytest
 
 from repro.core.grouping import ServerGroup
 from repro.core.ordserv import OrderingService
-from repro.core.scaled import ScaledFidesSystem
 from repro.crypto.cosi import cosi_verify
 from repro.ledger.block import Block, BlockDecision
 from repro.txn.operations import ReadOp, WriteOp

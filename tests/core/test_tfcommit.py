@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.crypto.cosi import cosi_verify
 from repro.txn.operations import ReadOp, WriteOp
@@ -10,7 +9,6 @@ from repro.txn.operations import ReadOp, WriteOp
 
 class TestHonestCommit:
     def test_single_transaction_commits_everywhere(self, small_system):
-        items = small_system.shard_map.all_items()
         # Touch one item per shard so every server is involved.
         per_server_items = [small_system.shard_map.items_of(sid)[0] for sid in small_system.server_ids]
         ops = [WriteOp(item, 11) for item in per_server_items]

@@ -16,7 +16,7 @@ from repro.crypto.cosi import (
     run_cosi_round,
     verify_partial,
 )
-from repro.crypto.group import CURVE_ORDER, generator_multiply
+from repro.crypto.group import CURVE_ORDER
 from repro.crypto.keys import keypair_for
 
 

@@ -8,6 +8,7 @@ from repro.common.errors import ConfigurationError
 from repro.faultsim import (
     AfterCallsTrigger,
     AtHeightTrigger,
+    AtTimeTrigger,
     FaultPlan,
     PhaseTrigger,
     PlannedFaultPolicy,
@@ -86,6 +87,82 @@ class TestTriggers:
             trigger_from_spec({"kind": "full-moon"})
         with pytest.raises(ConfigurationError):
             trigger_from_spec({"kind": "at-height", "altitude": 3})
+
+
+class TestAtTimeTrigger:
+    def test_fires_from_the_virtual_time_onwards(self):
+        trigger = AtTimeTrigger(time=1.5)
+        early = FaultContext(phase="vote", sim_time=1.0)
+        late = FaultContext(phase="vote", sim_time=2.0)
+        assert not trigger.fires(early)
+        assert trigger.fires(late)
+        assert trigger.describe() == "t>=1.5"
+
+    def test_never_fires_without_a_simulation_context(self):
+        trigger = AtTimeTrigger(time=0.0)
+        assert not trigger.fires(FaultContext(phase="vote", sim_time=None))
+
+    def test_spec_round_trip(self):
+        trigger = trigger_from_spec({"kind": "at-time", "time": 0.25})
+        assert isinstance(trigger, AtTimeTrigger)
+        assert trigger.time == 0.25
+
+    def test_observe_phase_stamps_the_attached_clock(self):
+        from repro.server.faults import HonestBehavior
+        from repro.sim import VirtualClock
+
+        clock = VirtualClock()
+        policy = HonestBehavior()
+        policy.observe_phase("vote", 0)
+        assert policy.context.sim_time is None
+        policy.attach_clock(clock)
+        clock.set(3.25)
+        policy.observe_phase("vote", 0)
+        assert policy.context.sim_time == 3.25
+
+    def test_time_triggered_fault_fires_on_the_event_timeline(self):
+        """An at-time planned fault detonates mid-run at its virtual time."""
+        from repro.common.config import SystemConfig
+        from repro.core.fides import FidesSystem
+        from repro.faultsim import PlannedFaultPolicy
+        from repro.net.latency import ConstantLatency
+        from repro.sim import FixedCompute
+        from repro.workload.ycsb import YcsbWorkload
+
+        def build(trigger_time):
+            config = SystemConfig(
+                num_servers=3,
+                items_per_shard=40,
+                txns_per_block=1,
+                ops_per_txn=2,
+                multi_versioned=True,
+                message_signing="hash",
+                seed=9,
+            )
+            system = FidesSystem(
+                config=config,
+                latency=ConstantLatency(0.001),
+                compute_model=FixedCompute(0.001),
+            )
+            plan = FaultPlan(
+                fault="skip-validation",
+                target="s1",
+                trigger={"kind": "at-time", "time": trigger_time},
+            )
+            system.inject_fault("s1", PlannedFaultPolicy([plan]))
+            workload = YcsbWorkload(
+                item_ids=system.shard_map.all_items(), ops_per_txn=2, seed=9
+            )
+            system.run_workload(workload.generate(6))
+            return system
+
+        # Past the horizon: the fault never fires during the run.
+        never = build(trigger_time=10_000.0)
+        assert never.servers["s1"].faults.context.sim_time is not None
+        # From virtual time zero: fires on the very first observed phase.
+        always = build(trigger_time=0.0)
+        assert always.servers["s1"].faults.skip_validation()
+        assert not never.servers["s1"].faults.skip_validation()
 
 
 class TestFaultPlans:

@@ -6,7 +6,6 @@ sanitized version and the application can resume execution from there."
 
 from __future__ import annotations
 
-import pytest
 
 from repro.audit.violations import ViolationType
 from repro.txn.operations import ReadOp, WriteOp

@@ -10,7 +10,6 @@ same dependency-respecting chain.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.common.timestamps import Timestamp
 from repro.core.grouping import group_for_transaction

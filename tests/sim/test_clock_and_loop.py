@@ -1,0 +1,83 @@
+"""Unit tests for the virtual clock and the deterministic event loop."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import EventLoop, VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero_and_advances(self):
+        clock = VirtualClock()
+        assert clock.now == 0.0
+        assert clock.advance(1.5) == 1.5
+        assert clock.now == 1.5
+
+    def test_set_may_jump_backwards(self):
+        # Scheduling another resource's earlier activity legitimately moves
+        # the "current activity time" backwards (see the module docstring).
+        clock = VirtualClock(start=10.0)
+        clock.set(2.0)
+        assert clock.now == 2.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-0.1)
+
+
+class TestEventLoop:
+    def test_events_fire_in_time_order(self):
+        loop = EventLoop()
+        loop.schedule(2.0, "b")
+        loop.schedule(1.0, "a")
+        loop.schedule(3.0, "c")
+        fired = loop.run_until_idle()
+        assert [event.kind for event in fired] == ["a", "b", "c"]
+        assert loop.timeline == fired
+
+    def test_ties_break_by_creation_order(self):
+        loop = EventLoop()
+        first = loop.schedule(1.0, "x", label="first")
+        second = loop.schedule(1.0, "x", label="second")
+        assert first.seq < second.seq
+        fired = loop.run_until_idle()
+        assert [event.label for event in fired] == ["first", "second"]
+
+    def test_horizon_tracks_latest_scheduled_time(self):
+        loop = EventLoop()
+        loop.schedule(5.0, "a")
+        loop.schedule(1.0, "b")
+        assert loop.horizon == 5.0
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventLoop().schedule(-1.0, "bad")
+
+    def test_callbacks_run_and_may_schedule_more(self):
+        loop = EventLoop()
+        seen = []
+
+        def chain(event):
+            seen.append(event.label)
+            if len(seen) < 3:
+                loop.schedule(event.time + 1.0, "tick", label=f"t{len(seen)}", callback=chain)
+
+        loop.schedule(0.0, "tick", label="t0", callback=chain)
+        loop.run_until_idle()
+        assert seen == ["t0", "t1", "t2"]
+
+    def test_fingerprint_is_stable_and_covers_pending_events(self):
+        def build():
+            loop = EventLoop()
+            loop.schedule(1.0, "a", resource="r", label="x", detail={"k": 1})
+            loop.schedule(0.5, "b")
+            return loop
+
+        drained = build()
+        drained.run_until_idle()
+        pending = build()
+        assert drained.fingerprint() == pending.fingerprint()
+        other = build()
+        other.schedule(0.75, "c")
+        assert other.fingerprint() != pending.fingerprint()
