@@ -1,0 +1,287 @@
+"""AST lint pass for repo invariants ruff cannot express.
+
+Runnable as ``python -m repro.check.lint`` (wired into CI next to ruff).
+Three rules over ``src/repro``:
+
+``wallclock``
+    No ``time.time()`` / ``time.time_ns()`` / ``datetime.now()`` /
+    ``datetime.utcnow()`` / ``date.today()`` anywhere in the library: the
+    simulation's determinism (and hence the model checker's replayability)
+    requires that virtual time is the only time protocol code observes.
+    ``time.perf_counter()`` stays legal -- it *measures* compute durations,
+    it never becomes protocol state.
+
+``unseeded-random``
+    No module-level ``random.<fn>()`` calls and no argument-less
+    ``random.Random()``: every random draw must come from an explicitly
+    seeded generator, or two runs with the same seed diverge.
+
+``bare-assert``
+    No ``assert`` statements in the protocol packages (they vanish under
+    ``python -O``); protocol invariants raise
+    :class:`~repro.common.errors.ProtocolInvariantError` instead.
+
+``missing-decoder``
+    Every class defining ``to_wire`` must have a strict decoder registered
+    under its class name in ``recovery/wire.py``'s ``WIRE_DECODERS`` -- the
+    static half of the wire round-trip property test.
+
+A trailing ``# lint: allow`` comment on the offending line suppresses the
+first two rules for that line (used nowhere in the library today; it exists
+so a future *measurement* utility can opt out explicitly rather than
+silently).
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set
+
+#: Packages whose runtime code is a protocol hot path (bare asserts banned).
+PROTOCOL_PACKAGES = (
+    "core",
+    "server",
+    "net",
+    "ledger",
+    "recovery",
+    "storage",
+    "txn",
+    "crypto",
+    "sim",
+)
+
+#: ``module attribute`` call patterns that read the wall clock.
+_WALLCLOCK_CALLS = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+    ("date", "today"),
+}
+
+_ALLOW_MARKER = "# lint: allow"
+
+
+@dataclass(frozen=True)
+class LintViolation:
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule}: {self.message}"
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """Render ``a.b.c`` attribute chains; None for anything fancier."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _allowed(source_lines: Sequence[str], line: int) -> bool:
+    try:
+        return _ALLOW_MARKER in source_lines[line - 1]
+    except IndexError:
+        return False
+
+
+class _FileChecker(ast.NodeVisitor):
+    def __init__(
+        self, path: Path, relative: str, source: str, check_asserts: bool
+    ) -> None:
+        self.path = path
+        self.relative = relative
+        self.lines = source.splitlines()
+        self.check_asserts = check_asserts
+        self.violations: List[LintViolation] = []
+        self.wire_classes: Dict[str, int] = {}
+
+    def _report(self, node: ast.AST, rule: str, message: str) -> None:
+        self.violations.append(
+            LintViolation(self.relative, getattr(node, "lineno", 0), rule, message)
+        )
+
+    # -- determinism --------------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted(node.func)
+        if dotted is not None and not _allowed(self.lines, node.lineno):
+            tail = tuple(dotted.split(".")[-2:])
+            if len(tail) == 2 and tail in _WALLCLOCK_CALLS:
+                self._report(
+                    node,
+                    "wallclock",
+                    f"{dotted}() reads the wall clock; use the virtual clock "
+                    "(or time.perf_counter for compute measurement)",
+                )
+            elif tail[0] == "random" and tail[1] != "Random":
+                self._report(
+                    node,
+                    "unseeded-random",
+                    f"{dotted}() draws from the shared unseeded generator; "
+                    "use an explicitly seeded random.Random(seed)",
+                )
+            elif tail[-1] == "Random" and not node.args and not node.keywords:
+                self._report(
+                    node,
+                    "unseeded-random",
+                    f"{dotted}() without a seed is nondeterministic; pass one",
+                )
+        self.generic_visit(node)
+
+    # -- bare asserts -------------------------------------------------------------
+
+    def visit_Assert(self, node: ast.Assert) -> None:
+        if self.check_asserts:
+            self._report(
+                node,
+                "bare-assert",
+                "assert vanishes under python -O; raise ProtocolInvariantError "
+                "(or a specific FidesError) instead",
+            )
+        self.generic_visit(node)
+
+    # -- wire codec inventory ------------------------------------------------------
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        for item in node.body:
+            if isinstance(item, ast.FunctionDef) and item.name == "to_wire":
+                self.wire_classes[node.name] = node.lineno
+        self.generic_visit(node)
+
+
+def _registered_decoders(wire_registry: Path) -> Set[str]:
+    """Class names keyed in ``WIRE_DECODERS`` -- extracted statically.
+
+    The registry is read via AST, not import, so the lint runs without the
+    package installed (the CI lint job checks out sources only).
+    """
+    tree = ast.parse(wire_registry.read_text(), filename=str(wire_registry))
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+        if "WIRE_DECODERS" not in targets or not isinstance(node.value, ast.Dict):
+            continue
+        return {
+            key.value
+            for key in node.value.keys
+            if isinstance(key, ast.Constant) and isinstance(key.value, str)
+        }
+    raise LookupError(
+        f"{wire_registry}: no literal `WIRE_DECODERS = {{...}}` dict found"
+    )
+
+
+def _is_protocol_path(relative: Path) -> bool:
+    return bool(relative.parts) and relative.parts[0] in PROTOCOL_PACKAGES
+
+
+def lint_tree(
+    root: Path, wire_registry: Optional[Path] = None
+) -> List[LintViolation]:
+    """Lint every ``*.py`` under ``root``; returns all violations, sorted."""
+    root = root.resolve()
+    if wire_registry is None:
+        wire_registry = root / "recovery" / "wire.py"
+    violations: List[LintViolation] = []
+    wire_classes: Dict[str, tuple] = {}
+    for path in sorted(root.rglob("*.py")):
+        relative = path.relative_to(root)
+        source = path.read_text()
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            violations.append(
+                LintViolation(str(relative), exc.lineno or 0, "syntax", str(exc.msg))
+            )
+            continue
+        checker = _FileChecker(
+            path, str(relative), source, check_asserts=_is_protocol_path(relative)
+        )
+        checker.visit(tree)
+        violations.extend(checker.violations)
+        for class_name, line in checker.wire_classes.items():
+            wire_classes[class_name] = (str(relative), line)
+    if wire_registry.exists():
+        registered = _registered_decoders(wire_registry)
+        for class_name, (relative, line) in sorted(wire_classes.items()):
+            if class_name not in registered:
+                violations.append(
+                    LintViolation(
+                        relative,
+                        line,
+                        "missing-decoder",
+                        f"class {class_name} defines to_wire but has no "
+                        "decoder registered in recovery/wire.py WIRE_DECODERS",
+                    )
+                )
+    else:
+        violations.append(
+            LintViolation(
+                str(wire_registry), 0, "missing-decoder", "wire registry file not found"
+            )
+        )
+    return sorted(violations, key=lambda v: (v.path, v.line, v.rule))
+
+
+def default_root() -> Path:
+    """``src/repro`` as located relative to this module file."""
+    return Path(__file__).resolve().parent.parent
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.check.lint",
+        description="Determinism / codec-coverage / bare-assert lint for src/repro.",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="package tree to lint (default: the installed repro package)",
+    )
+    parser.add_argument(
+        "--wire-registry",
+        type=Path,
+        default=None,
+        help="wire.py holding WIRE_DECODERS (default: <root>/recovery/wire.py)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit violations as JSON on stdout"
+    )
+    args = parser.parse_args(argv)
+    root = args.root if args.root is not None else default_root()
+    violations = lint_tree(root, wire_registry=args.wire_registry)
+    if args.json:
+        print(
+            json.dumps(
+                [violation.__dict__ for violation in violations], indent=2
+            )
+        )
+    else:
+        for violation in violations:
+            print(violation)
+        print(
+            f"repro.check.lint: {len(violations)} violation(s) in {root}"
+            if violations
+            else f"repro.check.lint: clean ({root})"
+        )
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

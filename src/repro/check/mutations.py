@@ -1,0 +1,90 @@
+"""Mutation flags: re-introducible historical bugs for checker self-tests.
+
+A model checker that has never caught a real bug proves nothing.  This
+registry lets the test suite flip *fixed* bugs back on -- each one guarded
+at its original site by ``if mutation_enabled("..."):`` -- and assert that
+the checker rediscovers them as invariant violations with minimized,
+replayable counterexamples.
+
+Like :mod:`repro.check.choices`, this module imports nothing from the rest
+of ``repro`` so protocol code can consult it without import cycles.  All
+flags default to off; production behaviour is unchanged.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, Tuple
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One re-introducible bug."""
+
+    name: str
+    description: str
+
+
+#: Every known mutation.  Keep descriptions tied to the fix that removed the
+#: bug, so a reader can find both sides of the story.
+MUTATIONS: Dict[str, Mutation] = {
+    mutation.name: mutation
+    for mutation in (
+        Mutation(
+            name="pr3-round-failed-leak",
+            description=(
+                "Coordinator does not broadcast ROUND_FAILED when a round "
+                "aborts early (cohort unreachable / voter loss), so cohorts "
+                "that already registered the round leak its RoundState "
+                "(fixed in PR 3; caught by the round-state-released "
+                "invariant)."
+            ),
+        ),
+        Mutation(
+            name="pr3-double-count-blocks",
+            description=(
+                "run_workload() forgets the pre-run snapshot of coordinator "
+                "results, so a second workload on the same system reports "
+                "the first run's blocks again (fixed in PR 3; caught by the "
+                "workload-accounting invariant)."
+            ),
+        ),
+    )
+}
+
+_enabled: Dict[str, bool] = {name: False for name in MUTATIONS}
+
+
+def mutation_enabled(name: str) -> bool:
+    """Is the named mutation currently switched on?  (Hot-path guard.)"""
+    try:
+        return _enabled[name]
+    except KeyError:
+        raise KeyError(f"unknown mutation {name!r}; known: {sorted(MUTATIONS)}") from None
+
+
+def enable(name: str) -> None:
+    mutation_enabled(name)  # validate the name
+    _enabled[name] = True
+
+
+def disable(name: str) -> None:
+    mutation_enabled(name)
+    _enabled[name] = False
+
+
+def enabled_mutations() -> Tuple[str, ...]:
+    return tuple(sorted(name for name, on in _enabled.items() if on))
+
+
+@contextmanager
+def mutated(*names: str) -> Iterator[None]:
+    """Enable ``names`` for the ``with`` body, restoring prior state after."""
+    previous = {name: _enabled[name] for name in _enabled}
+    try:
+        for name in names:
+            enable(name)
+        yield
+    finally:
+        _enabled.update(previous)

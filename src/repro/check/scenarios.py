@@ -1,0 +1,312 @@
+"""Checkable deployments: small real systems with enumerable fault branches.
+
+A scenario builds a *fresh* tiny deployment out of the real system classes
+(no mocks), runs a short workload under the active :class:`ChoiceSource`,
+and returns the :class:`~repro.check.invariants.RunRecord` the invariant
+library evaluates.  All nondeterminism flows through :mod:`repro.check.choices`:
+
+- delivery/processing order (``net-order`` / ``loop-order`` features, wired
+  into :func:`repro.core.tfcommit.timed_broadcast`, ``Network.broadcast``,
+  and the event loop's same-time tie-break);
+- crash injection (:class:`ChoiceCrashPolicy`: every vote/decision phase
+  observation of every server is a binary crash branch, one crash per run);
+- Byzantine coordinator actions (:class:`ChoiceByzantinePolicy`: per round
+  the coordinator picks honest / drop a victim's root / fake a victim's
+  root / equivocate, and the victim itself is a choice);
+- ordering-service release order (``ordserv-pick`` feature inside
+  ``OrderingService._pick_next``).
+
+Configurations are deliberately tiny (3 servers, 4 items per shard, hash
+"signing", fixed compute) so a full run costs tens of milliseconds and the
+explorer can afford hundreds of them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, List, Optional
+
+from repro.check.choices import choose
+from repro.check.invariants import RunRecord
+from repro.common.config import SystemConfig
+from repro.core.fides import FidesSystem
+from repro.core.scaled import ScaledFidesSystem
+from repro.server.faults import FaultPolicy
+from repro.sim.context import FixedCompute
+from repro.txn.operations import ReadOp, WriteOp
+from repro.workload.ycsb import TransactionSpec
+
+
+def tiny_config(num_servers: int = 3, seed: int = 2020) -> SystemConfig:
+    """The checker's standard deployment: small, fast, hash-'signed'."""
+    return SystemConfig(
+        num_servers=num_servers,
+        items_per_shard=4,
+        txns_per_block=1,
+        ops_per_txn=2,
+        message_signing="hash",
+        seed=seed,
+    )
+
+
+class _CrashBudget:
+    """Shared between per-server crash policies: at most one crash per run."""
+
+    def __init__(self, crashes: int = 1) -> None:
+        self.remaining = crashes
+
+
+class ChoiceCrashPolicy(FaultPolicy):
+    """Every vote/decision phase observation is a binary crash branch."""
+
+    name = "choice-crash"
+
+    def __init__(self, server_id: str, budget: _CrashBudget) -> None:
+        self._server_id = server_id
+        self._budget = budget
+        self._fired = False
+
+    def crash_now(self) -> bool:
+        if self._fired or self._budget.remaining <= 0:
+            return False
+        ctx = self.context
+        if ctx.phase not in ("vote", "decision"):
+            return False
+        pick = choose(
+            f"fault/crash/{self._server_id}/{ctx.phase}@{ctx.block_height}",
+            2,
+            0,
+            feature="faults",
+        )
+        if pick == 1:
+            self._fired = True
+            self._budget.remaining -= 1
+            return True
+        return False
+
+
+class ChoiceByzantinePolicy(FaultPolicy):
+    """Coordinator-side Byzantine actions as an enumerable per-round choice.
+
+    At each round's ``coordinate`` observation the policy picks one of:
+    honest, drop a victim's root from the block, record a fake root for a
+    victim (Scenario 2), or equivocate commit/abort (Figure 8).  A victim,
+    where applicable, is itself a choice among the other cohorts.  One
+    non-honest action per run keeps the branch factor bounded.
+    """
+
+    name = "choice-byzantine"
+
+    ACTION_HONEST, ACTION_DROP_ROOT, ACTION_FAKE_ROOT, ACTION_EQUIVOCATE = range(4)
+
+    def __init__(self, victims: List[str]) -> None:
+        self._victims = list(victims)
+        self._latched = False
+        self._action = self.ACTION_HONEST
+        self._victim: Optional[str] = None
+        #: True once any non-honest action ran (the scenario then counts
+        #: this server as Byzantine for the invariant quantifications).
+        self.acted = False
+
+    def observe_phase(self, phase, block_height=None, txn_ids=()) -> None:
+        super().observe_phase(phase, block_height, txn_ids)
+        if phase != "coordinate":
+            return
+        if self._latched:
+            self._action = self.ACTION_HONEST
+            return
+        self._action = choose("fault/byzantine-action", 4, 0, feature="faults")
+        if self._action in (self.ACTION_DROP_ROOT, self.ACTION_FAKE_ROOT) and self._victims:
+            pick = choose("fault/byzantine-victim", len(self._victims), 0, feature="faults")
+            self._victim = self._victims[pick]
+        if self._action != self.ACTION_HONEST:
+            self._latched = True
+            self.acted = True
+
+    def fake_root_for(self, server_id, root):
+        if server_id != self._victim or root is None:
+            return root
+        if self._action == self.ACTION_DROP_ROOT:
+            return None
+        if self._action == self.ACTION_FAKE_ROOT:
+            return b"\x00" * 32
+        return root
+
+    def equivocate(self) -> bool:
+        return self._action == self.ACTION_EQUIVOCATE
+
+
+class Scenario:
+    """One checkable deployment; subclasses implement :meth:`run`."""
+
+    #: Registry key; overridden per subclass.
+    name = ""
+    #: Choice-site families this scenario explores.
+    features: FrozenSet[str] = frozenset()
+    #: Invariants to evaluate (``None`` means the whole catalogue).
+    invariants: Optional[List[str]] = None
+
+    def run(self) -> RunRecord:
+        raise NotImplementedError
+
+
+def _spec(index: int, write_item: str, read_item: str) -> TransactionSpec:
+    return TransactionSpec(index, (WriteOp(write_item, index + 100), ReadOp(read_item)))
+
+
+class ClassicCrashScenario(Scenario):
+    """3-server classic TFCommit, 2 workload runs, 1 enumerable crash.
+
+    A crash can fire at any cohort's vote or decision phase; crashed servers
+    recover between and after the workload runs, so the run also exercises
+    verified peer catch-up.  The two separate ``run_workload`` calls make the
+    workload-accounting invariant meaningful (it is what catches the PR 3
+    double-count mutation on the all-defaults path).
+    """
+
+    name = "classic-crash"
+    features = frozenset({"faults", "net-order"})
+
+    def run(self) -> RunRecord:
+        system = FidesSystem(config=tiny_config(), compute_model=FixedCompute(0.001))
+        budget = _CrashBudget(crashes=1)
+        for server_id, server in system.servers.items():
+            server.set_faults(ChoiceCrashPolicy(server_id, budget))
+        items: Dict[str, List[str]] = {
+            server_id: sorted(system.shard_map.items_of(server_id))
+            for server_id in system.config.server_ids
+        }
+        s0, s1, s2 = system.config.server_ids
+        slices: List[object] = []
+        crashes: List[str] = []
+
+        slices.append(system.run_workload([_spec(0, items[s0][0], items[s1][0])]))
+        crashes.extend(system.crashed_servers())
+        for server_id in system.crashed_servers():
+            system.recover_server(server_id)
+        slices.append(system.run_workload([_spec(1, items[s1][1], items[s2][0])]))
+        crashes.extend(system.crashed_servers())
+        for server_id in system.crashed_servers():
+            system.recover_server(server_id)
+        system.sim.drain()
+        return RunRecord(system=system, slices=slices, notes={"crashes": crashes})
+
+
+class ClassicByzantineScenario(Scenario):
+    """3-server classic TFCommit with an enumerable Byzantine coordinator.
+
+    Every coordinator action (root drop, fake root, equivocation) must make
+    the round fail without any honest-server invariant breaking -- the
+    paper's claim that malicious coordinators cost liveness, never safety.
+    """
+
+    name = "classic-byzantine"
+    features = frozenset({"faults", "net-order"})
+
+    def run(self) -> RunRecord:
+        system = FidesSystem(config=tiny_config(), compute_model=FixedCompute(0.001))
+        s0, s1, s2 = system.config.server_ids
+        policy = ChoiceByzantinePolicy(victims=[s1, s2])
+        system.servers[s0].set_faults(policy)
+        items = {
+            server_id: sorted(system.shard_map.items_of(server_id))
+            for server_id in system.config.server_ids
+        }
+        slices = [
+            system.run_workload(
+                [
+                    _spec(0, items[s1][0], items[s2][0]),
+                    _spec(1, items[s2][1], items[s0][0]),
+                ]
+            )
+        ]
+        system.sim.drain()
+        byzantine = frozenset({s0}) if policy.acted else frozenset()
+        return RunRecord(system=system, slices=slices, byzantine=byzantine)
+
+
+class ScaledReorderScenario(Scenario):
+    """3-group scaled deployment driving the ordering service's freedom.
+
+    Three disjoint-group transactions overflow a reorder window of 2, so
+    the service's release pick is a live branch; a fourth cross-group
+    transaction exercises ``flush_conflicting`` and the dependency rules
+    under every explored release order.
+    """
+
+    name = "scaled-reorder"
+    features = frozenset({"ordserv-pick", "net-order"})
+
+    def run(self) -> RunRecord:
+        system = ScaledFidesSystem(
+            config=tiny_config(),
+            reorder_window=2,
+            compute_model=FixedCompute(0.001),
+        )
+        s0, s1, s2 = system.config.server_ids
+        items = {
+            server_id: sorted(system.shard_map.items_of(server_id))
+            for server_id in system.config.server_ids
+        }
+        slices = [
+            system.run_workload(
+                [
+                    _spec(0, items[s0][0], items[s0][1]),
+                    _spec(1, items[s1][0], items[s1][1]),
+                    _spec(2, items[s2][0], items[s2][1]),
+                    # Cross-group: reads s0's shard, writes s1's.
+                    TransactionSpec(3, (WriteOp(items[s1][2], 7), ReadOp(items[s0][2]))),
+                ]
+            )
+        ]
+        system.sim.drain()
+        return RunRecord(system=system, slices=slices)
+
+
+class InterleavingScenario(Scenario):
+    """Classic deployment exploring same-time event-loop interleavings.
+
+    No faults: this scenario turns on the ``loop-order`` tie-break (and the
+    broadcast order), checking that *scheduling* freedom alone can never
+    break an invariant -- and supplying the bulk of the distinct-state count
+    for the smoke budget.
+    """
+
+    name = "classic-interleaving"
+    features = frozenset({"loop-order", "net-order"})
+
+    def run(self) -> RunRecord:
+        system = FidesSystem(config=tiny_config(), compute_model=FixedCompute(0.001))
+        s0, s1, s2 = system.config.server_ids
+        items = {
+            server_id: sorted(system.shard_map.items_of(server_id))
+            for server_id in system.config.server_ids
+        }
+        slices = [
+            system.run_workload(
+                [
+                    _spec(0, items[s0][0], items[s1][0]),
+                    _spec(1, items[s2][0], items[s0][1]),
+                ]
+            )
+        ]
+        system.sim.drain()
+        return RunRecord(system=system, slices=slices)
+
+
+SCENARIOS: Dict[str, Callable[[], Scenario]] = {
+    scenario_cls.name: scenario_cls
+    for scenario_cls in (
+        ClassicCrashScenario,
+        ClassicByzantineScenario,
+        ScaledReorderScenario,
+        InterleavingScenario,
+    )
+}
+
+
+def make_scenario(name: str) -> Scenario:
+    try:
+        factory = SCENARIOS[name]
+    except KeyError:
+        raise KeyError(f"unknown scenario {name!r}; known: {sorted(SCENARIOS)}") from None
+    return factory()

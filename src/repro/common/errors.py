@@ -33,6 +33,18 @@ class ProtocolError(FidesError):
     """
 
 
+class ProtocolInvariantError(ProtocolError):
+    """An internal protocol invariant that must always hold was violated.
+
+    Unlike :class:`ProtocolError` (a peer sent something we cannot process),
+    this means *our own* state machine reached a configuration the protocol
+    proofs rule out -- a non-monotone commit frontier, a dependency-violating
+    ordering decision, a conflicting batch.  These checks used to be debug
+    ``assert`` statements; raising keeps them active under ``python -O`` and
+    lets the model checker surface them as first-class counterexamples.
+    """
+
+
 class StorageError(FidesError):
     """A datastore or shard operation failed (unknown item, bad version...)."""
 

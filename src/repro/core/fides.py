@@ -15,6 +15,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.check.mutations import mutation_enabled
 from repro.client.client import CommitOutcome, FidesClient
 from repro.common.config import SystemConfig
 from repro.common.errors import ConfigurationError, UnreachableError
@@ -266,6 +267,8 @@ class FidesSystem:
             id(coordinator): len(coordinator.results)
             for coordinator in self._coordinators()
         }
+        if mutation_enabled("pr3-double-count-blocks"):
+            results_marker = {}
         clients = [self.client(client_index + i) for i in range(num_clients)]
         result.committed_by_client = {client.client_id: 0 for client in clients}
         #: Work items are ``(spec, client_slot, attempt)``; stale-failed

@@ -25,6 +25,8 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Callable, List
 
+from repro.check.choices import choose
+from repro.common.errors import ProtocolInvariantError
 from repro.core.grouping import ServerGroup, dependency_between
 from repro.crypto.hashing import EMPTY_HASH
 from repro.ledger.block import Block
@@ -125,8 +127,11 @@ class OrderingService:
 
         Any pending block may go next as long as no *earlier-submitted*
         pending block has a dependency flowing into it; with the default
-        window of 0 this is always index 0.
+        window of 0 this is always index 0.  Under the model checker the
+        pick among all eligible candidates is a branch point, so every
+        dependency-safe release order of the reorder window gets explored.
         """
+        eligible: List[int] = []
         for index, candidate in enumerate(self._pending):
             earlier = self._pending[:index]
             if not any(
@@ -134,10 +139,24 @@ class OrderingService:
                 and dependency_between(prior.block.transactions, candidate.block.transactions)
                 for prior in earlier
             ):
-                return index
-        return 0
+                eligible.append(index)
+        if not eligible:
+            return 0
+        pick = choose("ordserv/pick-next", len(eligible), 0, feature="ordserv-pick")
+        return eligible[pick]
 
     def _finalize(self, pending: _PendingBlock) -> None:
+        for prior in self._pending:
+            if (
+                prior.sequence < pending.sequence
+                and prior.group.overlaps(pending.group)
+                and dependency_between(prior.block.transactions, pending.block.transactions)
+            ):
+                raise ProtocolInvariantError(
+                    f"ordering service would finalise block seq={pending.sequence} "
+                    f"before pending dependency seq={prior.sequence} of an "
+                    "overlapping group"
+                )
         previous_hash = self._ordered[-1].block_hash if self._ordered else EMPTY_HASH
         chained = replace(
             pending.block, height=len(self._ordered), previous_hash=previous_hash

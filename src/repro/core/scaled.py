@@ -32,7 +32,7 @@ from dataclasses import replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.config import SystemConfig
-from repro.common.errors import ProtocolError
+from repro.common.errors import ProtocolInvariantError
 from repro.common.types import ServerId, Value
 from repro.core.fides import PROTOCOL_TFCOMMIT, FidesSystem
 from repro.core.grouping import ServerGroup, group_for_batch, group_for_transaction
@@ -95,7 +95,7 @@ class GroupTFCommitCoordinator(TFCommitCoordinator):
             # its smallest member, because every transaction was routed here
             # for exactly that reason; a mismatch means the shard map and the
             # client router disagree.
-            raise ProtocolError(
+            raise ProtocolInvariantError(
                 f"batch group coordinator {group.coordinator} is not {self.coordinator_id}"
             )
         # Blocks of overlapping groups still floating in the ordering
@@ -232,6 +232,9 @@ class ScaledFidesSystem(FidesSystem):
         self._failures_by_digest: Dict[bytes, List[Dict]] = {}
         #: signing digest -> round result awaiting delivery (reorder window).
         self._pending_results: Dict[bytes, object] = {}
+        #: Global height the next ordered delivery must carry (the stream is
+        #: an atomic broadcast: no gaps, no replays).
+        self._next_delivery_height = 0
         self.delivery_failures: List[Dict] = []
         self.network.register_observer(
             ORDSERV_ID, keypair_for(ORDSERV_ID, seed=self.config.seed)
@@ -315,6 +318,13 @@ class ScaledFidesSystem(FidesSystem):
         """
         block = ordered.block
         digest = block.signing_digest()
+        if ordered.global_height != self._next_delivery_height:
+            raise ProtocolInvariantError(
+                f"ordered stream delivered height {ordered.global_height}, "
+                f"expected {self._next_delivery_height} (gap or replay in the "
+                "atomic broadcast)"
+            )
+        self._next_delivery_height += 1
         # The delivery is the round's terminal phase on the virtual timeline:
         # it serializes on the shared "ordserv" resource (the service emits
         # one stream) and cannot start before the publishing round's

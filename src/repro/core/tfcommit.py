@@ -31,7 +31,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.common.errors import ProtocolError, UnreachableError
+from repro.check.choices import choose_order
+from repro.check.mutations import mutation_enabled
+from repro.common.errors import ProtocolError, ProtocolInvariantError, UnreachableError
 from repro.common.timestamps import Timestamp
 from repro.crypto.cosi import (
     CollectiveSignature,
@@ -264,6 +266,10 @@ def timed_broadcast(
     """
     if sim is not None and task is not None:
         sim.scheduler.begin_phase(task, phase, kind=kind)
+    # Cohorts process a phase's message in no guaranteed order relative to
+    # one another; under the model checker that order is a branch point (it
+    # decides e.g. which cohorts registered a round before one crashes).
+    recipients = choose_order(f"net/phase/{phase}", list(recipients), feature="net-order")
     outbound = {recipient: latency.sample() for recipient in recipients}
     responses: Dict[str, Dict] = {}
     for recipient in recipients:
@@ -452,6 +458,15 @@ class TFCommitCoordinator(SimScheduledRounds):
     def commit_batch(self, batch: Sequence[Tuple[Transaction, Envelope]]) -> BlockCommitResult:
         """Run one full TFCommit round over ``batch`` and return the result."""
         transactions = [txn for txn, _ in batch]
+        if not transactions:
+            raise ProtocolInvariantError("commit_batch called with an empty batch")
+        for index, txn in enumerate(transactions):
+            for earlier in transactions[:index]:
+                if txn.conflicts_with(earlier):
+                    raise ProtocolInvariantError(
+                        f"batch contains conflicting transactions "
+                        f"{earlier.txn_id} and {txn.txn_id} (BatchBuilder contract)"
+                    )
         client_requests = [envelope for _, envelope in batch]
         timing = TimingBreakdown(num_txns=len(transactions))
         faults = self.server.faults
@@ -561,6 +576,11 @@ class TFCommitCoordinator(SimScheduledRounds):
             signer_ids=tuple(sorted(response_scalars)),
         )
         final_block = block.with_cosign(cosign)
+        if set(cosign.signer_ids) != set(self.server_ids):
+            raise ProtocolInvariantError(
+                f"collective signature covers {sorted(cosign.signer_ids)} "
+                f"but the round's cohort set is {sorted(self.server_ids)}"
+            )
         public_keys = self.network.public_key_directory()
         if not cosi_verify(cosign, final_block.signing_digest(), public_keys):
             # Lemma 4: the coordinator checks partial signatures to identify
@@ -728,7 +748,7 @@ class TFCommitCoordinator(SimScheduledRounds):
         culprits: List[str],
     ) -> BlockCommitResult:
         reasons = [r.get("reason", "") for r in refusals] or abort_reasons
-        if block is not None:
+        if block is not None and not mutation_enabled("pr3-round-failed-leak"):
             # The round will never see a decision; tell the cohorts to drop
             # the state (witness nonce, speculative root) they buffered for
             # it, so failed rounds do not leak RoundState forever.  A crashed

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional
 
+from repro.check.choices import choose_order
 from repro.common.errors import ConfigurationError, SignatureError, UnreachableError
 from repro.crypto.keys import KeyPair, PublicKey
 from repro.crypto.signing import SigningScheme, make_signing_scheme
@@ -223,9 +224,14 @@ class Network:
         ``skip_unreachable=True`` silently drops recipients that are down --
         used for best-effort notifications (e.g. ``ROUND_FAILED``, whose very
         cause may be a crashed cohort).
+
+        A real network gives no ordering guarantee across recipients, so
+        under the model checker the delivery order is a branch point.
         """
         responses: Dict[str, Any] = {}
-        for recipient in recipients:
+        for recipient in choose_order(
+            f"net/broadcast/{message_type.value}", list(recipients), feature="net-order"
+        ):
             try:
                 responses[recipient] = self.send(sender, recipient, message_type, payload)
             except UnreachableError:

@@ -22,6 +22,8 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.check.choices import active_choices
+
 
 @dataclass(frozen=True)
 class SimEvent:
@@ -113,15 +115,39 @@ class EventLoop:
         Returns the events fired by this call (they are also appended to
         :attr:`timeline`).  Callbacks may schedule further events; those fire
         within the same drain as long as their time keeps the heap non-empty.
+
+        Under the model checker the ``seq`` tie-break among events scheduled
+        at the *same* virtual time becomes a choice point: a real deployment
+        gives no ordering guarantee between simultaneous activities, so each
+        interleaving of a tie group is a distinct explorable schedule.
         """
         fired: List[SimEvent] = []
         while self._pending:
-            scheduled = heapq.heappop(self._pending)
+            scheduled = self._pop_next()
             self.timeline.append(scheduled.event)
             fired.append(scheduled.event)
             if scheduled.callback is not None:
                 scheduled.callback(scheduled.event)
         return fired
+
+    def _pop_next(self) -> _Scheduled:
+        """Pop the next event; choice-driven among same-time ties when driven."""
+        source = active_choices()
+        if source is None or not source.enabled("loop-order") or len(self._pending) < 2:
+            return heapq.heappop(self._pending)
+        first = heapq.heappop(self._pending)
+        tied: List[_Scheduled] = [first]
+        while self._pending and self._pending[0].event.time == first.event.time:
+            tied.append(heapq.heappop(self._pending))
+        if len(tied) == 1:
+            return first
+        pick = source.choose(
+            f"loop/tie@{first.event.time:.9f}x{len(tied)}", len(tied), 0
+        )
+        chosen = tied.pop(pick)
+        for other in tied:
+            heapq.heappush(self._pending, other)
+        return chosen
 
     @property
     def pending_count(self) -> int:

@@ -318,6 +318,19 @@ class PipelinedRoundScheduler:
     def tasks_of(self, resource: str) -> List[BlockTask]:
         return list(self._tasks.get(resource, ()))
 
+    def resources(self) -> List[str]:
+        """Every resource that ever hosted a block task, sorted."""
+        return sorted(self._tasks)
+
+    def all_tasks(self) -> Dict[str, List[BlockTask]]:
+        """Task histories by resource (bounded by the retention window).
+
+        The model checker's pipelining-conformance invariant replays the
+        dependency rules over these windows after a run; within the window
+        the history is complete, so every rule is checkable against it.
+        """
+        return {resource: list(history) for resource, history in self._tasks.items()}
+
     @property
     def makespan(self) -> float:
         """The end of the last scheduled activity -- the run's virtual duration."""

@@ -1,0 +1,6 @@
+"""Fixture: bare assert inside a protocol package (``core/``)."""
+
+
+def commit(height):
+    assert height >= 0, "heights are non-negative"
+    return height

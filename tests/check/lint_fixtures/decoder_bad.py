@@ -1,0 +1,6 @@
+"""Fixture: a ``to_wire`` class with no registered decoder."""
+
+
+class Orphan:
+    def to_wire(self):
+        return {}

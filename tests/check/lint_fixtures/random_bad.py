@@ -1,0 +1,10 @@
+"""Fixture: unseeded randomness (the ``unseeded-random`` rule must flag it)."""
+
+import random
+
+
+def draw():
+    jitter = random.random()
+    generator = random.Random()
+    seeded = random.Random(42)  # legal: explicit seed
+    return jitter, generator, seeded

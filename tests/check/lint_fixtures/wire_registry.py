@@ -1,0 +1,5 @@
+"""Fixture registry: intentionally does not cover ``Orphan``."""
+
+WIRE_DECODERS = {
+    "Covered": None,
+}

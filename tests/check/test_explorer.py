@@ -1,0 +1,161 @@
+"""Explorer mechanics: branching, dedup, budgets, and shrinking.
+
+A synthetic scenario with a hand-authored choice tree makes the search
+behaviour exactly predictable; one test at the end runs a real (tiny)
+deployment scenario to keep the two halves glued together.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+from repro.check.choices import choose
+from repro.check.explorer import Explorer, run_fingerprint
+from repro.check.invariants import RunRecord
+from repro.check.scenarios import InterleavingScenario, Scenario
+
+
+def _stub_record(fingerprint: str, pending_rounds: int = 0) -> RunRecord:
+    """A RunRecord over stubs, shaped like what run_fingerprint/invariants read."""
+    server = SimpleNamespace(
+        crashed=False,
+        log=SimpleNamespace(height=1, head_hash=fingerprint.encode("utf-8")),
+        commitment=SimpleNamespace(pending_round_count=lambda: pending_rounds),
+    )
+    system = SimpleNamespace(
+        sim=SimpleNamespace(loop=SimpleNamespace(fingerprint=lambda: fingerprint)),
+        servers={"s0": server},
+    )
+    return RunRecord(system=system)
+
+
+class ToyBuggyScenario(Scenario):
+    """Three binary choices; exactly the pick sequence [1, 0, 1] is buggy."""
+
+    name = "toy-buggy"
+    invariants = ["round-state-released"]
+
+    def run(self) -> RunRecord:
+        picks = [choose(f"toy/{i}", 2, 0) for i in range(3)]
+        return _stub_record(
+            fingerprint="".join(map(str, picks)),
+            pending_rounds=1 if picks == [1, 0, 1] else 0,
+        )
+
+
+class ToyCollapsingScenario(Scenario):
+    """One 3-way choice whose alternatives all reach the same final state."""
+
+    name = "toy-collapsing"
+    invariants = ["round-state-released"]
+
+    def run(self) -> RunRecord:
+        choose("toy/only", 3, 0)
+        return _stub_record(fingerprint="same-everywhere")
+
+
+class TestSearch:
+    def test_bfs_finds_and_minimizes_the_buggy_schedule(self):
+        result = Explorer(ToyBuggyScenario, max_runs=50).explore()
+        assert not result.clean
+        [cex] = result.counterexamples
+        assert cex.minimized
+        assert cex.picks == [1, 0, 1]
+        assert cex.invariants == ["round-state-released"]
+
+    def test_dfs_also_finds_it(self):
+        result = Explorer(ToyBuggyScenario, max_runs=50, strategy="dfs").explore()
+        assert not result.clean
+
+    def test_exhaustive_exploration_of_a_clean_tree_terminates(self):
+        class CleanScenario(ToyBuggyScenario):
+            def run(self):
+                picks = [choose(f"toy/{i}", 2, 0) for i in range(3)]
+                return _stub_record("".join(map(str, picks)))
+
+        result = Explorer(CleanScenario, max_runs=100).explore()
+        assert result.clean
+        assert not result.budget_exhausted
+        # All 2^3 behaviours reached: 8 terminal fingerprints plus the
+        # distinct tree nodes along the way.
+        assert result.runs == 8
+        assert result.distinct_states >= 8
+
+    def test_terminal_dedup_stops_expansion(self):
+        result = Explorer(ToyCollapsingScenario, max_runs=100).explore()
+        # Default run + two alternatives; collapsing terminals are not
+        # re-expanded, so the search stops at exactly 3 runs.
+        assert result.runs == 3
+        # 3 distinct tree nodes + 1 shared terminal state.
+        assert result.distinct_states == 4
+
+    def test_run_budget_is_respected(self):
+        result = Explorer(ToyBuggyScenario, max_runs=2, minimize=False).explore()
+        assert result.runs == 2
+        assert result.budget_exhausted
+
+    def test_state_budget_is_respected(self):
+        result = Explorer(ToyBuggyScenario, max_runs=100, max_states=3).explore()
+        assert result.budget_exhausted
+        assert result.distinct_states >= 3
+
+    def test_max_depth_limits_deviation_sites(self):
+        # Deviations allowed only at choice index 0: the buggy [1, 0, 1]
+        # needs a deviation at index 2, so a depth-1 search stays clean.
+        result = Explorer(ToyBuggyScenario, max_runs=100, max_depth=1).explore()
+        assert result.clean
+        assert result.runs == 2  # default run + the one index-0 alternative
+
+
+class TestMinimization:
+    def test_non_minimal_counterexample_shrinks(self):
+        explorer = Explorer(ToyBuggyScenario, max_runs=10)
+        from repro.check.explorer import Counterexample
+
+        fat = Counterexample(
+            scenario="toy-buggy",
+            picks=[1, 0, 1],  # already minimal: every pick is load-bearing
+            violations=[],
+        )
+        fat.violations = explorer._violations(
+            ToyBuggyScenario.invariants, _stub_record("101", pending_rounds=1)
+        )
+        shrunk = explorer.minimize(fat)
+        assert shrunk.minimized
+        assert shrunk.picks == [1, 0, 1]
+
+    def test_trailing_defaults_are_dropped(self):
+        class TailBuggy(Scenario):
+            name = "toy-tail"
+            invariants = ["round-state-released"]
+
+            def run(self):
+                picks = [choose(f"toy/{i}", 2, 0) for i in range(4)]
+                return _stub_record(
+                    "".join(map(str, picks)),
+                    pending_rounds=1 if picks[0] == 1 else 0,
+                )
+
+        result = Explorer(TailBuggy, max_runs=50).explore()
+        [cex] = result.counterexamples
+        assert cex.picks == [1]
+
+
+class TestFingerprints:
+    def test_fingerprint_distinguishes_states(self):
+        assert run_fingerprint(_stub_record("a")) != run_fingerprint(_stub_record("b"))
+        assert run_fingerprint(_stub_record("a")) == run_fingerprint(_stub_record("a"))
+
+    def test_crashed_servers_fingerprint_without_a_log(self):
+        record = _stub_record("x")
+        record.system.servers["s0"].crashed = True
+        record.system.servers["s0"].log = None  # must not be touched
+        assert run_fingerprint(record)
+
+
+class TestRealScenario:
+    def test_tiny_interleaving_budget_is_clean(self):
+        result = Explorer(InterleavingScenario, max_runs=4).explore()
+        assert result.clean
+        assert result.runs == 4
+        assert result.distinct_states > 4

@@ -1,0 +1,97 @@
+"""The AST lint: clean on the real tree, each rule fires on its fixture."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.check.lint import default_root, lint_tree, main
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+
+
+def _rules(violations):
+    return {violation.rule for violation in violations}
+
+
+def _by_rule(violations, rule):
+    return [violation for violation in violations if violation.rule == rule]
+
+
+class TestRepositoryIsClean:
+    def test_src_repro_has_no_violations(self):
+        violations = lint_tree(default_root())
+        assert violations == [], "\n".join(str(v) for v in violations)
+
+    def test_cli_exits_zero_on_the_repository(self, capsys):
+        assert main([]) == 0
+        assert "clean" in capsys.readouterr().out
+
+
+class TestFixturesAreFlagged:
+    @pytest.fixture(scope="class")
+    def violations(self):
+        return lint_tree(FIXTURES, wire_registry=FIXTURES / "wire_registry.py")
+
+    def test_wallclock_rule(self, violations):
+        flagged = _by_rule(violations, "wallclock")
+        assert {v.path for v in flagged} == {"wallclock_bad.py"}
+        # time.time() and datetime.now() flagged; perf_counter and the
+        # `# lint: allow` line are not.
+        assert len(flagged) == 2
+
+    def test_unseeded_random_rule(self, violations):
+        flagged = _by_rule(violations, "unseeded-random")
+        assert {v.path for v in flagged} == {"random_bad.py"}
+        # random.random() and argless random.Random(); the seeded one passes.
+        assert len(flagged) == 2
+
+    def test_bare_assert_rule_only_in_protocol_packages(self, violations):
+        flagged = _by_rule(violations, "bare-assert")
+        assert [v.path for v in flagged] == [str(Path("core") / "assert_bad.py")]
+
+    def test_missing_decoder_rule(self, violations):
+        flagged = _by_rule(violations, "missing-decoder")
+        assert [v.path for v in flagged] == ["decoder_bad.py"]
+        assert "Orphan" in flagged[0].message
+
+    def test_cli_exit_code_and_json(self, capsys):
+        code = main(
+            [
+                "--root",
+                str(FIXTURES),
+                "--wire-registry",
+                str(FIXTURES / "wire_registry.py"),
+                "--json",
+            ]
+        )
+        assert code == 1
+        import json
+
+        report = json.loads(capsys.readouterr().out)
+        assert {entry["rule"] for entry in report} == {
+            "wallclock",
+            "unseeded-random",
+            "bare-assert",
+            "missing-decoder",
+        }
+
+
+class TestRegistryExtraction:
+    def test_missing_registry_file_is_itself_a_violation(self, tmp_path):
+        (tmp_path / "mod.py").write_text("class X:\n    def to_wire(self):\n        return {}\n")
+        violations = lint_tree(tmp_path, wire_registry=tmp_path / "nope.py")
+        assert _rules(violations) == {"missing-decoder"}
+
+    def test_non_literal_registry_is_rejected(self, tmp_path):
+        registry = tmp_path / "wire.py"
+        registry.write_text("WIRE_DECODERS = dict(Block=None)\n")
+        with pytest.raises(LookupError):
+            lint_tree(tmp_path, wire_registry=registry)
+
+    def test_syntax_errors_are_reported_not_raised(self, tmp_path):
+        (tmp_path / "broken.py").write_text("def oops(:\n")
+        (tmp_path / "wire.py").write_text("WIRE_DECODERS = {}\n")
+        violations = lint_tree(tmp_path, wire_registry=tmp_path / "wire.py")
+        assert _rules(violations) == {"syntax"}
