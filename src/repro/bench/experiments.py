@@ -447,6 +447,137 @@ def recovery(
     return (results, rows) if return_results else rows
 
 
+def failover(
+    deployments: Iterable[str] = ("classic", "scaled"),
+    stall_requests: Iterable[int] = (4, 8),
+    warmup_requests: int = 4,
+    post_requests: int = 4,
+    num_servers: int = 4,
+    group_size: int = 2,
+    items_per_shard: int = 60,
+    txns_per_block: int = 2,
+    num_clients: int = 2,
+    num_requests: Optional[int] = None,
+    smoke: bool = False,
+    return_results: bool = False,
+):
+    """Coordinator-failover sweep: view-change cost vs outage depth.
+
+    Each point warms a deployment up, then crashes the coordinator *mid-round*
+    (a declarative vote-phase crash plan): the in-flight round stalls on the
+    surviving cohorts -- no ROUND_FAILED can arrive, the sender is dead.
+    ``stall_requests`` more transactions are submitted into the outage
+    (``classic``: they fail fast at the dead coordinator; ``scaled``: disjoint
+    groups keep committing, deepening the frontier gap the successor must
+    certify).  The server is then recovered and the view change timed:
+    VIEW_CHANGE solicitation, frontier-certificate verification, NEW_VIEW,
+    and the successor's re-proposal of every stalled round.  The virtual
+    time is the protocol cost on the simulated network (the VIEW_CHANGE and
+    NEW_VIEW broadcast round trips); the wall time is the Python cost of
+    certificate verification and re-proposal.  ``post committed`` proves the
+    cluster commits again under the successor.
+
+    ``num_requests`` (the CLI's ``--requests``) overrides the largest stall
+    depth; ``smoke=True`` restricts the grid to the smallest depth per
+    deployment (the CI configuration).
+    """
+    import time as _time
+
+    from repro.bench.harness import locality_partitions
+    from repro.common.config import SystemConfig
+    from repro.core.fides import FidesSystem
+    from repro.core.scaled import ScaledFidesSystem
+    from repro.faultsim.plan import FaultPlan
+    from repro.faultsim.policy import PlannedFaultPolicy
+    from repro.net.latency import ConstantLatency
+    from repro.workload.ycsb import PartitionedWorkload, YcsbWorkload
+
+    deployments = tuple(deployments)
+    stall_requests = tuple(stall_requests)
+    if num_requests is not None:
+        stall_requests = tuple(g for g in stall_requests if g < num_requests) + (num_requests,)
+    if smoke:
+        stall_requests = stall_requests[:1]
+
+    results = []
+    for deployment in deployments:
+        scaled = deployment == "scaled"
+        for stall in stall_requests:
+            config = SystemConfig(
+                num_servers=num_servers,
+                items_per_shard=items_per_shard,
+                txns_per_block=txns_per_block,
+                ops_per_txn=2,
+                multi_versioned=False,
+                message_signing="hash",
+                seed=2020,
+            )
+            if scaled:
+                system = ScaledFidesSystem(config, latency=ConstantLatency(0.0002))
+                workload = PartitionedWorkload(
+                    partitions=locality_partitions(system, group_size),
+                    ops_per_txn=2,
+                    locality=1.0,
+                    conflict_free_window=txns_per_block,
+                    seed=2020,
+                )
+            else:
+                system = FidesSystem(config, latency=ConstantLatency(0.0002))
+                workload = YcsbWorkload(
+                    item_ids=list(system.shard_map.all_items()),
+                    ops_per_txn=2,
+                    conflict_free_window=txns_per_block,
+                    seed=2020,
+                )
+            target = config.server_ids[0]
+            warmup = system.run_workload(
+                workload.generate(warmup_requests), num_clients=num_clients
+            )
+            # Crash mid-round: the plan fires at the target's first vote
+            # observation of the outage workload, stranding that round on
+            # the surviving cohorts.
+            system.inject_fault(
+                target,
+                PlannedFaultPolicy(
+                    [
+                        FaultPlan(
+                            fault="coordinator-crash",
+                            target=target,
+                            trigger={"kind": "phase", "phases": ["vote"]},
+                        )
+                    ]
+                ),
+            )
+            stall_result = system.run_workload(
+                workload.generate(stall), num_clients=num_clients
+            )
+            system.recover_server(target)
+            started = _time.perf_counter()
+            outcome = system.fail_over(target)
+            wall_time = _time.perf_counter() - started
+            post = system.run_workload(
+                workload.generate(post_requests), num_clients=num_clients
+            )
+            row = {
+                "label": f"failover-{deployment}-stall{stall}",
+                "deployment": deployment,
+                "stall requests": stall,
+                "warmup committed": warmup.committed,
+                "committed during outage": stall_result.committed,
+                "reproposed rounds": len(outcome.stalled_rounds),
+                "certificates": len(outcome.certificates),
+                "frontier height": outcome.frontier_height,
+                "successor": outcome.successor,
+                "new view": outcome.new_view,
+                "view change (virtual ms)": round(outcome.timing.total * 1000.0, 3),
+                "view change (wall ms)": round(wall_time * 1000.0, 3),
+                "post committed": post.committed,
+            }
+            results.append((outcome, row))
+    rows = [row for _, row in results]
+    return (results, rows) if return_results else rows
+
+
 def ablation_latency_regime(
     num_requests: int = 60,
     return_results: bool = False,
@@ -497,6 +628,7 @@ EXPERIMENT_REGISTRY = {
     "pipeline": pipeline,
     "scaledgroups": scaledgroups,
     "recovery": recovery,
+    "failover": failover,
     "ablation-latency": ablation_latency_regime,
     "ablation-signing": ablation_signing_scheme,
 }

@@ -96,6 +96,35 @@ def check_agreement(record: RunRecord) -> List[Violation]:
     return violations
 
 
+def check_decided_once(record: RunRecord) -> List[Violation]:
+    """Every transaction is decided in at most one block per honest log.
+
+    The view-change safety claim ("one decided block per (group, view)") in
+    checkable form: a stalled round re-proposed by an elected successor must
+    never decide twice -- neither as the original proposal racing the
+    re-proposal through delivery, nor as a second decision under the new
+    view.  Any double appearance of a txn_id in one log is a violation
+    regardless of the two decisions agreeing.
+    """
+    violations: List[Violation] = []
+    for server_id, server in sorted(record.honest_servers().items()):
+        first_seen: Dict[str, int] = {}
+        for block in server.log:
+            for txn in block.transactions:
+                earlier = first_seen.get(txn.txn_id)
+                if earlier is not None:
+                    violations.append(
+                        Violation(
+                            "decided-once",
+                            f"{server_id}: txn {txn.txn_id} decided in block "
+                            f"{earlier} and again in block {block.height}",
+                        )
+                    )
+                else:
+                    first_seen[txn.txn_id] = block.height
+    return violations
+
+
 def check_hash_chain(record: RunRecord) -> List[Violation]:
     """Every honest server's log verifies end to end (hash chain + co-signs)."""
     violations: List[Violation] = []
@@ -352,6 +381,7 @@ def check_pipeline_conformance(record: RunRecord) -> List[Violation]:
 #: The catalogue, in evaluation order.
 INVARIANTS: Dict[str, InvariantFn] = {
     "agreement": check_agreement,
+    "decided-once": check_decided_once,
     "hash-chain": check_hash_chain,
     "frontier-monotonic": check_frontier_monotonic,
     "no-commit-lost": check_no_commit_lost,

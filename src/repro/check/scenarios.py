@@ -158,7 +158,11 @@ class ClassicCrashScenario(Scenario):
 
     A crash can fire at any cohort's vote or decision phase; crashed servers
     recover between and after the workload runs, so the run also exercises
-    verified peer catch-up.  The two separate ``run_workload`` calls make the
+    verified peer catch-up.  When the crashed server is the *coordinator*,
+    surviving cohorts deliberately keep their armed round state (no
+    ROUND_FAILED arrives -- the sender is dead), so the scenario must run the
+    view change after recovery: failover is the only legitimate way that
+    state is ever released.  The two separate ``run_workload`` calls make the
     workload-accounting invariant meaningful (it is what catches the PR 3
     double-count mutation on the all-defaults path).
     """
@@ -179,16 +183,90 @@ class ClassicCrashScenario(Scenario):
         slices: List[object] = []
         crashes: List[str] = []
 
+        def recover_and_maybe_fail_over() -> None:
+            coordinator_down = system.coordinator_id in system.crashed_servers()
+            crashes.extend(system.crashed_servers())
+            for server_id in system.crashed_servers():
+                system.recover_server(server_id)
+            if coordinator_down:
+                system.fail_over()
+
         slices.append(system.run_workload([_spec(0, items[s0][0], items[s1][0])]))
-        crashes.extend(system.crashed_servers())
+        recover_and_maybe_fail_over()
+        slices.append(system.run_workload([_spec(1, items[s1][1], items[s2][0])]))
+        recover_and_maybe_fail_over()
+        system.sim.drain()
+        return RunRecord(system=system, slices=slices, notes={"crashes": crashes})
+
+
+class ViewChangeScenario(Scenario):
+    """Coordinator failover under every enumerable coordinator fault.
+
+    The initial coordinator either crashes (at any of its vote/decision
+    observations -- including *after* deciding a block locally, the branch
+    :func:`~repro.core.viewchange.already_committed` guards) or turns
+    Byzantine (drop/fake root, equivocation); either way the scenario then
+    runs the view change explicitly and drives a second workload slice under
+    the elected successor.  The ``view-change`` feature additionally branches
+    on the successor's re-proposal order.  The headline invariant is
+    ``decided-once``: no schedule may let an original proposal and its
+    re-proposal both decide.
+    """
+
+    name = "view-change"
+    features = frozenset({"faults", "net-order", "view-change"})
+
+    MODE_CRASH, MODE_BYZANTINE = range(2)
+
+    def run(self) -> RunRecord:
+        system = FidesSystem(config=tiny_config(), compute_model=FixedCompute(0.001))
+        s0, s1, s2 = system.config.server_ids
+        mode = choose("view-change/coordinator-fault", 2, 0, feature="faults")
+        byzantine_policy: Optional[ChoiceByzantinePolicy] = None
+        if mode == self.MODE_CRASH:
+            system.servers[s0].set_faults(ChoiceCrashPolicy(s0, _CrashBudget(crashes=1)))
+        else:
+            byzantine_policy = ChoiceByzantinePolicy(victims=[s1, s2])
+            system.servers[s0].set_faults(byzantine_policy)
+        items = {
+            server_id: sorted(system.shard_map.items_of(server_id))
+            for server_id in system.config.server_ids
+        }
+        slices: List[object] = [
+            system.run_workload(
+                [
+                    _spec(0, items[s0][0], items[s1][0]),
+                    _spec(1, items[s1][1], items[s2][0]),
+                ]
+            )
+        ]
+        # Re-proposal needs the full cluster co-signing again, so a crashed
+        # coordinator is recovered *before* it is deposed.
         for server_id in system.crashed_servers():
             system.recover_server(server_id)
-        slices.append(system.run_workload([_spec(1, items[s1][1], items[s2][0])]))
-        crashes.extend(system.crashed_servers())
+        outcome = system.fail_over()
+        slices.append(system.run_workload([_spec(2, items[s2][1], items[s0][1])]))
+        # A crash choice that waited past the failover fires with s0 as a
+        # plain cohort; recover it so the invariants quantify over all logs.
         for server_id in system.crashed_servers():
             system.recover_server(server_id)
         system.sim.drain()
-        return RunRecord(system=system, slices=slices, notes={"crashes": crashes})
+        byzantine = (
+            frozenset({s0})
+            if byzantine_policy is not None and byzantine_policy.acted
+            else frozenset()
+        )
+        return RunRecord(
+            system=system,
+            slices=slices,
+            byzantine=byzantine,
+            notes={
+                "mode": "crash" if mode == self.MODE_CRASH else "byzantine",
+                "successor": outcome.successor,
+                "new_view": outcome.new_view,
+                "reproposed": len(outcome.stalled_rounds),
+            },
+        )
 
 
 class ClassicByzantineScenario(Scenario):
@@ -298,6 +376,7 @@ SCENARIOS: Dict[str, Callable[[], Scenario]] = {
     for scenario_cls in (
         ClassicCrashScenario,
         ClassicByzantineScenario,
+        ViewChangeScenario,
         ScaledReorderScenario,
         InterleavingScenario,
     )

@@ -27,6 +27,7 @@ from repro.core.tfcommit import (
     TFCommitCoordinator,
 )
 from repro.core.twopc import TwoPhaseCommitCoordinator
+from repro.core.viewchange import ViewChangeOutcome, elect_successor, run_view_change
 from repro.crypto.keys import keypair_for
 from repro.crypto.signing import make_signing_scheme
 from repro.ledger.checkpoint import Checkpoint, build_checkpoint, cosign_checkpoint
@@ -129,6 +130,14 @@ class FidesSystem:
             self.servers[server_id] = server
 
         self.coordinator_id = self.config.server_ids[0]
+        #: Servers deposed by a view change: they keep serving as cohorts but
+        #: never lead rounds again (routing and group formation skip them).
+        self._deposed: set = set()
+        #: Coordinators replaced by a failover; kept so their block results
+        #: stay visible to the workload engine's accounting.
+        self._retired_coordinators: List = []
+        #: Completed view changes, newest last.
+        self.view_changes: List = []
         self._wire_termination()
 
         self._clients: Dict[ClientId, FidesClient] = {}
@@ -169,14 +178,19 @@ class FidesSystem:
         )
 
     def _coordinator_router(self):
-        """Per-transaction coordinator routing; ``None`` means the fixed
-        designated coordinator.  The scaled system routes each transaction
-        to its dynamic group's coordinator."""
-        return None
+        """Per-transaction coordinator routing.  The classic deployment has
+        one designated coordinator, but reads it dynamically so clients
+        follow a view change to the successor; the scaled system routes each
+        transaction to its dynamic group's coordinator."""
+        return lambda txn: self.coordinator_id
 
     def _coordinators(self) -> List:
         """Every termination coordinator currently wired into the system."""
-        return [self.coordinator]
+        return [self.coordinator] + list(self._retired_coordinators)
+
+    def deposed_servers(self) -> frozenset:
+        """Servers stripped of coordinator duty by a view change."""
+        return frozenset(self._deposed)
 
     def _pending_count(self) -> int:
         """Transactions queued but not yet proposed, across all *live* coordinators.
@@ -394,6 +408,81 @@ class FidesSystem:
             ]
         )
         return self.servers[server_id].recover(peers)
+
+    def fail_over(
+        self, server_id: Optional[ServerId] = None, reason: str = ""
+    ) -> ViewChangeOutcome:
+        """Depose the designated coordinator and elect its successor.
+
+        Runs the view-change protocol of :mod:`repro.core.viewchange`: the
+        next-smallest live server solicits every surviving cohort's commit
+        frontier and stalled rounds (``VIEW_CHANGE``), verifies the frontier
+        certificates, announces the new view (``NEW_VIEW``), and re-proposes
+        each stalled round at the new view.  The deposed server keeps serving
+        as a cohort -- recover it first if it crashed -- but never leads
+        again.  ``reason`` is informational (campaign reports record it).
+        """
+        deposed = server_id if server_id is not None else self.coordinator_id
+        if deposed != self.coordinator_id:
+            raise ConfigurationError(
+                f"{deposed} is not the designated coordinator ({self.coordinator_id})"
+            )
+        # Settle in-flight timeline events so the round timers the view
+        # change is about to expire reflect every phase that actually ran.
+        self.sim.drain()
+        excluded = self._deposed | {deposed} | set(self.crashed_servers())
+        successor = elect_successor(self.config.server_ids, excluded)
+        old = self.coordinator
+        outcome = run_view_change(
+            self.network,
+            self.latency,
+            successor,
+            members=self.config.server_ids,
+            deposed=deposed,
+            group=None,
+            current_view=old.view,
+            successor_log=self.servers[successor].log,
+            sim=self.sim,
+            clock=self.sim.clock,
+            trusted=(self.protocol == PROTOCOL_2PC),
+        )
+        self._deposed.add(deposed)
+        self.coordinator_id = successor
+        self._retired_coordinators.append(old)
+        self._install_successor(successor, outcome.new_view, old)
+        self.view_changes.append(outcome)
+        self._repropose(outcome)
+        self.sim.drain()
+        return outcome
+
+    def _install_successor(self, successor: ServerId, view: int, old) -> None:
+        """Stand up the successor's coordinator and migrate the old queue."""
+        server = self.servers[successor]
+        coordinator_cls = (
+            TFCommitCoordinator
+            if self.protocol == PROTOCOL_TFCOMMIT
+            else TwoPhaseCommitCoordinator
+        )
+        self.coordinator = coordinator_cls(
+            server=server,
+            network=self.network,
+            server_ids=self.config.server_ids,
+            txns_per_block=self.config.txns_per_block,
+            latency=self.latency,
+            sim=self.sim,
+            view=view,
+        )
+        for block in server.log:
+            if block.is_commit:
+                self.coordinator.observe_frontier(block.max_commit_ts)
+        server.set_coordinator_role(self.coordinator)
+        if old is not None:
+            self.coordinator.adopt_pending(old.take_pending())
+
+    def _repropose(self, outcome: ViewChangeOutcome) -> None:
+        """Re-run every stalled round at the new view."""
+        for block, client_requests in outcome.stalled_rounds:
+            self.coordinator.commit_batch(list(zip(block.transactions, client_requests)))
 
     def create_checkpoint(self, install: bool = True) -> Checkpoint:
         """Build, co-sign, and (by default) install a checkpoint of the full log.

@@ -11,10 +11,24 @@ single consistently ordered block stream to all servers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Sequence, Set
+from typing import FrozenSet, Iterable, Sequence, Set
 
 from repro.storage.shard import ShardMap
 from repro.txn.transaction import Transaction
+
+
+def _pick_coordinator(servers: Set[str], exclude: Iterable[str]) -> str:
+    """Deterministic coordinator choice: the smallest member not excluded.
+
+    ``exclude`` names servers deposed by a view change (or currently
+    crashed): they stay group *members* -- the transaction still touches
+    their shards and their co-sign is still required -- but they no longer
+    lead rounds.  If every member is excluded the plain minimum is returned
+    so group formation itself never fails; the round will fail (and surface)
+    on its own.
+    """
+    candidates = set(servers) - set(exclude)
+    return min(candidates) if candidates else min(servers)
 
 
 @dataclass(frozen=True)
@@ -39,26 +53,35 @@ class ServerGroup:
         return {"members": sorted(self.members), "coordinator": self.coordinator}
 
 
-def group_for_transaction(txn: Transaction, shard_map: ShardMap) -> ServerGroup:
+def group_for_transaction(
+    txn: Transaction, shard_map: ShardMap, exclude: Iterable[str] = ()
+) -> ServerGroup:
     """Form the dynamic group of a transaction: the servers storing its items.
 
-    The group's coordinator is chosen deterministically (smallest server id)
-    so that all participants agree on it without extra coordination.
+    The group's coordinator is chosen deterministically (smallest server id
+    not in ``exclude``) so that all participants agree on it without extra
+    coordination; ``exclude`` carries servers deposed by a view change.
     """
     servers = shard_map.servers_for(txn.items_accessed())
     if not servers:
         raise ValueError(f"transaction {txn.txn_id} accesses no known items")
-    return ServerGroup(members=frozenset(servers), coordinator=min(servers))
+    return ServerGroup(
+        members=frozenset(servers), coordinator=_pick_coordinator(servers, exclude)
+    )
 
 
-def group_for_batch(transactions: Sequence[Transaction], shard_map: ShardMap) -> ServerGroup:
+def group_for_batch(
+    transactions: Sequence[Transaction], shard_map: ShardMap, exclude: Iterable[str] = ()
+) -> ServerGroup:
     """Form the group covering a whole batch of transactions."""
     servers: Set[str] = set()
     for txn in transactions:
         servers.update(shard_map.servers_for(txn.items_accessed()))
     if not servers:
         raise ValueError("batch accesses no known items")
-    return ServerGroup(members=frozenset(servers), coordinator=min(servers))
+    return ServerGroup(
+        members=frozenset(servers), coordinator=_pick_coordinator(servers, exclude)
+    )
 
 
 def dependency_between(

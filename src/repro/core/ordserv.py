@@ -67,15 +67,48 @@ class OrderingService:
         self._sequence = 0
         self._reorder_window = max(0, reorder_window)
         self._pending: List[_PendingBlock] = []
+        #: Round identities already accepted (pending or finalised); see
+        #: :func:`round_identity`.
+        self._identities: set = set()
 
     # -- publication ---------------------------------------------------------------
 
-    def publish(self, block: Block, group: ServerGroup) -> None:
-        """A group coordinator hands over a locally co-signed block."""
+    @staticmethod
+    def round_identity(block: Block, group: ServerGroup):
+        """What makes two published blocks "the same round".
+
+        Group membership plus the transaction set -- the view is deliberately
+        *excluded*: a successor coordinator re-proposes a stalled round at a
+        higher view, and if the original publication is still floating in the
+        reorder window (the deposed coordinator died after publishing but
+        before anyone saw the stream), both copies reach the service.  Only
+        one may enter the global log.
+        """
+        return (
+            tuple(sorted(group.members)),
+            tuple(sorted(txn.txn_id for txn in block.transactions)),
+        )
+
+    def seen(self, block: Block, group: ServerGroup) -> bool:
+        """Whether a block with this round identity was already accepted."""
+        return self.round_identity(block, group) in self._identities
+
+    def publish(self, block: Block, group: ServerGroup) -> bool:
+        """A group coordinator hands over a locally co-signed block.
+
+        Returns ``False`` (publication ignored) when a block with the same
+        round identity was already accepted -- the dedup that makes
+        coordinator failover's re-proposal idempotent at the ordering layer.
+        """
+        identity = self.round_identity(block, group)
+        if identity in self._identities:
+            return False
+        self._identities.add(identity)
         self._pending.append(_PendingBlock(block=block, group=group, sequence=self._sequence))
         self._sequence += 1
         if len(self._pending) > self._reorder_window:
             self._drain()
+        return True
 
     def flush(self) -> None:
         """Finalise every pending block."""

@@ -32,12 +32,13 @@ from dataclasses import replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.config import SystemConfig
-from repro.common.errors import ProtocolInvariantError
+from repro.common.errors import ConfigurationError, ProtocolInvariantError
 from repro.common.types import ServerId, Value
 from repro.core.fides import PROTOCOL_TFCOMMIT, FidesSystem
 from repro.core.grouping import ServerGroup, group_for_batch, group_for_transaction
 from repro.core.ordserv import OrderedBlock, OrderingService
 from repro.core.tfcommit import TFCommitCoordinator, TimingBreakdown, timed_broadcast
+from repro.core.viewchange import ViewChangeOutcome, elect_successor, run_view_change
 from repro.crypto.keys import keypair_for
 from repro.ledger.block import Block, make_group_partial_block
 from repro.net.latency import LatencyModel
@@ -89,7 +90,11 @@ class GroupTFCommitCoordinator(TFCommitCoordinator):
 
     def commit_batch(self, batch) -> object:
         """Run one TFCommit round over the batch's dynamic group."""
-        group = group_for_batch([txn for txn, _ in batch], self._shard_map)
+        group = group_for_batch(
+            [txn for txn, _ in batch],
+            self._shard_map,
+            exclude=self._system.deposed_servers(),
+        )
         if group.coordinator != self.coordinator_id:
             # The union of per-transaction groups always has this server as
             # its smallest member, because every transaction was routed here
@@ -104,7 +109,15 @@ class GroupTFCommitCoordinator(TFCommitCoordinator):
         self._ordering.flush_conflicting(group)
         self._current_group = group
         self.server_ids = sorted(group.members)
-        result = super().commit_batch(batch)
+        try:
+            result = super().commit_batch(batch)
+        finally:
+            # A round that raised (or failed) must not leave this group's
+            # membership behind: the next batch may form a *different* group,
+            # and stale ``server_ids`` would drag the wrong cohort set into
+            # its phases.
+            self._current_group = None
+            self.server_ids = [self.coordinator_id]
         if result.block is not None:
             # If the ordering service already finalised the block (always
             # true with a reorder window of 0), the system restamps the
@@ -122,7 +135,9 @@ class GroupTFCommitCoordinator(TFCommitCoordinator):
 
     def _make_partial_block(self, transactions: Sequence[Transaction]) -> Block:
         return make_group_partial_block(
-            transactions, group_members=sorted(self._current_group.members)
+            transactions,
+            group_members=sorted(self._current_group.members),
+            view=self.view,
         )
 
     def _sim_chained(self) -> bool:
@@ -147,6 +162,13 @@ class GroupTFCommitCoordinator(TFCommitCoordinator):
         on the shared ``ordserv`` resource when the block lands in the
         stream.
         """
+        if self._ordering.seen(final_block, self._current_group):
+            # The round was already published: the deposed coordinator died
+            # *after* handing its block to the ordering service, and this is
+            # a successor's re-proposal racing the original through the
+            # reorder window.  The original publication carries the decision;
+            # the duplicate must not enter the stream twice.
+            return []
         self._system.register_inflight(
             final_block.signing_digest(), timing, self._sim_task
         )
@@ -244,14 +266,20 @@ class ScaledFidesSystem(FidesSystem):
             server.set_coordinator_role(GroupDispatcher(self, server_id))
         #: No single designated coordinator exists in the scaled deployment.
         self.coordinator = None
+        #: The highest view any failover installed; newly created group
+        #: coordinators start here so their proposals pass the cohorts'
+        #: per-group view gates.
+        self._current_view = 0
 
     def _coordinator_router(self):
-        return lambda txn: group_for_transaction(txn, self.shard_map).coordinator
+        return lambda txn: group_for_transaction(
+            txn, self.shard_map, exclude=self._deposed
+        ).coordinator
 
     def group_coordinator(self, server_id: ServerId) -> GroupTFCommitCoordinator:
         """The (lazily created) coordinator for groups led by ``server_id``."""
         if server_id not in self._group_coordinators:
-            self._group_coordinators[server_id] = GroupTFCommitCoordinator(
+            coordinator = GroupTFCommitCoordinator(
                 server=self.servers[server_id],
                 network=self.network,
                 shard_map=self.shard_map,
@@ -261,7 +289,69 @@ class ScaledFidesSystem(FidesSystem):
                 latency=self.latency,
                 sim=self.sim,
             )
+            coordinator.view = self._current_view
+            self._group_coordinators[server_id] = coordinator
         return self._group_coordinators[server_id]
+
+    def fail_over(
+        self, server_id: Optional[ServerId] = None, reason: str = ""
+    ) -> ViewChangeOutcome:
+        """Depose one group-leading server across *all* the groups it leads.
+
+        Dynamic groups share coordinators by the min-member rule, so a single
+        view change (``group=None`` = every group the deposed server drove)
+        fences it everywhere at once; afterwards routing and group formation
+        exclude it, and each stalled round is re-proposed -- at the new view
+        -- by the coordinator of its re-formed group.
+        """
+        if server_id is None:
+            raise ConfigurationError(
+                "the scaled deployment has no designated coordinator; "
+                "name the server to depose"
+            )
+        deposed = server_id
+        self.sim.drain()
+        excluded = self._deposed | {deposed} | set(self.crashed_servers())
+        successor = elect_successor(self.config.server_ids, excluded)
+        old = self._group_coordinators.get(deposed)
+        current_view = max(
+            (c.view for c in self._group_coordinators.values()), default=0
+        )
+        outcome = run_view_change(
+            self.network,
+            self.latency,
+            successor,
+            members=self.config.server_ids,
+            deposed=deposed,
+            group=None,
+            current_view=current_view,
+            successor_log=self.servers[successor].log,
+            sim=self.sim,
+            clock=self.sim.clock,
+        )
+        self._deposed.add(deposed)
+        self._current_view = max(self._current_view, outcome.new_view)
+        for coordinator in self._group_coordinators.values():
+            coordinator.view = max(coordinator.view, outcome.new_view)
+        if old is not None:
+            # Transactions stranded in the deposed leader's queue re-route
+            # through the post-failover group formation, one by one -- their
+            # groups may now elect different coordinators.
+            for txn, envelope in old.take_pending():
+                target = group_for_transaction(
+                    txn, self.shard_map, exclude=self._deposed
+                ).coordinator
+                self.group_coordinator(target).adopt_pending([(txn, envelope)])
+        self.view_changes.append(outcome)
+        for block, client_requests in outcome.stalled_rounds:
+            batch = list(zip(block.transactions, client_requests))
+            target = group_for_batch(
+                [txn for txn, _ in batch], self.shard_map, exclude=self._deposed
+            ).coordinator
+            self.group_coordinator(target).commit_batch(batch)
+        self.ordering.flush()
+        self.sim.drain()
+        return outcome
 
     # -- ordered-stream delivery ------------------------------------------------------
 

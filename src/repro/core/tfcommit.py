@@ -225,20 +225,56 @@ def drain_stale(
     return batch
 
 
-def timed_broadcast(
+#: Virtual seconds a participant waits on a phase's response before declaring
+#: the peer silent.  This is the round timer of the view-change protocol:
+#: cohorts arm it when they first see ``GET_VOTE``/``PREPARE`` (see
+#: :class:`repro.server.commitment.RoundState`), and the sender of a phase
+#: charges it for every recipient that never answers.  It is deliberately two
+#: orders of magnitude above the default network latency (0.2 ms) so honest
+#: slow responses never trip it in the simulated deployments.
+ROUND_TIMEOUT_S = 0.05
+
+
+def validate_batch(transactions: Sequence[Transaction]) -> None:
+    """Enforce the BatchBuilder contract on a batch about to be proposed.
+
+    Shared by TFCommit and the 2PC baseline: an empty batch or one carrying
+    internally conflicting transactions indicates a coordinator-side bug, not
+    a recoverable protocol condition.
+    """
+    if not transactions:
+        raise ProtocolInvariantError("commit_batch called with an empty batch")
+    for index, txn in enumerate(transactions):
+        for earlier in transactions[:index]:
+            if txn.conflicts_with(earlier):
+                raise ProtocolInvariantError(
+                    f"batch contains conflicting transactions "
+                    f"{earlier.txn_id} and {txn.txn_id} (BatchBuilder contract)"
+                )
+
+
+def timed_exchange(
     network: Network,
     latency: LatencyModel,
     sender: str,
     recipients: Sequence[str],
     message_type: MessageType,
-    payload: Dict,
+    payload_for,
     timing: TimingBreakdown,
     phase: str,
     sim: Optional[SimContext] = None,
     task: Optional[BlockTask] = None,
     kind: str = KIND_BROADCAST,
+    timeout: float = ROUND_TIMEOUT_S,
 ) -> Dict[str, Dict]:
-    """Broadcast one phase's message and charge it to ``timing``.
+    """Send one phase's (possibly per-recipient) message and charge ``timing``.
+
+    ``payload_for`` maps each recipient to its payload -- the honest phases
+    send every cohort the same dict (see :func:`timed_broadcast`), while the
+    equivocation fault injection sends different blocks to different halves.
+    Routing *every* per-recipient send through here keeps three behaviours in
+    one place: the ``choose_order`` branch point the model checker explores,
+    the synthesised unreachable refusal, and the simulated-time accounting.
 
     The simulated-time rule lives here, shared by TFCommit, the 2PC
     baseline, and the ordering service's delivery: each recipient gets its
@@ -259,10 +295,12 @@ def timed_broadcast(
     the activity itself, e.g. the ordering service's delivery).
 
     A recipient that is down -- crashed before the send, or crashing while
-    handling it -- yields a synthesised ``{"ok": False, "unreachable": True}``
-    response instead of an exception: losing a cohort mid-round is a
-    liveness event the round must observe and fail on, not a crash of the
-    coordinator.
+    handling it -- yields a synthesised ``{"ok": False, "unreachable": True,
+    "timed_out": True}`` response instead of an exception: losing a cohort
+    mid-round is a liveness event the round must observe and fail on, not a
+    crash of the coordinator.  No reply ever travels from a dead peer, so
+    the phase charges the sender the full ``timeout`` wait for it rather
+    than a phantom ``outbound + 0 + inbound`` round trip.
     """
     if sim is not None and task is not None:
         sim.scheduler.begin_phase(task, phase, kind=kind)
@@ -274,25 +312,35 @@ def timed_broadcast(
     responses: Dict[str, Dict] = {}
     for recipient in recipients:
         try:
-            responses[recipient] = network.send(sender, recipient, message_type, payload)
+            responses[recipient] = network.send(
+                sender, recipient, message_type, payload_for(recipient)
+            )
         except UnreachableError as exc:
             responses[recipient] = {
                 "server_id": recipient,
                 "ok": False,
                 "unreachable": True,
+                "timed_out": True,
                 "reason": str(exc),
                 "compute_time": 0.0,
             }
     inbound = {recipient: latency.sample() for recipient in recipients}
     slowest = slowest_net = slowest_compute = 0.0
     for recipient in recipients:
-        compute = responses[recipient].get("compute_time", 0.0) or 0.0
-        if sim is not None:
-            compute = sim.effective_compute(phase, compute)
-        round_trip = outbound[recipient] + compute + inbound[recipient]
+        if responses[recipient].get("unreachable"):
+            # The sender waits out the round timer on a silent peer; the
+            # wait is pure network idle time, no compute ever ran.
+            round_trip = net = timeout
+            compute = 0.0
+        else:
+            compute = responses[recipient].get("compute_time", 0.0) or 0.0
+            if sim is not None:
+                compute = sim.effective_compute(phase, compute)
+            round_trip = outbound[recipient] + compute + inbound[recipient]
+            net = outbound[recipient] + inbound[recipient]
         if round_trip >= slowest:
             slowest = round_trip
-            slowest_net = outbound[recipient] + inbound[recipient]
+            slowest_net = net
             slowest_compute = compute
     timing.phases[phase] = slowest
     timing.network_time += slowest_net
@@ -300,6 +348,41 @@ def timed_broadcast(
     if sim is not None and task is not None:
         sim.scheduler.end_phase(task, phase, slowest)
     return responses
+
+
+def timed_broadcast(
+    network: Network,
+    latency: LatencyModel,
+    sender: str,
+    recipients: Sequence[str],
+    message_type: MessageType,
+    payload: Dict,
+    timing: TimingBreakdown,
+    phase: str,
+    sim: Optional[SimContext] = None,
+    task: Optional[BlockTask] = None,
+    kind: str = KIND_BROADCAST,
+    timeout: float = ROUND_TIMEOUT_S,
+) -> Dict[str, Dict]:
+    """Broadcast one phase's message to every recipient (same payload each).
+
+    Thin wrapper over :func:`timed_exchange`; see there for the timing and
+    unreachable-handling contract.
+    """
+    return timed_exchange(
+        network,
+        latency,
+        sender,
+        recipients,
+        message_type,
+        lambda _recipient: payload,
+        timing,
+        phase,
+        sim=sim,
+        task=task,
+        kind=kind,
+        timeout=timeout,
+    )
 
 
 class SimScheduledRounds:
@@ -310,7 +393,34 @@ class SimScheduledRounds:
     dependency rules govern how far their rounds pipeline.  Requires the
     host class to provide ``coordinator_id``, ``_sim``, ``_sim_task``, and
     ``_sim_blocks``.
+
+    Also hosts the small queue/frontier surface a coordinator failover needs
+    (both coordinator classes define ``_pending`` and
+    ``_latest_committed_ts`` in their constructors).
     """
+
+    def take_pending(self) -> List[Tuple[Transaction, "Envelope"]]:
+        """Drain and return this coordinator's unproposed queue.
+
+        Used by a view change to migrate transactions stranded on a deposed
+        coordinator to its successor.
+        """
+        items = list(self._pending)
+        self._pending.clear()
+        return items
+
+    def adopt_pending(self, items: Sequence[Tuple[Transaction, "Envelope"]]) -> None:
+        """Append migrated transactions to this coordinator's queue."""
+        self._pending.extend(items)
+
+    def observe_frontier(self, stamp: Timestamp) -> None:
+        """Raise the committed-frontier watermark (never lowers it).
+
+        A successor coordinator starts from the frontier recorded in its own
+        log so the stale-timestamp admission check stays monotone across the
+        view change.
+        """
+        self._latest_committed_ts = max(self._latest_committed_ts, stamp)
 
     def _begin_sim_block(self, transactions: Sequence[Transaction]) -> Optional[BlockTask]:
         """Admit this round to the virtual timeline (no-op without a sim).
@@ -383,6 +493,7 @@ class TFCommitCoordinator(SimScheduledRounds):
         txns_per_block: int = 1,
         latency: Optional[LatencyModel] = None,
         sim: Optional[SimContext] = None,
+        view: int = 0,
     ) -> None:
         self.server = server
         self.network = network
@@ -391,6 +502,11 @@ class TFCommitCoordinator(SimScheduledRounds):
         self._latency = latency or network.latency_model
         self._pending: List[Tuple[Transaction, Envelope]] = []
         self._latest_committed_ts = Timestamp.zero()
+        #: Coordinator view this instance proposes in: 0 for the original
+        #: coordinator, bumped per view change.  Stamped into every proposed
+        #: block (and hence into ``round_key``), so cohorts can refuse
+        #: proposals from a deposed coordinator's stale view.
+        self.view = view
         #: Simulation context: when present, every phase of every round is
         #: scheduled as an event window on the shared virtual timeline and
         #: consecutive rounds pipeline per the scheduler's dependency rules.
@@ -458,15 +574,7 @@ class TFCommitCoordinator(SimScheduledRounds):
     def commit_batch(self, batch: Sequence[Tuple[Transaction, Envelope]]) -> BlockCommitResult:
         """Run one full TFCommit round over ``batch`` and return the result."""
         transactions = [txn for txn, _ in batch]
-        if not transactions:
-            raise ProtocolInvariantError("commit_batch called with an empty batch")
-        for index, txn in enumerate(transactions):
-            for earlier in transactions[:index]:
-                if txn.conflicts_with(earlier):
-                    raise ProtocolInvariantError(
-                        f"batch contains conflicting transactions "
-                        f"{earlier.txn_id} and {txn.txn_id} (BatchBuilder contract)"
-                    )
+        validate_batch(transactions)
         client_requests = [envelope for _, envelope in batch]
         timing = TimingBreakdown(num_txns=len(transactions))
         faults = self.server.faults
@@ -489,14 +597,29 @@ class TFCommitCoordinator(SimScheduledRounds):
             timing,
         )
         unreachable = [resp for resp in votes.values() if resp.get("unreachable")]
-        if unreachable:
-            # A cohort crashed before or during the vote: the block cannot be
-            # co-signed by the full signer set, so the round fails and its
-            # transactions are retried once the server recovers (liveness, not
-            # safety -- nobody is accused).
+        refused = [
+            resp
+            for resp in votes.values()
+            if resp.get("ok") is False and not resp.get("unreachable")
+        ]
+        if unreachable or refused:
+            # A cohort crashed before or during the vote, or refused the
+            # proposal outright (e.g. it already moved to a newer view): the
+            # block cannot be co-signed by the full signer set, so the round
+            # fails and its transactions are retried (liveness, not safety --
+            # nobody is accused).  When the *coordinator itself* is the
+            # crashed party, the cohorts must keep their armed round state:
+            # it is exactly what the view change collects and re-proposes, so
+            # no ROUND_FAILED release is broadcast on its behalf.
             timing.coordinator_time += self._effective_compute("aggregate", assembly_elapsed)
             return self._failed_result(
-                transactions, timing, partial_block, abort_reasons=[], refusals=unreachable, culprits=[]
+                transactions,
+                timing,
+                partial_block,
+                abort_reasons=[],
+                refusals=unreachable + refused,
+                culprits=[],
+                notify_cohorts=not self._self_unreachable(unreachable),
             )
 
         # Phase 3: <null, SchChallenge> -- aggregate votes into the block.
@@ -563,8 +686,10 @@ class TFCommitCoordinator(SimScheduledRounds):
             )
         refusals = [resp for resp in responses.values() if not resp["ok"]]
         if refusals:
+            unreachable = [resp for resp in refusals if resp.get("unreachable")]
             return self._failed_result(
-                transactions, timing, block, abort_reasons, refusals, []
+                transactions, timing, block, abort_reasons, refusals, [],
+                notify_cohorts=not self._self_unreachable(unreachable),
             )
 
         # Phase 5: <Decision, null> -- aggregate the collective signature.
@@ -635,6 +760,7 @@ class TFCommitCoordinator(SimScheduledRounds):
             height=self.server.log.height,
             transactions=transactions,
             previous_hash=self.server.log.head_hash,
+            view=self.view,
         )
 
     def _deliver_block(self, final_block: Block, timing: TimingBreakdown) -> List[Dict]:
@@ -700,43 +826,42 @@ class TFCommitCoordinator(SimScheduledRounds):
         groups).  Correct cohorts in the abort group detect that the
         challenge does not correspond to the block they received and refuse
         to respond, so the round cannot produce a valid signature.
+
+        The split payload still travels through :func:`timed_exchange`: a
+        cohort crashing mid-challenge becomes a synthesised unreachable
+        refusal (not an exception through the equivocating coordinator), and
+        the per-recipient delivery order stays a model-checker branch point.
         """
         abort_block = commit_block.with_decision(BlockDecision.ABORT, {})
         half = len(self.server_ids) // 2 or 1
-        commit_group = self.server_ids[:half]
-        if self._sim_task is not None:
-            self._sim.scheduler.begin_phase(self._sim_task, "challenge", kind=KIND_BROADCAST)
-        outbound = {server_id: self._latency.sample() for server_id in self.server_ids}
-        responses: Dict[str, Dict] = {}
-        for server_id in self.server_ids:
+        commit_group = set(self.server_ids[:half])
+
+        def payload_for(server_id: str) -> Dict:
             block = commit_block if server_id in commit_group else abort_block
-            responses[server_id] = self.network.send(
-                self.coordinator_id,
-                server_id,
-                MessageType.CHALLENGE,
-                {
-                    "challenge": challenge,
-                    "aggregate_commitment": aggregate_commitment.encode(),
-                    "block": block,
-                },
-            )
-        inbound = {server_id: self._latency.sample() for server_id in self.server_ids}
-        slowest = slowest_net = slowest_compute = 0.0
-        for server_id in self.server_ids:
-            compute = self._effective_compute(
-                "challenge", responses[server_id].get("compute_time", 0.0) or 0.0
-            )
-            round_trip = outbound[server_id] + compute + inbound[server_id]
-            if round_trip >= slowest:
-                slowest = round_trip
-                slowest_net = outbound[server_id] + inbound[server_id]
-                slowest_compute = compute
-        timing.phases["challenge"] = slowest
-        timing.network_time += slowest_net
-        timing.compute_time += slowest_compute
-        if self._sim_task is not None:
-            self._sim.scheduler.end_phase(self._sim_task, "challenge", slowest)
-        return responses
+            return {
+                "challenge": challenge,
+                "aggregate_commitment": aggregate_commitment.encode(),
+                "block": block,
+            }
+
+        return timed_exchange(
+            self.network,
+            self._latency,
+            self.coordinator_id,
+            self.server_ids,
+            MessageType.CHALLENGE,
+            payload_for,
+            timing,
+            "challenge",
+            sim=self._sim,
+            task=self._sim_task,
+        )
+
+    def _self_unreachable(self, unreachable: List[Dict]) -> bool:
+        """Whether the coordinator's *own* server is among the silent peers."""
+        return any(
+            resp.get("server_id") == self.coordinator_id for resp in unreachable
+        )
 
     def _failed_result(
         self,
@@ -746,14 +871,22 @@ class TFCommitCoordinator(SimScheduledRounds):
         abort_reasons: List[str],
         refusals: List[Dict],
         culprits: List[str],
+        notify_cohorts: bool = True,
     ) -> BlockCommitResult:
         reasons = [r.get("reason", "") for r in refusals] or abort_reasons
-        if block is not None and not mutation_enabled("pr3-round-failed-leak"):
+        if (
+            block is not None
+            and notify_cohorts
+            and not mutation_enabled("pr3-round-failed-leak")
+        ):
             # The round will never see a decision; tell the cohorts to drop
             # the state (witness nonce, speculative root) they buffered for
             # it, so failed rounds do not leak RoundState forever.  A crashed
             # cohort (possibly the very reason the round failed) is skipped:
             # it lost its round state with the rest of its volatile memory.
+            # When the coordinator itself died (``notify_cohorts=False``) the
+            # release is deliberately *not* sent: the armed round state is
+            # what the surviving cohorts hand the view change for re-proposal.
             self.network.broadcast(
                 self.coordinator_id,
                 self.server_ids,

@@ -25,6 +25,7 @@ from repro.core.tfcommit import (
     flushed_response,
     stale_failure_response,
     timed_broadcast,
+    validate_batch,
 )
 from repro.ledger.block import Block, BlockDecision, make_partial_block
 from repro.net.latency import LatencyModel
@@ -46,6 +47,7 @@ class TwoPhaseCommitCoordinator(SimScheduledRounds):
         txns_per_block: int = 1,
         latency: Optional[LatencyModel] = None,
         sim: Optional[SimContext] = None,
+        view: int = 0,
     ) -> None:
         self.server = server
         self.network = network
@@ -54,6 +56,8 @@ class TwoPhaseCommitCoordinator(SimScheduledRounds):
         self._latency = latency or network.latency_model
         self._pending: List[Tuple[Transaction, Envelope]] = []
         self._latest_committed_ts = Timestamp.zero()
+        #: Coordinator view (same contract as the TFCommit coordinator's).
+        self.view = view
         self._sim = sim
         self._sim_task: Optional[BlockTask] = None
         self._sim_blocks = 0
@@ -104,6 +108,7 @@ class TwoPhaseCommitCoordinator(SimScheduledRounds):
     def commit_batch(self, batch: Sequence[Tuple[Transaction, Envelope]]) -> BlockCommitResult:
         """One 2PC round: prepare/vote then decision."""
         transactions = [txn for txn, _ in batch]
+        validate_batch(transactions)
         timing = TimingBreakdown(num_txns=len(transactions))
         self._begin_sim_block(transactions)
 
@@ -112,10 +117,33 @@ class TwoPhaseCommitCoordinator(SimScheduledRounds):
             height=self.server.log.height,
             transactions=transactions,
             previous_hash=self.server.log.head_hash,
+            view=self.view,
         )
         assembly_elapsed = time.perf_counter() - assembly_started
 
-        votes = self._broadcast_phase("prepare", MessageType.PREPARE, {"block": block}, timing)
+        votes = self._broadcast_phase(
+            "prepare",
+            MessageType.PREPARE,
+            {"block": block, "client_requests": [envelope for _, envelope in batch]},
+            timing,
+        )
+        unreachable = [resp for resp in votes.values() if resp.get("unreachable")]
+        refused = [
+            resp
+            for resp in votes.values()
+            if resp.get("ok") is False and not resp.get("unreachable")
+        ]
+        if unreachable or refused:
+            # A cohort crashed mid-round (its synthesised response carries no
+            # vote fields) or refused a stale-view proposal: fail the round
+            # exactly like TFCommit's phase-1 unreachable check instead of
+            # KeyError-ing on ``vote["involved"]`` in the tally below.
+            timing.coordinator_time += self._effective_compute(
+                "aggregate", assembly_elapsed
+            )
+            return self._failed_result(
+                transactions, timing, block, unreachable + refused
+            )
 
         if self._sim_task is not None:
             self._sim.scheduler.begin_phase(self._sim_task, "aggregate", kind=KIND_COMPUTE)
@@ -123,7 +151,7 @@ class TwoPhaseCommitCoordinator(SimScheduledRounds):
         decision = BlockDecision.COMMIT
         abort_reasons: List[str] = []
         for server_id, vote in votes.items():
-            if vote["involved"] and vote["decision"] == BlockDecision.ABORT.value:
+            if vote.get("involved") and vote["decision"] == BlockDecision.ABORT.value:
                 decision = BlockDecision.ABORT
                 if vote["reason"]:
                     abort_reasons.append(f"{server_id}: {vote['reason']}")
@@ -168,6 +196,53 @@ class TwoPhaseCommitCoordinator(SimScheduledRounds):
         return result
 
     # -- helpers ---------------------------------------------------------------------------
+
+    def _failed_result(
+        self,
+        transactions: Sequence[Transaction],
+        timing: TimingBreakdown,
+        block: Block,
+        refusals: List[Dict],
+    ) -> BlockCommitResult:
+        """Fail the round without a decision (mirrors TFCommit's shape).
+
+        Cohorts that saw the ``PREPARE`` are told to release their armed
+        round state -- unless the coordinator itself is the crashed party, in
+        which case the state is kept for the view change to collect.
+        """
+        self_down = any(
+            resp.get("unreachable") and resp.get("server_id") == self.coordinator_id
+            for resp in refusals
+        )
+        if not self_down:
+            self.network.broadcast(
+                self.coordinator_id,
+                self.server_ids,
+                MessageType.ROUND_FAILED,
+                {"round_key": block.round_key()},
+                skip_unreachable=True,
+            )
+        failed_at = self._end_sim_block("failed")
+        outcomes = [
+            TxnOutcome(
+                txn_id=txn.txn_id,
+                status="failed",
+                reason="; ".join(
+                    filter(None, (resp.get("reason", "") for resp in refusals))
+                ),
+                decided_at=failed_at,
+            )
+            for txn in transactions
+        ]
+        result = BlockCommitResult(
+            status="failed",
+            block=None,
+            outcomes=outcomes,
+            timing=timing,
+            refusals=refusals,
+        )
+        self.results.append(result)
+        return result
 
     def _broadcast_phase(
         self,

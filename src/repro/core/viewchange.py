@@ -1,0 +1,287 @@
+"""Coordinator failover: the per-group view-change protocol.
+
+The paper's threat model lets *any* server misbehave, coordinators included
+(Section 4.1: the coordinator "is itself an untrusted database server").
+Crash recovery handles cohorts, but a dead or Byzantine coordinator stalls
+its group's whole queue: rounds it armed never decide, and its pending
+transactions wait forever.  The view change turns that permanent loss into a
+bounded one:
+
+1. Cohorts arm a **round timer** when they first see ``GET_VOTE``/``PREPARE``
+   (:class:`repro.server.commitment.RoundState.deadline`) and refresh it on
+   each later phase message.  A round past its deadline with no decision is
+   *stalled*.
+2. The next-smallest live group member becomes the **successor**.  It
+   broadcasts ``VIEW_CHANGE``; every surviving cohort answers with a
+   :class:`FrontierCertificate` -- its commit frontier, carried as untrusted
+   wire bytes -- plus the stalled rounds the deposed coordinator left armed.
+3. The successor **verifies** each certificate (strict decode, head-block
+   co-sign, hash consistency) and adopts the *maximum certified frontier*.
+   Certificates that fail verification are discarded: a lying cohort cannot
+   drag the new view backwards (the frontier is monotone) or forwards (a
+   claimed-ahead frontier needs a co-signed head block it cannot forge).
+4. The successor broadcasts ``NEW_VIEW``.  Cohorts bump their per-group view
+   gate -- proposals from the deposed view are refused from here on -- and
+   release pre-new-view round state.
+5. The successor **re-proposes** each distinct stalled round at ``view + 1``.
+   Re-proposals cannot double-commit: a round whose decision *did* land is
+   already in every live log (the successor skips it via
+   :func:`already_committed`), and even a racing re-proposal aborts at OCC
+   validation because the original commit advanced the write timestamps the
+   re-proposed transactions read.
+
+This module implements steps 2-4 (the wire protocol and the certificate
+trust argument); the deployment classes own election, coordinator
+construction, and the re-proposal loop, because those touch routing state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.check.choices import choose_order
+from repro.common.errors import ProtocolError, ProtocolInvariantError, ValidationError
+from repro.core.tfcommit import ROUND_TIMEOUT_S, TimingBreakdown, timed_broadcast
+from repro.crypto.cosi import cosi_verify
+from repro.ledger.block import Block
+from repro.ledger.log import TransactionLog
+from repro.net.message import MessageType
+from repro.recovery.wire import block_from_wire
+
+
+@dataclass(frozen=True)
+class FrontierCertificate:
+    """One cohort's signed-evidence claim of its commit frontier.
+
+    ``head`` is the cohort's last log block in wire form; the block's
+    collective signature is the certificate's authority -- the successor
+    believes ``height``/``head_hash`` only after re-verifying the co-sign
+    and recomputing the hash, so a Byzantine cohort cannot fabricate a
+    frontier it never committed.  A height-0 certificate (empty log) carries
+    no head and claims nothing that needs proving.
+    """
+
+    server_id: str
+    view: int
+    height: int
+    head_hash: bytes
+    head: Optional[dict] = None
+
+    def to_wire(self) -> dict:
+        return {
+            "server_id": self.server_id,
+            "view": self.view,
+            "height": self.height,
+            "head_hash": self.head_hash,
+            "head": self.head,
+        }
+
+
+@dataclass
+class ViewChangeOutcome:
+    """Everything one completed view change produced."""
+
+    group: Optional[Tuple[str, ...]]
+    deposed: str
+    successor: str
+    new_view: int
+    #: Certificates that survived verification, by reporting cohort.
+    certificates: Dict[str, FrontierCertificate] = field(default_factory=dict)
+    #: Cohorts whose certificate failed verification (discarded, reported).
+    rejected_certificates: List[str] = field(default_factory=list)
+    #: The maximum certified frontier height.
+    frontier_height: int = 0
+    #: Distinct stalled rounds to re-propose: ``(block, client_requests)``.
+    stalled_rounds: List[Tuple[Block, list]] = field(default_factory=list)
+    #: Simulated-time cost of the solicitation + announcement phases.
+    timing: TimingBreakdown = field(default_factory=TimingBreakdown)
+
+
+def decode_certificate(data, expected_server: str) -> Optional[FrontierCertificate]:
+    """Strict-decode a certificate without co-sign verification (2PC mode)."""
+    from repro.recovery.wire import frontier_certificate_from_wire
+
+    try:
+        cert = frontier_certificate_from_wire(data)
+    except ValidationError:
+        return None
+    return cert if cert.server_id == expected_server else None
+
+
+def verify_certificate(
+    data, public_keys, expected_server: str
+) -> Optional[FrontierCertificate]:
+    """Decode and verify one untrusted certificate; ``None`` if it lies.
+
+    The trust argument mirrors the recovery catch-up: anything crossing the
+    wire may be attacker-chosen, so the certificate is believed only to the
+    extent its co-signed head block backs it -- the head must decode, its
+    collective signature must verify over its signing digest (with the
+    signer set equal to its recorded group, for group blocks), its hash must
+    equal the claimed ``head_hash``, and a non-empty frontier must carry a
+    head at all.
+    """
+    cert = decode_certificate(data, expected_server)
+    if cert is None:
+        return None
+    if cert.height <= 0:
+        return cert if cert.height == 0 and cert.head is None else None
+    if cert.head is None:
+        return None
+    try:
+        head = block_from_wire(cert.head)
+    except Exception:
+        return None
+    if head.block_hash() != cert.head_hash:
+        return None
+    if head.cosign is None or not cosi_verify(
+        head.cosign, head.signing_digest(), public_keys
+    ):
+        return None
+    if head.group is not None and set(head.cosign.signer_ids) != set(head.group):
+        return None
+    return cert
+
+
+def elect_successor(members: Sequence[str], excluded: Sequence[str]) -> str:
+    """The next-smallest live group member (deterministic, no extra round).
+
+    Every cohort can compute the same answer locally, so election needs no
+    leader race: it is the same min-rule that picked the original coordinator,
+    restricted to members that are neither deposed nor crashed.
+    """
+    candidates = sorted(set(members) - set(excluded))
+    if not candidates:
+        raise ProtocolError(
+            f"no live successor candidate among {sorted(members)} "
+            f"(excluded: {sorted(set(excluded))})"
+        )
+    return candidates[0]
+
+
+def already_committed(log: TransactionLog, block: Block) -> bool:
+    """Whether any of ``block``'s transactions already decided in ``log``.
+
+    The double-commit guard of re-proposal: if the deposed coordinator's
+    decision *did* land before it died, every live server (the successor
+    included) applied it, so the stalled-round report is a ghost and the
+    round must not run again.
+    """
+    proposed = {txn.txn_id for txn in block.transactions}
+    for committed in log:
+        for txn in committed.transactions:
+            if txn.txn_id in proposed:
+                return True
+    return False
+
+
+def run_view_change(
+    network,
+    latency,
+    successor_id: str,
+    members: Sequence[str],
+    deposed: str,
+    group: Optional[Tuple[str, ...]],
+    current_view: int,
+    successor_log: TransactionLog,
+    sim=None,
+    clock=None,
+    trusted: bool = False,
+) -> ViewChangeOutcome:
+    """Drive one view change from the successor's side (steps 2-4 above).
+
+    ``group`` is ``None`` for the classic full-cluster deployment (and for
+    the scaled one, where it means "every group the deposed coordinator
+    led").  The caller passes the view being left behind; the protocol
+    installs ``current_view + 1`` everywhere it can reach and returns the
+    verified frontier plus the deduplicated stalled rounds for the caller to
+    re-propose.
+
+    ``trusted=True`` is the 2PC baseline's mode: its blocks carry no
+    collective signature, so certificates are strict-decoded but not
+    co-sign-verified -- consistent with 2PC modelling the trusted
+    infrastructure the paper compares against.
+    """
+    new_view = current_view + 1
+    outcome = ViewChangeOutcome(
+        group=tuple(group) if group is not None else None,
+        deposed=deposed,
+        successor=successor_id,
+        new_view=new_view,
+    )
+    live = [member for member in members if member != deposed]
+    if clock is not None:
+        # Time the stalled rounds out for real: the cohorts' deadlines are
+        # virtual-clock instants, and a view change begins only after the
+        # round timer genuinely elapsed with no decision.
+        clock.advance(ROUND_TIMEOUT_S)
+    payload = {
+        "group": list(group) if group is not None else None,
+        "deposed": deposed,
+        "view": new_view,
+    }
+    responses = timed_broadcast(
+        network,
+        latency,
+        successor_id,
+        live,
+        MessageType.VIEW_CHANGE,
+        payload,
+        outcome.timing,
+        "view-change",
+        sim=sim,
+    )
+    public_keys = network.public_key_directory()
+    stalled: Dict[tuple, Tuple[Block, list]] = {}
+    for server_id, response in responses.items():
+        if not response.get("ok"):
+            continue
+        cert = (
+            decode_certificate(response["certificate"], server_id)
+            if trusted
+            else verify_certificate(response["certificate"], public_keys, server_id)
+        )
+        if cert is None:
+            outcome.rejected_certificates.append(server_id)
+            continue
+        outcome.certificates[server_id] = cert
+        for entry in response.get("stalled", ()):
+            block = entry["block"]
+            stalled.setdefault(
+                block.round_key(), (block, list(entry.get("client_requests", ())))
+            )
+    outcome.frontier_height = max(
+        (cert.height for cert in outcome.certificates.values()), default=0
+    )
+    if successor_log.height < outcome.frontier_height:
+        # Certified frontiers only ever name blocks every live server applied
+        # (decisions broadcast to the full cohort set), so a successor behind
+        # the maximum certified frontier indicates a wiring bug, not a
+        # runtime condition to paper over.
+        raise ProtocolInvariantError(
+            f"successor {successor_id} log height {successor_log.height} is behind "
+            f"the certified frontier {outcome.frontier_height}"
+        )
+    timed_broadcast(
+        network,
+        latency,
+        successor_id,
+        live,
+        MessageType.NEW_VIEW,
+        payload,
+        outcome.timing,
+        "new-view",
+        sim=sim,
+    )
+    # Re-proposal order is a liveness-only freedom the model checker may
+    # explore; committed rounds are skipped by the caller regardless.
+    ordered_keys = choose_order(
+        "view-change/repropose", sorted(stalled), feature="view-change"
+    )
+    outcome.stalled_rounds = [
+        stalled[key]
+        for key in ordered_keys
+        if not already_committed(successor_log, stalled[key][0])
+    ]
+    return outcome

@@ -98,6 +98,16 @@ class DetectionResult:
     #: True if the audit wrongly pinned a safety violation on a crash target
     #: (crashes are liveness events and must never be misclassified).
     misattributed: bool = False
+    #: Failover scenarios: the successor elected by the view change, the new
+    #: view number, how many blocks the successor committed after the view
+    #: change (probe traffic; stalled-round re-proposals excluded), and
+    #: whether the cluster fully recovered (post-view-change commits
+    #: succeeded AND the audit came back clean).
+    failover: bool = False
+    failover_successor: str = ""
+    new_view: Optional[int] = None
+    post_failover_committed: int = 0
+    recovered_after_failover: bool = False
     fault_height: Optional[int] = None
     detection_height: Optional[int] = None
     blocks_until_detection: Optional[int] = None
@@ -133,6 +143,10 @@ class DetectionResult:
             "blocks-to-detect": (
                 self.blocks_until_detection if self.blocks_until_detection is not None else "-"
             ),
+            "view change": (
+                f"{self.failover_successor}@v{self.new_view}" if self.failover else "-"
+            ),
+            "recovered": self.recovered_after_failover if self.failover else "-",
             "audit (ms)": round(self.audit_time_s * 1000.0, 3),
             "audit overhead (x)": round(self.audit_overhead, 2),
             "committed": self.committed,
@@ -271,6 +285,11 @@ class CampaignRunner:
             self.workload_specs(system), num_clients=self.config.num_clients
         )
         recoveries = self._recover_crashed(system, scenario) if scenario.liveness else {}
+        # Failover scenarios depose the faulty coordinator once it is back
+        # up (or still lying): the view change re-proposes the stalled
+        # rounds and the probe below must commit under the successor.
+        failover_outcome = system.fail_over() if scenario.failover else None
+        pre_probe_results = len(system.coordinator.results)
         self._run_probe(system, scenario)
         if scenario.liveness:
             # A late trigger (height/phase not reached until the probe) can
@@ -298,6 +317,19 @@ class CampaignRunner:
         heights = [p.first_fired_height() for p in policies.values()]
         heights = [h for h in heights if h is not None]
         result.fault_height = min(heights) if heights else None
+
+        if failover_outcome is not None:
+            result.failover = True
+            result.failover_successor = failover_outcome.successor
+            result.new_view = failover_outcome.new_view
+            result.post_failover_committed = sum(
+                1
+                for block_result in system.coordinator.results[pre_probe_results:]
+                if block_result.status == "committed"
+            )
+            result.recovered_after_failover = (
+                result.post_failover_committed > 0 and report.ok
+            )
 
         if scenario.liveness:
             self._detect_liveness(system, scenario, result, recoveries, report)
@@ -373,16 +405,19 @@ class CampaignRunner:
         an invalid partial signature identifies the lying cohort directly
         (Lemma 4).
         """
-        coordinator = system.coordinator_id
         culprits: List[str] = []
-        for block_result in system.coordinator.results:
-            if block_result.status != "failed":
-                continue
-            for culprit in block_result.culprits:
-                if culprit not in culprits:
-                    culprits.append(culprit)
-            if block_result.refusals and coordinator not in culprits:
-                culprits.append(coordinator)
+        # Retired coordinators are scanned too: after a failover the lying
+        # coordinator's failed rounds live in *its* result list, not the
+        # successor's, and refusals implicate the server that drove the round.
+        for coordinator in system._coordinators():
+            for block_result in coordinator.results:
+                if block_result.status != "failed":
+                    continue
+                for culprit in block_result.culprits:
+                    if culprit not in culprits:
+                        culprits.append(culprit)
+                if block_result.refusals and coordinator.coordinator_id not in culprits:
+                    culprits.append(coordinator.coordinator_id)
         result.culprits = tuple(culprits)
         if culprits:
             result.detected = True
@@ -445,7 +480,9 @@ class CampaignRunner:
             # a non-empty gap, so it is asserted via ``recovery_rejections``
             # where the scenario makes it deterministic, not here.
             crash_targets = [
-                plan.target for plan in scenario.plans if plan.fault == "crash"
+                plan.target
+                for plan in scenario.plans
+                if plan.fault in ("crash", "coordinator-crash")
             ]
             result.culprit_correct = all(
                 target in culprits for target in crash_targets

@@ -53,6 +53,15 @@ FAULT_KINDS: Dict[str, Dict[str, object]] = {
     "equivocate": {"hook": "equivocate", "scope": "coordinator", "detected_by": "protocol"},
     "fake-root": {"hook": "fake_root_for", "scope": "coordinator", "detected_by": "protocol"},
     "drop-root": {"hook": "fake_root_for", "scope": "coordinator", "detected_by": "audit"},
+    # A coordinator crash stalls every round it was driving: cohorts keep
+    # their armed round state (no ROUND_FAILED can arrive -- the sender is
+    # dead) until a view change deposes it and the elected successor
+    # re-proposes from the certified commit frontier.
+    "coordinator-crash": {"hook": "crash_now", "scope": "coordinator", "detected_by": "liveness"},
+    # An equivocating coordinator the cluster *deposes*: detection is the
+    # cohorts' challenge refusals (protocol), recovery is the view change
+    # electing an honest successor that commits where the liar could not.
+    "byzantine-coordinator": {"hook": "equivocate", "scope": "coordinator", "detected_by": "protocol"},
     # -- log ------------------------------------------------------------------
     "log-tamper": {"hook": "tamper_log", "scope": "log", "detected_by": "audit"},
     "log-truncate": {"hook": "tamper_log", "scope": "log", "detected_by": "audit"},
@@ -130,6 +139,10 @@ class CampaignScenario:
     #: classified as a liveness event (round failure / rejected catch-up),
     #: never as a safety violation.
     liveness: bool = False
+    #: True when the runner must depose the (crashed or Byzantine)
+    #: coordinator via ``system.fail_over()`` after recovery, then verify
+    #: that post-view-change commits succeed under the elected successor.
+    failover: bool = False
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "plans", tuple(self.plans))
@@ -304,6 +317,36 @@ def _base_scenarios(server_ids: Sequence[str]) -> List[CampaignScenario]:
             expected_culprits=(server_ids[2], cohort),
             liveness=True,
         ),
+        CampaignScenario(
+            # The *coordinator* crashes mid-round.  Unlike a cohort crash,
+            # no ROUND_FAILED can be sent (the sender is the dead server), so
+            # surviving cohorts keep their armed round state and the rounds
+            # stall.  The runner recovers the server, deposes it via the view
+            # change, and the successor re-proposes the stalled rounds from
+            # the certified frontier; the probe then commits under the new
+            # coordinator and the audit must stay clean.
+            name="coordinator-crash",
+            plans=(plan("coordinator-crash", coordinator),),
+            probe="rw",
+            expected_violation=None,
+            expected_culprits=(coordinator,),
+            liveness=True,
+            failover=True,
+        ),
+        CampaignScenario(
+            # A Byzantine coordinator that equivocates *and is then deposed*:
+            # the cohorts' challenge refusals detect it (protocol), the view
+            # change elects an honest successor, and the probe verifies the
+            # cluster commits again -- turning the paper's "malicious
+            # coordinators cost liveness, never safety" into "...and the
+            # liveness loss is bounded by one view change".
+            name="byzantine-coordinator",
+            plans=(plan("byzantine-coordinator", coordinator),),
+            probe="rw",
+            expected_violation=None,
+            expected_culprits=(coordinator,),
+            failover=True,
+        ),
     ]
 
 
@@ -349,6 +392,7 @@ def build_fault_matrix(
                     expected_culprits=scenario.expected_culprits,
                     deterministic=deterministic and scenario.deterministic,
                     liveness=scenario.liveness,
+                    failover=scenario.failover,
                 )
             )
     return matrix

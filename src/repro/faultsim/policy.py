@@ -152,7 +152,13 @@ class PlannedFaultPolicy(FaultPolicy):
     # -- coordinator hooks ---------------------------------------------------
 
     def equivocate(self) -> bool:
-        return any(self._fire(i) for i in self.plans_for("equivocate"))
+        # "byzantine-coordinator" is the failover-scenario alias of the same
+        # hook: equivocate until the view change deposes this server.
+        return any(
+            self._fire(index)
+            for fault in ("equivocate", "byzantine-coordinator")
+            for index in self.plans_for(fault)
+        )
 
     def fake_root_for(self, server_id: ServerId, root: Optional[bytes]) -> Optional[bytes]:
         for index in self.plans_for("fake-root"):
@@ -172,11 +178,12 @@ class PlannedFaultPolicy(FaultPolicy):
         # moment it rejoins (the trigger would keep firing forever for
         # "always" / latched-probability / at-height->= specs), so a crash
         # plan that has fired is permanently spent.
-        for index in self.plans_for("crash"):
-            if self.fired(self._plans[index].fault):
-                continue
-            if self._fire(index):
-                return True
+        for fault in ("crash", "coordinator-crash"):
+            for index in self.plans_for(fault):
+                if self.fired(self._plans[index].fault):
+                    continue
+                if self._fire(index):
+                    return True
         return False
 
     def tamper_state_response(self, blocks: list) -> list:

@@ -70,6 +70,11 @@ class Block:
     terminated by a dynamic server group (Section 4.6) it records the group's
     members, and the collective signature covers the *group body digest*
     (which excludes the chain metadata the ordering service assigns later).
+
+    ``view`` is the coordinator view the block was proposed in: 0 under the
+    original coordinator, bumped by one per view change.  It is part of the
+    signed body, so cohorts co-sign the view they voted in and a deposed
+    coordinator cannot replay its old proposals into a newer view.
     """
 
     height: int
@@ -79,6 +84,7 @@ class Block:
     previous_hash: bytes
     cosign: Optional[CollectiveSignature] = None
     group: Optional[Tuple[ServerId, ...]] = None
+    view: int = 0
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "transactions", tuple(self.transactions))
@@ -87,6 +93,8 @@ class Block:
             object.__setattr__(self, "group", tuple(sorted(self.group)))
         if self.height < 0:
             raise ValidationError("block height must be >= 0")
+        if self.view < 0:
+            raise ValidationError("block view must be >= 0")
 
     # -- Table 1 accessors ----------------------------------------------------
 
@@ -134,6 +142,7 @@ class Block:
             "decision": self.decision.value,
             "previous_hash": self.previous_hash,
             "group": list(self.group) if self.group is not None else None,
+            "view": self.view,
         }
 
     def body_digest(self) -> bytes:
@@ -157,7 +166,7 @@ class Block:
 
     def _group_body_parts(self) -> list:
         """The chain-independent fields, in canonical order."""
-        parts = [self.decision.value.encode("ascii")]
+        parts = [self.decision.value.encode("ascii"), str(self.view).encode("ascii")]
         for member in self.group or ():
             parts.append(b"group:" + member.encode("utf-8"))
         for server_id, root in sorted(self.roots.items()):
@@ -199,11 +208,16 @@ class Block:
         Cohorts key their per-round state by it.  Classic blocks are keyed by
         height (one round per log position); group blocks cannot be -- their
         height is a placeholder until the ordering service assigns the real
-        one -- so they are keyed by the transactions they terminate.
+        one -- so they are keyed by the transactions they terminate.  The view
+        is part of the key, so a successor coordinator re-proposing a stalled
+        round in view ``v+1`` starts a *fresh* round rather than colliding
+        with the deposed coordinator's armed round state.
         """
         if self.group is not None:
-            return ("group",) + tuple(sorted(txn.txn_id for txn in self.transactions))
-        return ("height", self.height)
+            return ("group", self.view) + tuple(
+                sorted(txn.txn_id for txn in self.transactions)
+            )
+        return ("height", self.height, self.view)
 
     def block_hash(self) -> bytes:
         """Hash-pointer value used as the next block's ``previous_hash``.
@@ -236,6 +250,7 @@ def make_partial_block(
     height: int,
     transactions: Sequence[Transaction],
     previous_hash: bytes,
+    view: int = 0,
 ) -> Block:
     """The partially filled block the coordinator builds in TFCommit phase 1.
 
@@ -248,12 +263,14 @@ def make_partial_block(
         roots={},
         decision=BlockDecision.ABORT,
         previous_hash=previous_hash,
+        view=view,
     )
 
 
 def make_group_partial_block(
     transactions: Sequence[Transaction],
     group_members: Sequence[ServerId],
+    view: int = 0,
 ) -> Block:
     """The partial block a *group* coordinator builds (Section 4.6).
 
@@ -269,6 +286,7 @@ def make_group_partial_block(
         decision=BlockDecision.ABORT,
         previous_hash=EMPTY_HASH,
         group=tuple(sorted(group_members)),
+        view=view,
     )
 
 

@@ -44,6 +44,12 @@ class MessageType(Enum):
     # of globally chained per-group blocks.
     ORDERED_BLOCK = "ordered_block"
 
+    # Coordinator failover (view change): the successor solicits each
+    # surviving cohort's commit frontier + stalled rounds, then announces the
+    # new view so cohorts stop accepting the deposed coordinator's proposals.
+    VIEW_CHANGE = "view_change"
+    NEW_VIEW = "new_view"
+
     # 2PC baseline phases.
     PREPARE = "prepare"
     PREPARE_VOTE = "prepare_vote"

@@ -123,6 +123,7 @@ def block_from_wire(data: Mapping) -> Block:
             previous_hash=body["previous_hash"],
             cosign=cosign_from_wire(data["cosign"]),
             group=tuple(group) if group is not None else None,
+            view=int(body["view"]),
         )
     except ValidationError:
         raise
@@ -280,6 +281,35 @@ def server_group_from_wire(data: Mapping) -> "ServerGroup":
         raise _fail("server group", exc) from None
 
 
+def frontier_certificate_from_wire(data: Mapping) -> "FrontierCertificate":
+    """Inverse of :meth:`FrontierCertificate.to_wire`.
+
+    Decoding is only the first half of believing a certificate; the head
+    block it carries stays in wire form here and is verified (decode,
+    co-sign, hash match) by :func:`repro.core.viewchange.verify_certificate`.
+    """
+    # Deferred: repro.core imports recovery.manager, which imports us.
+    from repro.core.viewchange import FrontierCertificate
+
+    try:
+        if not isinstance(data["head_hash"], bytes):
+            raise ValidationError("frontier certificate head_hash must be bytes")
+        head = data["head"]
+        if head is not None and not isinstance(head, Mapping):
+            raise ValidationError("frontier certificate head must be a mapping or None")
+        return FrontierCertificate(
+            server_id=str(data["server_id"]),
+            view=int(data["view"]),
+            height=int(data["height"]),
+            head_hash=data["head_hash"],
+            head=dict(head) if head is not None else None,
+        )
+    except ValidationError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise _fail("frontier certificate", exc) from None
+
+
 def txn_outcome_from_wire(data: Mapping) -> "TxnOutcome":
     """Inverse of :meth:`TxnOutcome.to_wire`.
 
@@ -314,6 +344,7 @@ WIRE_DECODERS = {
     "Checkpoint": checkpoint_from_wire,
     "CollectiveSignature": cosign_from_wire,
     "Envelope": envelope_from_wire,
+    "FrontierCertificate": frontier_certificate_from_wire,
     "ReadOp": operation_from_wire,
     "ReadResult": read_result_from_wire,
     "ReadSetEntry": read_entry_from_wire,

@@ -26,11 +26,12 @@ latency accounting (see DESIGN.md).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Dict, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.common.errors import ProtocolError, ServerCrashed
 from repro.common.types import ServerId
+from repro.core.tfcommit import ROUND_TIMEOUT_S
 from repro.crypto.cosi import CoSiWitness, compute_challenge, cosi_verify
 from repro.crypto.group import decompress_point
 from repro.crypto.keys import KeyPair, PublicKey
@@ -50,10 +51,17 @@ class RoundState:
     Keyed by :meth:`~repro.ledger.block.Block.round_key` -- the height for
     classic blocks, the terminated transaction set for dynamic-group blocks
     (whose height is assigned later by the ordering service).
+
+    The round timer of the view-change protocol lives here: ``deadline`` is
+    armed (virtual clock + :data:`~repro.core.tfcommit.ROUND_TIMEOUT_S`) when
+    the cohort first sees the round's ``GET_VOTE``/``PREPARE`` and refreshed
+    on each later phase message.  A round past its deadline whose coordinator
+    has been deposed is *stalled*: the cohort hands its block and client
+    requests to the view change for re-proposal.
     """
 
     height: int
-    witness: CoSiWitness
+    witness: Optional[CoSiWitness]
     involved: bool
     local_decision: BlockDecision
     reported_root: Optional[bytes] = None
@@ -62,6 +70,17 @@ class RoundState:
     #: Monotone per-cohort registration counter, used to expire abandoned
     #: group rounds (whose placeholder height carries no ordering).
     generation: int = 0
+    #: Who drove this round (the ``GET_VOTE``/``PREPARE`` envelope's sender).
+    coordinator: Optional[ServerId] = None
+    #: Coordinator view the proposal carried.
+    view: int = 0
+    #: Virtual time after which the round counts as stalled (``None`` when
+    #: the deployment runs without a virtual clock: then deposition alone
+    #: stalls the round).
+    deadline: Optional[float] = None
+    #: The signed client requests encapsulated in the proposal, kept so a
+    #: successor coordinator can re-verify and re-propose the round.
+    client_requests: Tuple = field(default_factory=tuple)
 
 
 @dataclass
@@ -116,6 +135,13 @@ class CommitmentLayer:
         self._validator = OccValidator(store)
         self._rounds: Dict[tuple, RoundState] = {}
         self._round_generation = 0
+        #: Highest coordinator view this cohort has accepted, per group
+        #: (``None`` keys the classic full-cluster deployment).  Proposals
+        #: from an older view are refused: a deposed coordinator cannot keep
+        #: driving rounds after its group moved on.
+        self._group_views: Dict[Optional[Tuple[ServerId, ...]], int] = {}
+        #: Virtual clock of the deployment (if any); arms round deadlines.
+        self._clock = None
         #: Durability hook: called with each block after it is appended and
         #: applied, so the server can persist it to its state store.
         self._on_block_applied = on_block_applied
@@ -124,6 +150,21 @@ class CommitmentLayer:
         """Crash-fault injection point, consulted after each phase observation."""
         if self._faults.crash_now():
             raise ServerCrashed(f"{self.server_id} crashed (injected fault)")
+
+    def attach_clock(self, clock) -> None:
+        """Thread the deployment's virtual clock in (round timers need it)."""
+        self._clock = clock
+
+    def _now(self) -> Optional[float]:
+        return self._clock.now if self._clock is not None else None
+
+    def _arm_deadline(self) -> Optional[float]:
+        now = self._now()
+        return now + ROUND_TIMEOUT_S if now is not None else None
+
+    def current_view(self, group: Optional[Tuple[ServerId, ...]]) -> int:
+        """The highest view this cohort accepted for ``group``."""
+        return self._group_views.get(tuple(group) if group is not None else None, 0)
 
     @property
     def log(self) -> TransactionLog:
@@ -151,7 +192,26 @@ class CommitmentLayer:
 
     # -- TFCommit phase 2: <Vote, SchCommitment> ----------------------------------
 
-    def handle_get_vote(self, partial_block: Block, force_abort_reason: str = "") -> VoteResult:
+    def _stale_view_refusal(self, block: Block, started: float) -> Dict[str, object]:
+        """Refusal for a proposal from a view this cohort already moved past."""
+        return {
+            "server_id": self.server_id,
+            "ok": False,
+            "refused": True,
+            "reason": (
+                f"proposal view {block.view} is below this cohort's current view "
+                f"{self.current_view(block.group)}"
+            ),
+            "compute_time": time.perf_counter() - started,
+        }
+
+    def handle_get_vote(
+        self,
+        partial_block: Block,
+        force_abort_reason: str = "",
+        coordinator: Optional[ServerId] = None,
+        client_requests: Tuple = (),
+    ) -> Union[VoteResult, Dict[str, object]]:
         """Validate the partial block and produce this cohort's vote.
 
         Every server (involved or not) computes a Schnorr commitment because
@@ -160,6 +220,12 @@ class CommitmentLayer:
         by the server front-end when the encapsulated client request failed
         signature verification: the cohort still co-signs (the abort must be
         signed too) but votes abort.
+
+        A proposal carrying a view below the cohort's current view for its
+        group is refused outright (returns a refusal dict instead of a
+        :class:`VoteResult`): the group already elected a successor, and
+        honouring the deposed coordinator would let two coordinators drive
+        rounds concurrently.
         """
         started = time.perf_counter()
         self._faults.observe_phase(
@@ -167,6 +233,8 @@ class CommitmentLayer:
         )
         self._maybe_crash()
         self._expire_stale_rounds()
+        if partial_block.view < self.current_view(partial_block.group):
+            return self._stale_view_refusal(partial_block, started)
         if (
             partial_block.group is None
             and partial_block.height != self._log.height
@@ -219,8 +287,13 @@ class CommitmentLayer:
             involved=involved,
             local_decision=decision,
             reported_root=root,
+            block=partial_block,
             mht_hashes=mht_hashes,
             generation=self._round_generation,
+            coordinator=coordinator,
+            view=partial_block.view,
+            deadline=self._arm_deadline(),
+            client_requests=tuple(client_requests),
         )
         return VoteResult(
             server_id=self.server_id,
@@ -260,6 +333,8 @@ class CommitmentLayer:
         if state is None:
             raise ProtocolError(f"{self.server_id}: challenge for unknown round {block.round_key()}")
         state.block = block
+        # The coordinator made progress; give it a fresh round-timer window.
+        state.deadline = self._arm_deadline()
 
         def refusal(reason: str) -> Dict[str, object]:
             return {
@@ -422,14 +497,154 @@ class CommitmentLayer:
         """How many rounds this cohort is currently buffering state for."""
         return len(self._rounds)
 
+    # -- coordinator failover (view change) --------------------------------------------
+
+    def _stalled_rounds(
+        self, group: Optional[Tuple[ServerId, ...]], deposed: ServerId
+    ) -> List[RoundState]:
+        """Armed rounds the deposed coordinator drove and then went silent on.
+
+        A round is stalled once its timer expired (or immediately, without a
+        virtual clock to time against): the cohort voted, buffered state, and
+        no decision or explicit ROUND_FAILED ever arrived.  ``group=None``
+        matches every round the deposed coordinator drove, whatever its
+        group: in the scaled deployment one coordinator leads many dynamic
+        groups, and a single view change deposes it from all of them.
+        """
+        key = tuple(group) if group is not None else None
+        now = self._now()
+        stalled = []
+        for state in self._rounds.values():
+            block = state.block
+            if block is None or state.coordinator != deposed:
+                continue
+            if group is not None:
+                block_key = tuple(block.group) if block.group is not None else None
+                if block_key != key:
+                    continue
+            if state.deadline is not None and now is not None and now < state.deadline:
+                continue
+            stalled.append(state)
+        return stalled
+
+    def handle_view_change(
+        self,
+        group: Optional[Tuple[ServerId, ...]],
+        deposed: ServerId,
+        new_view: int,
+    ) -> Dict[str, object]:
+        """Answer a successor's ``VIEW_CHANGE`` solicitation.
+
+        The cohort reports its commit frontier as a :class:`FrontierCertificate`
+        (wire-encoded -- the successor treats it as untrusted bytes and
+        re-verifies the head block's co-sign) plus every stalled round the
+        deposed coordinator left behind, so the successor can re-propose from
+        the maximum certified frontier.
+        """
+        # Deferred: repro.core.viewchange imports the coordinator machinery,
+        # which must not be a prerequisite of the server package.
+        from repro.core.viewchange import FrontierCertificate
+
+        started = time.perf_counter()
+        self._faults.observe_phase("view-change", self._log.height, ())
+        self._maybe_crash()
+        head = self._log.last_block()
+        certificate = FrontierCertificate(
+            server_id=self.server_id,
+            view=self.current_view(group),
+            height=self._log.height,
+            head_hash=self._log.head_hash,
+            head=head.to_wire() if head is not None else None,
+        )
+        stalled = [
+            {
+                "block": state.block,
+                "client_requests": list(state.client_requests),
+            }
+            for state in self._stalled_rounds(group, deposed)
+        ]
+        return {
+            "server_id": self.server_id,
+            "ok": True,
+            "view": self.current_view(group),
+            "certificate": certificate.to_wire(),
+            "stalled": stalled,
+            "compute_time": time.perf_counter() - started,
+        }
+
+    def handle_new_view(
+        self,
+        group: Optional[Tuple[ServerId, ...]],
+        deposed: ServerId,
+        new_view: int,
+    ) -> Dict[str, object]:
+        """Install a new coordinator view for ``group``.
+
+        Bumps the view gate (older proposals are refused from here on) and
+        releases the round state of every pre-``new_view`` round of the group:
+        the successor re-proposes the stalled ones under fresh round keys, so
+        the old entries can never receive a legitimate decision again.
+        """
+        started = time.perf_counter()
+        self._faults.observe_phase("new-view", self._log.height, ())
+        self._maybe_crash()
+        key = tuple(group) if group is not None else None
+        #: Every group key the announcement fences.  The named group always;
+        #: plus, when deposing across all groups (``group=None``), the group
+        #: of every round the deposed coordinator left armed here -- so the
+        #: successor's re-proposals (at ``new_view``) pass the gate while the
+        #: deposed coordinator's zombies (below it) are refused.
+        bumped = {key}
+        dropped = 0
+        for round_key in list(self._rounds):
+            state = self._rounds[round_key]
+            if state.coordinator != deposed or state.view >= new_view:
+                continue
+            block = state.block
+            if block is not None and block.group is not None:
+                block_key = tuple(block.group)
+                if group is not None and block_key != key:
+                    continue
+                bumped.add(block_key)
+            elif group is not None and block is not None:
+                continue
+            del self._rounds[round_key]
+            dropped += 1
+        for bumped_key in bumped:
+            self._group_views[bumped_key] = max(
+                self._group_views.get(bumped_key, 0), new_view
+            )
+        return {
+            "server_id": self.server_id,
+            "ok": True,
+            "view": self._group_views[key],
+            "released": dropped,
+            "compute_time": time.perf_counter() - started,
+        }
+
     # -- 2PC baseline (Section 6.1) --------------------------------------------------
 
-    def handle_prepare(self, block: Block) -> Dict[str, object]:
-        """2PC prepare: validate the transactions touching this shard and vote."""
+    def handle_prepare(
+        self,
+        block: Block,
+        coordinator: Optional[ServerId] = None,
+        client_requests: Tuple = (),
+    ) -> Dict[str, object]:
+        """2PC prepare: validate the transactions touching this shard and vote.
+
+        Arms the same round timer as TFCommit's vote phase: a 2PC cohort that
+        prepared a round and never hears the decision has state the view
+        change must collect (the paper's baseline enjoys the same liveness
+        fix, keeping the comparison apples-to-apples).
+        """
         started = time.perf_counter()
         self._faults.observe_phase(
             "vote", block.height, tuple(t.txn_id for t in block.transactions)
         )
+        self._maybe_crash()
+        self._expire_stale_rounds()
+        if block.view < self.current_view(block.group):
+            return self._stale_view_refusal(block, started)
         decision = BlockDecision.COMMIT
         reason = ""
         involved = any(self._local_items(txn) for txn in block.transactions)
@@ -442,6 +657,19 @@ class CommitmentLayer:
                     decision = BlockDecision.ABORT
                     reason = outcome.reason()
                     break
+        self._round_generation += 1
+        self._rounds[block.round_key()] = RoundState(
+            height=block.height,
+            witness=None,
+            involved=involved,
+            local_decision=decision,
+            block=block,
+            generation=self._round_generation,
+            coordinator=coordinator,
+            view=block.view,
+            deadline=self._arm_deadline(),
+            client_requests=tuple(client_requests),
+        )
         return {
             "server_id": self.server_id,
             "involved": involved,
@@ -456,6 +684,8 @@ class CommitmentLayer:
         self._faults.observe_phase(
             "decision", block.height, tuple(t.txn_id for t in block.transactions)
         )
+        self._maybe_crash()
+        self._rounds.pop(block.round_key(), None)
         self._log.append(block, verify_link=False)
         if block.is_commit:
             self._apply_block(block)

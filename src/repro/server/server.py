@@ -107,9 +107,11 @@ class DatabaseServer:
         return self.commitment.faults
 
     def attach_sim_clock(self, clock) -> None:
-        """Thread the deployment's virtual clock into the fault hooks."""
+        """Thread the deployment's virtual clock into the fault hooks and
+        the commitment layer's round timers."""
         self._sim_clock = clock
         self.faults.attach_clock(clock)
+        self.commitment.attach_clock(clock)
 
     def set_faults(self, faults: FaultPolicy) -> None:
         """Swap in a (possibly malicious) behaviour policy for both layers."""
@@ -178,6 +180,7 @@ class DatabaseServer:
             faults,
             on_block_applied=self._persist_block,
         )
+        self.commitment.attach_clock(self._sim_clock)
         self.crashed = False
         self.attach(self._network, rejoin=True)
         return result
@@ -217,6 +220,8 @@ class DatabaseServer:
             MessageType.ORDERED_BLOCK: self._on_ordered_block,
             MessageType.PREPARE: self._on_prepare,
             MessageType.COMMIT_DECISION: self._on_2pc_decision,
+            MessageType.VIEW_CHANGE: self._on_view_change,
+            MessageType.NEW_VIEW: self._on_new_view,
             MessageType.STATE_REQUEST: self._on_state_request,
             MessageType.AUDIT_LOG_REQUEST: self._on_audit_log_request,
             MessageType.AUDIT_VO_REQUEST: self._on_audit_vo_request,
@@ -278,7 +283,15 @@ class DatabaseServer:
             if not self.network.verify_envelope(request):
                 force_abort_reason = "encapsulated client request failed signature verification"
                 break
-        vote = self.commitment.handle_get_vote(block, force_abort_reason=force_abort_reason)
+        vote = self.commitment.handle_get_vote(
+            block,
+            force_abort_reason=force_abort_reason,
+            coordinator=envelope.sender,
+            client_requests=tuple(client_requests),
+        )
+        if isinstance(vote, dict):
+            # Stale-view refusal: already in response form.
+            return vote
         return vote.to_wire()
 
     def _on_challenge(self, envelope: Envelope):
@@ -318,7 +331,11 @@ class DatabaseServer:
     # -- 2PC baseline messages ----------------------------------------------------------
 
     def _on_prepare(self, envelope: Envelope):
-        return self.commitment.handle_prepare(envelope.payload["block"])
+        return self.commitment.handle_prepare(
+            envelope.payload["block"],
+            coordinator=envelope.sender,
+            client_requests=tuple(envelope.payload.get("client_requests", ())),
+        )
 
     def _on_2pc_decision(self, envelope: Envelope):
         block = envelope.payload["block"]
@@ -326,6 +343,28 @@ class DatabaseServer:
         if response.get("ok"):
             self.execution.finish_many(txn.txn_id for txn in block.transactions)
         return response
+
+    # -- coordinator failover (view change) ------------------------------------------------
+
+    def _on_view_change(self, envelope: Envelope):
+        """Report this cohort's commit frontier + stalled rounds to a successor."""
+        payload = envelope.payload
+        group = payload.get("group")
+        return self.commitment.handle_view_change(
+            group=tuple(group) if group is not None else None,
+            deposed=payload["deposed"],
+            new_view=int(payload["view"]),
+        )
+
+    def _on_new_view(self, envelope: Envelope):
+        """Install the successor's new view; refuse older proposals from now on."""
+        payload = envelope.payload
+        group = payload.get("group")
+        return self.commitment.handle_new_view(
+            group=tuple(group) if group is not None else None,
+            deposed=payload["deposed"],
+            new_view=int(payload["view"]),
+        )
 
     # -- crash recovery: serving catch-up state to a restarted peer ------------------------
 

@@ -47,7 +47,7 @@ class TestFigureSweeps:
         from repro.bench.experiments import faultmatrix
 
         rows = faultmatrix(num_requests=2, smoke=True)
-        assert len(rows) == 16  # one per fault kind, always-trigger grid
+        assert len(rows) == 18  # one per fault kind, always-trigger grid
         for row in rows:
             assert {"scenario", "detected", "blocks-to-detect", "audit overhead (x)"} <= set(row)
 
@@ -71,6 +71,8 @@ class TestFigureSweeps:
             "faultmatrix",
             "scaledgroups",
             "pipeline",
+            "recovery",
+            "failover",
         } <= set(EXPERIMENT_REGISTRY)
 
 
@@ -101,7 +103,7 @@ class TestCli:
         assert data["sweep"] == "faultmatrix"
         assert data["commit"]
         assert data["config"] == {"num_requests": 2, "smoke": True}
-        assert len(data["rows"]) == 16
+        assert len(data["rows"]) == 18
         assert all(row["detected"] for row in data["rows"])
         # Fault-matrix rows carry no throughput, so nothing is gateable.
         assert data["metrics"]["labels"] == {}

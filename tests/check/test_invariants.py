@@ -16,6 +16,7 @@ from repro.check.invariants import (
     INVARIANTS,
     RunRecord,
     check_agreement,
+    check_decided_once,
     check_frontier_monotonic,
     check_hash_chain,
     check_no_commit_lost,
@@ -80,6 +81,45 @@ class TestAgreement:
             byzantine=frozenset({"s1"}),
         )
         assert check_agreement(record) == []
+
+
+class TestDecidedOnce:
+    def test_double_decision_fires(self):
+        # A re-proposed round deciding alongside the original: same txn in
+        # two blocks of one log, even with agreeing decisions.
+        record = _record(
+            {
+                "s0": _server(
+                    [
+                        _block([_txn("t1")], height=1),
+                        _block([_txn("t1")], height=2),
+                    ]
+                )
+            }
+        )
+        violations = check_decided_once(record)
+        assert [v.invariant for v in violations] == ["decided-once"]
+        assert "block 1 and again in block 2" in violations[0].message
+
+    def test_distinct_transactions_are_clean(self):
+        record = _record(
+            {
+                "s0": _server(
+                    [
+                        _block([_txn("t1")], height=1),
+                        _block([_txn("t2")], height=2),
+                    ]
+                )
+            }
+        )
+        assert check_decided_once(record) == []
+
+    def test_byzantine_logs_are_excluded(self):
+        record = _record(
+            {"s0": _server([_block([_txn("t1")], height=1)] * 2)},
+            byzantine=frozenset({"s0"}),
+        )
+        assert check_decided_once(record) == []
 
 
 class TestHashChain:
@@ -249,6 +289,7 @@ class TestEvaluate:
     def test_catalogue_is_complete(self):
         assert set(INVARIANTS) == {
             "agreement",
+            "decided-once",
             "hash-chain",
             "frontier-monotonic",
             "no-commit-lost",

@@ -19,6 +19,7 @@ from repro.common.errors import ValidationError
 from repro.common.timestamps import Timestamp
 from repro.core.grouping import ServerGroup
 from repro.core.tfcommit import TxnOutcome
+from repro.core.viewchange import FrontierCertificate
 from repro.crypto.cosi import CollectiveSignature
 from repro.crypto.merkle import VerificationObject
 from repro.ledger.block import Block, BlockDecision
@@ -83,6 +84,13 @@ BUILDERS = {
         message_type=MessageType.PREPARE,
         payload={"round": 3},
         signature=b"\x06" * 16,
+    ),
+    "FrontierCertificate": lambda: FrontierCertificate(
+        server_id="s1",
+        view=2,
+        height=4,
+        head_hash=b"\x0b" * 32,
+        head=BUILDERS["Block"]().to_wire(),
     ),
     "ReadOp": lambda: ReadOp(item_id="x1"),
     "ReadResult": lambda: ReadResult(item_id="x1", value=7, rts=_TS, wts=_TS2),

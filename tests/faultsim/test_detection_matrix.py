@@ -20,7 +20,13 @@ from repro.faultsim import (
 
 #: Violation types that protocol-level faults (caught inside the TFCommit
 #: round, before any block is logged) can never place in an audit report.
-PROTOCOL_ONLY_FAULTS = {"corrupt-commitment", "corrupt-response", "equivocate", "fake-root"}
+PROTOCOL_ONLY_FAULTS = {
+    "corrupt-commitment",
+    "corrupt-response",
+    "equivocate",
+    "fake-root",
+    "byzantine-coordinator",
+}
 
 
 @pytest.fixture(scope="module")
@@ -105,6 +111,42 @@ class TestViolationTypeCoverage:
         result = campaign["tampered-catchup@always"]
         assert result.recovery_rejections == ("s1",)
         assert "s1" in result.culprits
+
+
+class TestCoordinatorFailover:
+    """The view-change rows: faulty coordinators are deposed, not terminal.
+
+    Detection alone is not enough for coordinator faults -- the ISSUE 7
+    acceptance bar is *recovery*: after the view change the elected successor
+    must commit new transactions and the final logs must audit clean.
+    """
+
+    def test_coordinator_crash_is_recovered_via_view_change(self, campaign):
+        result = campaign["coordinator-crash@always"]
+        assert result.detected and result.detected_by == "liveness"
+        assert result.culprits == ("s0",)
+        assert result.failover
+        assert result.failover_successor == "s1"
+        assert result.new_view == 1
+        assert result.post_failover_committed > 0
+        assert result.recovered_after_failover
+        assert result.recovered_servers == ("s0",)
+
+    def test_byzantine_coordinator_is_deposed_and_cluster_recovers(self, campaign):
+        result = campaign["byzantine-coordinator@always"]
+        assert result.detected and result.detected_by == "protocol"
+        assert result.culprits == ("s0",)
+        assert result.failover_successor == "s1"
+        assert result.post_failover_committed > 0
+        assert result.recovered_after_failover
+        assert result.report is not None and result.report.ok
+
+    def test_failover_rows_render_the_view_change(self, campaign):
+        row = campaign["coordinator-crash@always"].as_row()
+        assert row["view change"] == "s1@v1"
+        assert row["recovered"] is True
+        # Non-failover rows stay readable as dashes.
+        assert campaign["read-corruption@always"].as_row()["view change"] == "-"
 
 
 class TestAttributionQuality:
