@@ -32,6 +32,7 @@ from typing import List, Optional
 from repro.bench.experiments import EXPERIMENT_REGISTRY
 from repro.bench.reporting import format_table, rows_to_csv
 from repro.bench.schema import canonical_report
+from repro.common.errors import FidesError
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -94,7 +95,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         kwargs["fixed_compute_ms"] = args.fixed_compute_ms
     try:
         rows = runner(**kwargs)
-    except Exception:
+    except (FidesError, OSError):
         traceback.print_exc()
         print(f"sweep {args.experiment!r} raised; failing the run", file=sys.stderr)
         return 1

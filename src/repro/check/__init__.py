@@ -15,7 +15,10 @@
 - :mod:`repro.check.replay` -- saved-trace replay, turning counterexamples
   into deterministic regression tests;
 - :mod:`repro.check.lint` -- the AST lint pass (``python -m
-  repro.check.lint``) enforcing determinism/codec/assert rules.
+  repro.check.lint``) enforcing determinism/codec/assert rules;
+- :mod:`repro.check.static` -- the whole-program protocol analyzer
+  (``python -m repro.check.static``): message-flow totality, round-state
+  leak detection, and exception-effect checking.
 
 Heavy submodules are loaded lazily: ``core``/``sim``/``net`` import the two
 leaf modules above at import time, so this package ``__init__`` must not
@@ -34,6 +37,7 @@ _LAZY = {
     "explorer": "repro.check.explorer",
     "replay": "repro.check.replay",
     "lint": "repro.check.lint",
+    "static": "repro.check.static",
 }
 
 __all__ = sorted(_LAZY)

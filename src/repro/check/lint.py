@@ -26,10 +26,12 @@ Three rules over ``src/repro``:
     under its class name in ``recovery/wire.py``'s ``WIRE_DECODERS`` -- the
     static half of the wire round-trip property test.
 
-A trailing ``# lint: allow`` comment on the offending line suppresses the
-first two rules for that line (used nowhere in the library today; it exists
-so a future *measurement* utility can opt out explicitly rather than
-silently).
+A trailing ``# lint: allow`` comment on the offending line suppresses
+*every* rule for that line -- for ``missing-decoder``, the line is the
+``class`` statement of the ``to_wire`` class.  It is used nowhere in the
+library today; it exists so a future opt-out is explicit rather than
+silent.  (The whole-program analyzer's ``# static: allow`` marker in
+:mod:`repro.check.static` follows the same convention.)
 """
 
 from __future__ import annotations
@@ -145,7 +147,7 @@ class _FileChecker(ast.NodeVisitor):
     # -- bare asserts -------------------------------------------------------------
 
     def visit_Assert(self, node: ast.Assert) -> None:
-        if self.check_asserts:
+        if self.check_asserts and not _allowed(self.lines, node.lineno):
             self._report(
                 node,
                 "bare-assert",
@@ -157,9 +159,11 @@ class _FileChecker(ast.NodeVisitor):
     # -- wire codec inventory ------------------------------------------------------
 
     def visit_ClassDef(self, node: ast.ClassDef) -> None:
-        for item in node.body:
-            if isinstance(item, ast.FunctionDef) and item.name == "to_wire":
-                self.wire_classes[node.name] = node.lineno
+        # `# lint: allow` on the class line exempts it from missing-decoder.
+        if not _allowed(self.lines, node.lineno):
+            for item in node.body:
+                if isinstance(item, ast.FunctionDef) and item.name == "to_wire":
+                    self.wire_classes[node.name] = node.lineno
         self.generic_visit(node)
 
 

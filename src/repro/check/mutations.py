@@ -42,6 +42,16 @@ MUTATIONS: Dict[str, Mutation] = {
             ),
         ),
         Mutation(
+            name="pr7-2pc-vote-keyerror",
+            description=(
+                "2PC coordinator tallies votes without first failing the "
+                "round on unreachable/refused cohorts, so a crashed cohort's "
+                "synthesized response (which carries no vote fields) "
+                "KeyErrors the tally (fixed in PR 7; caught by the static "
+                "analyzer's unguarded-subscript rule)."
+            ),
+        ),
+        Mutation(
             name="pr3-double-count-blocks",
             description=(
                 "run_workload() forgets the pre-run snapshot of coordinator "

@@ -1,0 +1,55 @@
+"""Whole-program static protocol analyzer (``python -m repro.check.static``).
+
+The static counterpart to the PR 6 model checker: where the explorer proves
+properties of *runs it can reach*, this package proves three properties of
+*every path in the source*, before anything executes:
+
+- :mod:`repro.check.static.flowgraph` -- message-flow totality: every sent
+  ``MessageType`` has a dispatch entry, every dispatch entry a sender, every
+  enum member is reachable, every ``to_wire`` class has a strict decoder.
+- :mod:`repro.check.static.leaks` -- round-state leaks: every path that arms
+  per-round state (``GET_VOTE``/``PREPARE`` send, virtual-timeline window)
+  reaches a release on every exit, over the CFGs of
+  :mod:`repro.check.static.cfg`.
+- :mod:`repro.check.static.effects` -- exception effects: handler-reachable
+  code must not let non-``FidesError`` exceptions escape (response-map
+  subscripts, un-defaulted ``max``/``min``, broad excepts, builtin raises).
+
+Findings are :class:`~repro.check.static.model.Finding` values, reported via
+:mod:`repro.check.static.report` against the checked-in ``baseline.json``.
+The analyses run pure-AST (no package import needed) and compose with the
+mutation registry through static branch folding -- see
+:func:`~repro.check.static.model.fold_test` and the self-tests in
+``tests/check/test_static_selftest.py``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import FrozenSet, List, Optional
+
+from repro.check.static.effects import effect_findings
+from repro.check.static.flowgraph import flow_findings
+from repro.check.static.leaks import leak_findings
+from repro.check.static.model import Finding, SourceTree
+
+__all__ = ["Finding", "SourceTree", "run_analyses"]
+
+
+def run_analyses(
+    tree: SourceTree,
+    mutations: FrozenSet[str] = frozenset(),
+    wire_registry: Optional[Path] = None,
+) -> List[Finding]:
+    """Run all three analyses; suppressed findings are dropped here."""
+    findings: List[Finding] = []
+    findings.extend(flow_findings(tree, wire_registry=wire_registry))
+    findings.extend(leak_findings(tree, mutations))
+    findings.extend(effect_findings(tree, mutations))
+    kept = []
+    for finding in findings:
+        module = tree.modules.get(finding.path)
+        if module is not None and module.allows(finding.line, finding.rule):
+            continue
+        kept.append(finding)
+    return sorted(kept, key=lambda f: (f.path, f.line, f.rule, f.message))

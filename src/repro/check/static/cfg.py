@@ -1,0 +1,354 @@
+"""Intra-procedural control-flow graphs with exception exits.
+
+One :class:`CFG` per function: statement-level nodes, edges for
+if/while/for/try/with/return/raise/break/continue, and two kinds of exit --
+``return`` (explicit returns and falling off the end) and ``raise`` (an
+explicit raise that no enclosing ``except`` of the same function catches,
+labelled with the raised class name when it is syntactically evident).
+
+Branch conditions are folded through :func:`~repro.check.static.model.fold_test`
+at build time, so a mutation-guarded branch simply does not exist in the CFG
+when its flag makes it statically dead.  Approximations, chosen to match how
+the leak detector consumes the graph (see DESIGN.md section 11):
+
+- Implicit exceptions (a call raising, a subscript KeyError-ing) do not
+  create edges; only explicit ``raise`` statements and ``try`` routing do.
+  Within a ``try`` body, every direct statement gets an edge to each handler
+  to model "this statement raised".
+- ``raise`` matching is by name: a handler catches when it names the raised
+  class, names ``Exception``/``BaseException``, or is bare.  Unknown raise
+  expressions (re-raise, variables) are treated as uncaught with an unknown
+  class.
+- ``return``/``raise``/``break``/``continue`` route through enclosing
+  ``finally`` blocks (the finally body's entry node joins the path) before
+  reaching their destination.
+
+Path queries (:func:`find_leak_path`) are plain BFS over the node graph,
+refusing to expand nodes the caller marks as releases; the returned node
+path is the finding's arming->leaking trace.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.check.static.model import fold_test
+
+#: Exit kinds.
+EXIT_RETURN = "return"
+EXIT_RAISE = "raise"
+
+
+@dataclass
+class Node:
+    """One statement in the CFG."""
+
+    index: int
+    stmt: ast.AST
+    line: int
+
+
+@dataclass
+class Exit:
+    """One way control leaves the function."""
+
+    kind: str  # EXIT_RETURN | EXIT_RAISE
+    node: Node
+    #: Raised class name for raise exits; None when not syntactically evident.
+    exception: Optional[str] = None
+
+
+@dataclass
+class CFG:
+    nodes: List[Node] = field(default_factory=list)
+    succ: Dict[int, List[int]] = field(default_factory=dict)
+    #: Index of the first real node, None for an empty body.
+    entry: Optional[int] = None
+    exits: List[Exit] = field(default_factory=list)
+
+    def new_node(self, stmt: ast.AST) -> Node:
+        node = Node(len(self.nodes), stmt, getattr(stmt, "lineno", 0))
+        self.nodes.append(node)
+        self.succ[node.index] = []
+        return node
+
+    def edge(self, src: int, dst: int) -> None:
+        if dst not in self.succ[src]:
+            self.succ[src].append(dst)
+
+
+@dataclass
+class _Frame:
+    """One enclosing try statement, as seen from inside its body."""
+
+    handlers: List[Tuple[Optional[ast.AST], int]]  # (type expr, entry index)
+    finally_entry: Optional[int]
+    finally_exits: List[int]
+    in_body: bool  # handlers apply only while inside the try body
+
+
+def _raised_name(node: ast.Raise) -> Optional[str]:
+    exc = node.exc
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if isinstance(exc, ast.Attribute):
+        return exc.attr
+    if isinstance(exc, ast.Name):
+        return exc.id
+    return None
+
+
+def _handler_catches(type_expr: Optional[ast.AST], raised: Optional[str]) -> bool:
+    if type_expr is None:
+        return True  # bare except
+    names = []
+    exprs = type_expr.elts if isinstance(type_expr, ast.Tuple) else [type_expr]
+    for expr in exprs:
+        if isinstance(expr, ast.Attribute):
+            names.append(expr.attr)
+        elif isinstance(expr, ast.Name):
+            names.append(expr.id)
+    if "Exception" in names or "BaseException" in names:
+        return True
+    return raised is not None and raised in names
+
+
+class CFGBuilder:
+    def __init__(self, enabled: FrozenSet[str] = frozenset()) -> None:
+        self.enabled = enabled
+
+    def build(self, func: ast.AST) -> CFG:
+        self.cfg = CFG()
+        #: Pending loop context: list of (continue-targets, break-collectors).
+        self.loops: List[Tuple[int, List[int]]] = []
+        self.frames: List[_Frame] = []
+        entry_nodes, open_ends = self._block(func.body)
+        self.cfg.entry = entry_nodes[0] if entry_nodes else None
+        # Falling off the end of the body is an implicit return.
+        for index in open_ends:
+            self._register_exit(Exit(EXIT_RETURN, self.cfg.nodes[index]))
+        return self.cfg
+
+    # A block returns (entries, open_ends): the node(s) control enters the
+    # block through, and the node(s) whose control falls through to whatever
+    # follows the block.  Either may be empty (dead or fully-terminating
+    # blocks).
+
+    def _block(self, stmts: Sequence[ast.AST]) -> Tuple[List[int], List[int]]:
+        entries: List[int] = []
+        current_ends: List[int] = []
+        first = True
+        for stmt in stmts:
+            stmt_entries, stmt_ends = self._statement(stmt)
+            if not stmt_entries:
+                continue
+            if first:
+                entries = stmt_entries
+                first = False
+            else:
+                for end in current_ends:
+                    for entry in stmt_entries:
+                        self.cfg.edge(end, entry)
+            current_ends = stmt_ends
+            if not current_ends:
+                # The rest of the block is unreachable.
+                break
+        return entries, current_ends
+
+    def _statement(self, stmt: ast.AST) -> Tuple[List[int], List[int]]:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(stmt)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            node = self.cfg.new_node(stmt)
+            body_entries, body_ends = self._block(stmt.body)
+            for entry in body_entries:
+                self.cfg.edge(node.index, entry)
+            return [node.index], body_ends if body_entries else [node.index]
+        node = self.cfg.new_node(stmt)
+        if isinstance(stmt, ast.Return):
+            self._terminal(node, Exit(EXIT_RETURN, node))
+            return [node.index], []
+        if isinstance(stmt, ast.Raise):
+            self._raise(node, stmt)
+            return [node.index], []
+        if isinstance(stmt, ast.Break):
+            if self.loops:
+                self.loops[-1][1].append(node.index)
+            return [node.index], []
+        if isinstance(stmt, ast.Continue):
+            if self.loops:
+                self.cfg.edge(node.index, self.loops[-1][0])
+            return [node.index], []
+        return [node.index], [node.index]
+
+    def _if(self, stmt: ast.If) -> Tuple[List[int], List[int]]:
+        node = self.cfg.new_node(stmt)
+        verdict = fold_test(stmt.test, self.enabled)
+        ends: List[int] = []
+        if verdict is not False:
+            body_entries, body_ends = self._block(stmt.body)
+            for entry in body_entries:
+                self.cfg.edge(node.index, entry)
+            ends.extend(body_ends)
+        if verdict is not True:
+            if stmt.orelse:
+                else_entries, else_ends = self._block(stmt.orelse)
+                for entry in else_entries:
+                    self.cfg.edge(node.index, entry)
+                ends.extend(else_ends)
+            else:
+                ends.append(node.index)
+        return [node.index], ends
+
+    def _loop(self, stmt: ast.AST) -> Tuple[List[int], List[int]]:
+        node = self.cfg.new_node(stmt)
+        breaks: List[int] = []
+        verdict = (
+            fold_test(stmt.test, self.enabled)
+            if isinstance(stmt, ast.While)
+            else None
+        )
+        if verdict is not False:
+            self.loops.append((node.index, breaks))
+            body_entries, body_ends = self._block(stmt.body)
+            self.loops.pop()
+            for entry in body_entries:
+                self.cfg.edge(node.index, entry)
+            for end in body_ends:
+                self.cfg.edge(end, node.index)
+        # The loop head falls through when the iterable/condition is done
+        # (even `while True` is treated as exitable: we prove leak-freedom on
+        # exits, and a non-terminating loop has none).
+        ends = [node.index] + breaks
+        return [node.index], ends
+
+    def _try(self, stmt: ast.Try) -> Tuple[List[int], List[int]]:
+        finally_entries: List[int] = []
+        finally_ends: List[int] = []
+        if stmt.finalbody:
+            finally_entries, finally_ends = self._block(stmt.finalbody)
+        handler_info: List[Tuple[Optional[ast.AST], int]] = []
+        handler_ends: List[int] = []
+        for handler in stmt.handlers:
+            head = self.cfg.new_node(handler)
+            body_entries, body_ends = self._block(handler.body)
+            for entry in body_entries:
+                self.cfg.edge(head.index, entry)
+            handler_info.append((handler.type, head.index))
+            handler_ends.extend(body_ends if body_entries else [head.index])
+        frame = _Frame(
+            handlers=handler_info,
+            finally_entry=finally_entries[0] if finally_entries else None,
+            finally_exits=finally_ends,
+            in_body=True,
+        )
+        self.frames.append(frame)
+        body_start = len(self.cfg.nodes)
+        body_entries, body_ends = self._block(stmt.body)
+        # Any statement in the try body may raise implicitly: give each one
+        # an edge to every handler.
+        for node_index in range(body_start, len(self.cfg.nodes)):
+            for _type_expr, handler_entry in handler_info:
+                self.cfg.edge(node_index, handler_entry)
+        frame.in_body = False
+        else_ends: List[int] = []
+        if stmt.orelse:
+            else_entries, else_ends_ = self._block(stmt.orelse)
+            for end in body_ends:
+                for entry in else_entries:
+                    self.cfg.edge(end, entry)
+            else_ends = else_ends_ if else_entries else body_ends
+            body_ends = []
+        self.frames.pop()
+        ends = body_ends + else_ends + handler_ends
+        if finally_entries:
+            for end in ends:
+                self.cfg.edge(end, finally_entries[0])
+            out_ends = finally_ends
+        else:
+            out_ends = ends
+        entries = body_entries or finally_entries
+        return entries, out_ends
+
+    # -- terminal routing -------------------------------------------------------
+
+    def _enclosing_finallies(self) -> List[int]:
+        return [
+            frame.finally_entry
+            for frame in reversed(self.frames)
+            if frame.finally_entry is not None
+        ]
+
+    def _terminal(self, node: Node, exit_: Exit) -> None:
+        """Route a return/uncaught raise through enclosing finally blocks."""
+        finallies = self._enclosing_finallies()
+        if finallies:
+            self.cfg.edge(node.index, finallies[0])
+            # The finally body's own exits were already wired when its try
+            # was built; for exit routing we conservatively register the
+            # exit at the terminal statement itself (the finally runs, then
+            # the exit happens -- release-wise the finally's nodes are on
+            # the path via the edge above).
+        self._register_exit(exit_)
+
+    def _register_exit(self, exit_: Exit) -> None:
+        self.cfg.exits.append(exit_)
+
+    def _raise(self, node: Node, stmt: ast.Raise) -> None:
+        raised = _raised_name(stmt)
+        for frame in reversed(self.frames):
+            if not frame.in_body:
+                continue
+            for type_expr, handler_entry in frame.handlers:
+                if _handler_catches(type_expr, raised):
+                    self.cfg.edge(node.index, handler_entry)
+                    return
+        self._terminal(node, Exit(EXIT_RAISE, node, raised))
+
+
+def build_cfg(func: ast.AST, enabled: FrozenSet[str] = frozenset()) -> CFG:
+    return CFGBuilder(enabled).build(func)
+
+
+def find_leak_path(
+    cfg: CFG,
+    arm: Node,
+    is_release: Callable[[Node], bool],
+    exit_allowed: Callable[[Exit], bool],
+) -> Optional[Tuple[Exit, List[int]]]:
+    """The shortest arm->exit path avoiding every release node, if any.
+
+    Returns ``(offending exit, [line numbers])`` or ``None`` when every
+    path from ``arm`` hits a release (or an allowed exit) first.
+    """
+    exits_by_node: Dict[int, List[Exit]] = {}
+    for exit_ in cfg.exits:
+        exits_by_node.setdefault(exit_.node.index, []).append(exit_)
+
+    parents: Dict[int, Optional[int]] = {arm.index: None}
+    queue: List[int] = [arm.index]
+    while queue:
+        current = queue.pop(0)
+        node = cfg.nodes[current]
+        if current != arm.index and is_release(node):
+            continue  # the path released; stop exploring through it
+        for exit_ in exits_by_node.get(current, []):
+            if exit_allowed(exit_):
+                continue
+            lines: List[int] = []
+            walk: Optional[int] = current
+            while walk is not None:
+                lines.append(cfg.nodes[walk].line)
+                walk = parents[walk]
+            return exit_, list(reversed(lines))
+        for successor in cfg.succ.get(current, []):
+            if successor not in parents:
+                parents[successor] = current
+                queue.append(successor)
+    return None

@@ -1,0 +1,354 @@
+"""Round-state leak detection over the coordinator round drivers.
+
+Two path obligations, both checked on the CFG of every function in the
+protocol coordinator modules (``core/``, ``server/``):
+
+``round-state-leak``
+    A statement that **arms** a round -- sending ``GET_VOTE`` or ``PREPARE``
+    registers :class:`~repro.server.commitment.RoundState` (and its round
+    timer) on every cohort -- must reach a **release** on every path to
+    every exit: a ``DECISION`` / ``COMMIT_DECISION`` / ``ROUND_FAILED`` /
+    ``ORDERED_BLOCK`` send, publishing the block to the ordering service
+    (``.publish(...)`` -- the ordered-delivery pipeline then owns delivery),
+    or a call into a function that can do one of those.  A ``raise`` of
+    ``ProtocolInvariantError`` is an allowed exit: it is a deliberate panic
+    on a broken internal invariant, not a protocol outcome.
+
+``sim-window-leak``
+    The same obligation for the virtual-timeline window: a path that calls
+    ``_begin_sim_block`` must reach ``_end_sim_block`` (directly or through
+    a callee) before every exit, or the scheduler is left with an
+    open-ended block task.
+
+Release is *may-release*: a call counts when the callee can release on some
+of its paths.  That is deliberate -- ``_failed_result(...,
+notify_cohorts=False)`` intentionally keeps cohort state armed for the view
+change to collect (the "failover collection" release of the issue), so a
+must-release rule would reject the correct tree.  The callee fixpoint
+resolves ``self.`` calls class-aware so the TFCommit and 2PC coordinators'
+same-named helpers cannot vouch for each other (that precision is what lets
+the ``pr3-round-failed-leak`` mutation self-test work: folding the mutation
+flag kills only *tfcommit*'s ``ROUND_FAILED`` broadcast).
+
+A third, structural rule needs no CFG: a module that stores per-round state
+into ``self._rounds[...]`` must also contain a ``pop``/``del`` release site
+for it (``round-state-structure``) -- the cohort side's arm/release pairing
+is cross-message, so paths cannot prove it, but total absence of a release
+is still statically visible.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, List, Optional, Set
+
+from repro.check.static.cfg import (
+    EXIT_RAISE,
+    Exit,
+    Node,
+    build_cfg,
+    find_leak_path,
+)
+from repro.check.static.model import (
+    Finding,
+    FunctionDecl,
+    SourceTree,
+    call_message_types,
+    call_name,
+    iter_live,
+)
+
+#: Message types whose send arms per-round cohort state.
+ARMING_TYPES = frozenset({"GET_VOTE", "PREPARE"})
+#: Message types whose send releases it (decision apply / explicit abandon /
+#: ordered delivery).
+RELEASING_TYPES = frozenset({"DECISION", "COMMIT_DECISION", "ROUND_FAILED", "ORDERED_BLOCK"})
+#: Handing the block to the ordering service transfers release
+#: responsibility to the ordered-delivery path.
+RELEASING_CALLS = frozenset({"publish"})
+
+SIM_ARM = "_begin_sim_block"
+SIM_RELEASE = "_end_sim_block"
+
+#: Modules whose functions carry the path obligations.
+COORDINATOR_PACKAGES = ("core", "server")
+
+#: Raise exits that are deliberate panics, not leaks.
+ALLOWED_RAISES = frozenset({"ProtocolInvariantError"})
+
+
+def _stmt_scope(stmt: ast.AST) -> List[ast.AST]:
+    """The expressions evaluated *at* a CFG node, excluding nested bodies.
+
+    Compound statements (if/while/for/try/with) are CFG nodes whose bodies
+    are separate nodes; attributing a body's calls to the header would let a
+    release inside one branch satisfy paths through the other.
+    """
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in stmt.items]
+    if isinstance(stmt, (ast.Try, ast.ExceptHandler,
+                         ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return []
+    return [stmt]
+
+
+def _stmt_calls(stmt: ast.AST, enabled: FrozenSet[str]) -> List[ast.Call]:
+    """Live calls evaluated at one CFG node."""
+    calls = []
+    for node in iter_live(_stmt_scope(stmt), enabled):
+        if isinstance(node, ast.Call):
+            calls.append(node)
+    return calls
+
+
+def _sends_types(stmt: ast.AST, enabled: FrozenSet[str]) -> Set[str]:
+    types: Set[str] = set()
+    for call in _stmt_calls(stmt, enabled):
+        if call_name(call) in ("send", "broadcast", "timed_broadcast",
+                               "timed_exchange", "_broadcast_phase"):
+            types.update(call_message_types(call))
+    return types
+
+
+class _ReleaseIndex:
+    """Which functions can release round state / close the sim window."""
+
+    def __init__(self, tree: SourceTree, enabled: FrozenSet[str]) -> None:
+        self.tree = tree
+        self.enabled = enabled
+        self.round_releasers: Set[int] = set()
+        self.sim_releasers: Set[int] = set()
+        self._decls: List[FunctionDecl] = [
+            decl for decls in tree.functions.values() for decl in decls
+        ]
+        self._ids = {id(decl.node): index for index, decl in enumerate(self._decls)}
+        self._seed()
+        self._propagate()
+
+    def _decl_index(self, decl: FunctionDecl) -> int:
+        return self._ids[id(decl.node)]
+
+    def _seed(self) -> None:
+        for index, decl in enumerate(self._decls):
+            for node in iter_live(decl.node.body, self.enabled):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = call_name(node)
+                if name in RELEASING_CALLS or (
+                    name in ("send", "broadcast", "timed_broadcast",
+                             "timed_exchange", "_broadcast_phase")
+                    and RELEASING_TYPES & set(call_message_types(node))
+                ):
+                    self.round_releasers.add(index)
+                if name == SIM_RELEASE:
+                    self.sim_releasers.add(index)
+
+    def _propagate(self) -> None:
+        changed = True
+        while changed:
+            changed = False
+            for index, decl in enumerate(self._decls):
+                need_round = index not in self.round_releasers
+                need_sim = index not in self.sim_releasers
+                if not (need_round or need_sim):
+                    continue
+                for node in iter_live(decl.node.body, self.enabled):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    for callee in self.tree.resolve_call(node, decl.class_name):
+                        callee_index = self._decl_index(callee)
+                        if need_round and callee_index in self.round_releasers:
+                            self.round_releasers.add(index)
+                            need_round = False
+                            changed = True
+                        if need_sim and callee_index in self.sim_releasers:
+                            self.sim_releasers.add(index)
+                            need_sim = False
+                            changed = True
+                    if not (need_round or need_sim):
+                        break
+
+    def releases_round(self, decl: FunctionDecl) -> bool:
+        return self._decl_index(decl) in self.round_releasers
+
+    def releases_sim(self, decl: FunctionDecl) -> bool:
+        return self._decl_index(decl) in self.sim_releasers
+
+
+def _call_releases(
+    tree: SourceTree,
+    index: _ReleaseIndex,
+    call: ast.Call,
+    class_name: Optional[str],
+    kind: str,
+) -> bool:
+    callees = tree.resolve_call(call, class_name)
+    if kind == "round":
+        return any(index.releases_round(callee) for callee in callees)
+    return any(index.releases_sim(callee) for callee in callees)
+
+
+def leak_findings(
+    tree: SourceTree, enabled: FrozenSet[str] = frozenset()
+) -> List[Finding]:
+    index = _ReleaseIndex(tree, enabled)
+    findings: List[Finding] = []
+    for name in sorted(tree.functions):
+        for decl in tree.functions[name]:
+            if decl.module.package not in COORDINATOR_PACKAGES:
+                continue
+            findings.extend(_check_function(tree, index, decl, enabled))
+    findings.extend(_structural_round_store(tree))
+    return findings
+
+
+def _check_function(
+    tree: SourceTree,
+    index: _ReleaseIndex,
+    decl: FunctionDecl,
+    enabled: FrozenSet[str],
+) -> List[Finding]:
+    # Cheap pre-scan: skip functions that never arm anything.
+    arms_round = arms_sim = False
+    for node in iter_live(decl.node.body, enabled):
+        if isinstance(node, ast.Call):
+            name = call_name(node)
+            if name == SIM_ARM:
+                arms_sim = True
+            if name in ("send", "broadcast", "timed_broadcast",
+                        "timed_exchange", "_broadcast_phase"):
+                if ARMING_TYPES & set(call_message_types(node)):
+                    arms_round = True
+    if not (arms_round or arms_sim):
+        return []
+
+    cfg = build_cfg(decl.node, enabled)
+    findings: List[Finding] = []
+
+    def exit_allowed(exit_: Exit) -> bool:
+        return exit_.kind == EXIT_RAISE and exit_.exception in ALLOWED_RAISES
+
+    if arms_round:
+        def is_round_release(node: Node) -> bool:
+            if _sends_types(node.stmt, enabled) & RELEASING_TYPES:
+                return True
+            return any(
+                call_name(call) in RELEASING_CALLS
+                or _call_releases(tree, index, call, decl.class_name, "round")
+                for call in _stmt_calls(node.stmt, enabled)
+            )
+
+        for node in cfg.nodes:
+            armed = _sends_types(node.stmt, enabled) & ARMING_TYPES
+            if not armed:
+                continue
+            leak = find_leak_path(cfg, node, is_round_release, exit_allowed)
+            if leak is not None:
+                exit_, trace = leak
+                how = (
+                    f"raise {exit_.exception or '<unknown>'}"
+                    if exit_.kind == EXIT_RAISE
+                    else "return"
+                )
+                findings.append(
+                    Finding(
+                        "leak",
+                        "round-state-leak",
+                        decl.module.relative,
+                        node.line,
+                        decl.qualname,
+                        f"round armed by {'/'.join(sorted(armed))} send can "
+                        f"exit via {how} without releasing cohort round state "
+                        "(no decision / ROUND_FAILED / publish on the path)",
+                        trace=tuple(trace),
+                    )
+                )
+
+    if arms_sim:
+        def is_sim_release(node: Node) -> bool:
+            return any(
+                call_name(call) == SIM_RELEASE
+                or _call_releases(tree, index, call, decl.class_name, "sim")
+                for call in _stmt_calls(node.stmt, enabled)
+            )
+
+        for node in cfg.nodes:
+            if not any(
+                call_name(call) == SIM_ARM
+                for call in _stmt_calls(node.stmt, enabled)
+            ):
+                continue
+            leak = find_leak_path(cfg, node, is_sim_release, exit_allowed)
+            if leak is not None:
+                exit_, trace = leak
+                how = (
+                    f"raise {exit_.exception or '<unknown>'}"
+                    if exit_.kind == EXIT_RAISE
+                    else "return"
+                )
+                findings.append(
+                    Finding(
+                        "leak",
+                        "sim-window-leak",
+                        decl.module.relative,
+                        node.line,
+                        decl.qualname,
+                        f"virtual-timeline window opened by {SIM_ARM} can exit "
+                        f"via {how} without reaching {SIM_RELEASE}",
+                        trace=tuple(trace),
+                    )
+                )
+    return findings
+
+
+def _structural_round_store(tree: SourceTree) -> List[Finding]:
+    """Modules that arm ``self._rounds[...]`` must also release somewhere."""
+    findings: List[Finding] = []
+    for relative in sorted(tree.modules):
+        module = tree.modules[relative]
+        if module.package not in COORDINATOR_PACKAGES:
+            continue
+        arm_line: Optional[int] = None
+        released = False
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Subscript)
+                        and isinstance(target.value, ast.Attribute)
+                        and target.value.attr == "_rounds"
+                    ):
+                        arm_line = arm_line or node.lineno
+            elif isinstance(node, ast.Call):
+                if (
+                    call_name(node) == "pop"
+                    and isinstance(node.func, ast.Attribute)
+                    and isinstance(node.func.value, ast.Attribute)
+                    and node.func.value.attr == "_rounds"
+                ):
+                    released = True
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Subscript)
+                        and isinstance(target.value, ast.Attribute)
+                        and target.value.attr == "_rounds"
+                    ):
+                        released = True
+        if arm_line is not None and not released:
+            findings.append(
+                Finding(
+                    "leak",
+                    "round-state-structure",
+                    relative,
+                    arm_line,
+                    "",
+                    "module stores RoundState into self._rounds but contains "
+                    "no pop/del release site",
+                )
+            )
+    return findings

@@ -1,0 +1,359 @@
+"""Shared AST model for the whole-program protocol analyzer.
+
+Everything in :mod:`repro.check.static` works on this layer:
+
+- :class:`SourceTree` parses every module under the analyzed root exactly
+  once and indexes functions, classes, and class hierarchies **by name** so
+  the analyses can resolve calls without importing the package (the CI job
+  checks out sources only, mirroring :mod:`repro.check.lint`).
+- :class:`Finding` is the one result type all three analyses emit; its
+  :attr:`Finding.key` deliberately excludes line numbers so baseline entries
+  survive pure line drift.
+- :func:`fold_test` statically evaluates branch conditions over
+  ``mutation_enabled("...")`` calls given the set of enabled mutation flags.
+  This is how static analysis composes with the runtime mutation registry
+  (:mod:`repro.check.mutations`): with a mutation *off* its guarded buggy
+  branch is statically dead and never reported; with it *on* the fixed
+  branch dies instead and the historical bug resurfaces as a finding.
+- :func:`iter_live` walks an AST yielding only nodes reachable under that
+  folding, so every rule prunes statically-dead branches the same way.
+
+Call resolution is deliberately optimistic: ``self.m(...)`` resolves through
+the enclosing class and its (name-matched) bases, ``f(...)`` to every
+module-level ``f`` plus constructors of classes named ``f``, and
+``obj.m(...)`` to every function named ``m`` anywhere in the tree.  That
+over-approximates reachability -- safe for the escape checker (it may flag
+too much, never too little) -- while the class-aware ``self.`` rule keeps
+same-named helpers (e.g. the two ``_failed_result`` methods) from masking
+each other in the leak detector's releasing-callee fixpoint.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
+
+#: Trailing-comment marker suppressing a finding on its line.  Bare form
+#: (``# static: allow``) suppresses every rule; ``# static: allow[rule]``
+#: (comma-separable) suppresses only the named rule(s).
+ALLOW_MARKER = "# static: allow"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One analyzer result.
+
+    ``trace`` carries the arming->leaking statement path (source line
+    numbers) for leak findings; empty elsewhere.
+    """
+
+    analysis: str  # "flow" | "leak" | "effects"
+    rule: str
+    path: str  # module path relative to the analyzed root (posix)
+    line: int
+    function: str  # qualified name, "" for module-level findings
+    message: str  # line-number free: baseline keys must survive drift
+    trace: Tuple[int, ...] = ()
+
+    @property
+    def key(self) -> str:
+        """Baseline identity, stable across pure line-number churn."""
+        return f"{self.rule}::{self.path}::{self.function}::{self.message}"
+
+    def __str__(self) -> str:
+        where = f"{self.path}:{self.line}"
+        subject = f" {self.function}:" if self.function else ""
+        rendered = f"{where}: [{self.rule}]{subject} {self.message}"
+        if self.trace:
+            rendered += " (path: " + " -> ".join(str(line) for line in self.trace) + ")"
+        return rendered
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "analysis": self.analysis,
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "function": self.function,
+            "message": self.message,
+            "trace": list(self.trace),
+            "key": self.key,
+        }
+
+
+@dataclass
+class FunctionDecl:
+    """One function or method definition, with its lexical class context."""
+
+    name: str
+    qualname: str
+    module: "SourceModule"
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    class_name: Optional[str] = None
+
+
+@dataclass
+class ClassDecl:
+    name: str
+    module: "SourceModule"
+    node: ast.ClassDef
+    bases: Tuple[str, ...]
+    methods: Dict[str, FunctionDecl]
+
+
+class SourceModule:
+    """One parsed source file."""
+
+    def __init__(self, path: Path, relative: str, source: str) -> None:
+        self.path = path
+        self.relative = relative
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=str(path))
+
+    @property
+    def package(self) -> str:
+        """First path component under the root ('' for top-level modules)."""
+        parts = self.relative.split("/")
+        return parts[0] if len(parts) > 1 else ""
+
+    def allows(self, line: int, rule: str) -> bool:
+        """Whether ``# static: allow`` on ``line`` suppresses ``rule``."""
+        try:
+            text = self.lines[line - 1]
+        except IndexError:
+            return False
+        marker = text.find(ALLOW_MARKER)
+        if marker < 0:
+            return False
+        rest = text[marker + len(ALLOW_MARKER):].strip()
+        if rest.startswith("["):
+            end = rest.find("]")
+            if end < 0:
+                return False
+            rules = {item.strip() for item in rest[1:end].split(",")}
+            return rule in rules
+        return True
+
+
+class SourceTree:
+    """Every module under one root, parsed once and indexed by name."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = root.resolve()
+        self.modules: Dict[str, SourceModule] = {}
+        self.functions: Dict[str, List[FunctionDecl]] = {}
+        self.classes: Dict[str, List[ClassDecl]] = {}
+        self.syntax_errors: List[Finding] = []
+        for path in sorted(self.root.rglob("*.py")):
+            relative = path.relative_to(self.root).as_posix()
+            try:
+                module = SourceModule(path, relative, path.read_text())
+            except SyntaxError as exc:
+                self.syntax_errors.append(
+                    Finding("flow", "syntax", relative, exc.lineno or 0, "", str(exc.msg))
+                )
+                continue
+            self.modules[relative] = module
+            self._collect(module)
+
+    # -- declaration indexing ---------------------------------------------------
+
+    def _collect(self, module: SourceModule) -> None:
+        def visit(node: ast.AST, prefix: str) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    qualname = f"{prefix}{child.name}"
+                    decl = FunctionDecl(child.name, qualname, module, child, None)
+                    self.functions.setdefault(child.name, []).append(decl)
+                    visit(child, f"{qualname}.")
+                elif isinstance(child, ast.ClassDef):
+                    bases = tuple(
+                        name for name in (_terminal_name(base) for base in child.bases)
+                        if name is not None
+                    )
+                    methods: Dict[str, FunctionDecl] = {}
+                    for item in child.body:
+                        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                            qualname = f"{prefix}{child.name}.{item.name}"
+                            decl = FunctionDecl(
+                                item.name, qualname, module, item, child.name
+                            )
+                            methods[item.name] = decl
+                            self.functions.setdefault(item.name, []).append(decl)
+                            visit(item, f"{qualname}.")
+                    self.classes.setdefault(child.name, []).append(
+                        ClassDecl(child.name, module, child, bases, methods)
+                    )
+                else:
+                    visit(child, prefix)
+
+        visit(module.tree, "")
+
+    # -- name-based call resolution ---------------------------------------------
+
+    def resolve_method(self, class_name: str, method: str) -> List[FunctionDecl]:
+        """Methods named ``method`` on ``class_name`` or its named bases.
+
+        A class that defines the method shadows its bases (those bases are
+        not searched further); unrelated same-named classes all contribute.
+        """
+        found: List[FunctionDecl] = []
+        seen = set()
+        queue = [class_name]
+        while queue:
+            current = queue.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            for decl in self.classes.get(current, []):
+                if method in decl.methods:
+                    found.append(decl.methods[method])
+                else:
+                    queue.extend(decl.bases)
+        return found
+
+    def resolve_call(
+        self, call: ast.Call, enclosing_class: Optional[str] = None
+    ) -> List[FunctionDecl]:
+        """Every declaration a call might target (optimistic, name-based)."""
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            name = func.attr
+            base = func.value
+            if isinstance(base, ast.Name) and base.id == "self" and enclosing_class:
+                decls = self.resolve_method(enclosing_class, name)
+                if decls:
+                    return decls
+            if (
+                isinstance(base, ast.Call)
+                and isinstance(base.func, ast.Name)
+                and base.func.id == "super"
+                and enclosing_class
+            ):
+                decls = []
+                for cls in self.classes.get(enclosing_class, []):
+                    for base_name in cls.bases:
+                        decls.extend(self.resolve_method(base_name, name))
+                if decls:
+                    return decls
+            return list(self.functions.get(name, []))
+        if isinstance(func, ast.Name):
+            decls = list(self.functions.get(func.id, []))
+            for cls in self.classes.get(func.id, []):
+                for ctor in ("__init__", "__post_init__"):
+                    if ctor in cls.methods:
+                        decls.append(cls.methods[ctor])
+            return decls
+        return []
+
+
+def _terminal_name(node: ast.AST) -> Optional[str]:
+    """The rightmost name of a ``Name`` / ``a.b.c`` chain."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def call_name(node: ast.Call) -> Optional[str]:
+    """The terminal callee name of a call (``f`` for both ``f()``/``o.f()``)."""
+    return _terminal_name(node.func)
+
+
+def call_message_types(node: ast.Call) -> List[str]:
+    """Every ``MessageType.X`` attribute appearing in a call's arguments."""
+    types: List[str] = []
+    for arg in list(node.args) + [kw.value for kw in node.keywords]:
+        for sub in ast.walk(arg):
+            if (
+                isinstance(sub, ast.Attribute)
+                and isinstance(sub.value, ast.Name)
+                and sub.value.id == "MessageType"
+            ):
+                types.append(sub.attr)
+    return types
+
+
+# -- mutation folding -------------------------------------------------------------
+
+
+def fold_test(node: ast.AST, enabled: FrozenSet[str]) -> Optional[bool]:
+    """Statically evaluate a branch condition; ``None`` when unknown.
+
+    Knows literals, ``not``/``and``/``or`` composition, and
+    ``mutation_enabled("name")`` calls against the enabled set.  ``X and
+    <False>`` folds to ``False`` (the branch is dead) even when ``X`` is
+    unknown, which is exactly the shape of the in-tree mutation guards.
+    """
+    if isinstance(node, ast.Constant):
+        if isinstance(node.value, (bool, int, str, bytes, float)) or node.value is None:
+            return bool(node.value)
+        return None
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.Not):
+        inner = fold_test(node.operand, enabled)
+        return None if inner is None else not inner
+    if isinstance(node, ast.BoolOp):
+        verdicts = [fold_test(value, enabled) for value in node.values]
+        if isinstance(node.op, ast.And):
+            if any(verdict is False for verdict in verdicts):
+                return False
+            if all(verdict is True for verdict in verdicts):
+                return True
+            return None
+        if any(verdict is True for verdict in verdicts):
+            return True
+        if all(verdict is False for verdict in verdicts):
+            return False
+        return None
+    if isinstance(node, ast.Call) and call_name(node) == "mutation_enabled":
+        if (
+            len(node.args) == 1
+            and not node.keywords
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            return node.args[0].value in enabled
+    return None
+
+
+def iter_live(
+    roots: Sequence[ast.AST], enabled: FrozenSet[str]
+) -> Iterator[ast.AST]:
+    """Walk ``roots`` yielding only nodes reachable under mutation folding.
+
+    Branches whose condition folds to a constant contribute only the taken
+    side; the condition expression itself is always yielded (it evaluates at
+    runtime regardless of which way it folds).
+    """
+    stack: List[ast.AST] = list(reversed(list(roots)))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, ast.If):
+            verdict = fold_test(node.test, enabled)
+            stack.append(node.test)
+            if verdict is not True:
+                stack.extend(reversed(node.orelse))
+            if verdict is not False:
+                stack.extend(reversed(node.body))
+            continue
+        if isinstance(node, ast.IfExp):
+            verdict = fold_test(node.test, enabled)
+            stack.append(node.test)
+            if verdict is not True:
+                stack.append(node.orelse)
+            if verdict is not False:
+                stack.append(node.body)
+            continue
+        if isinstance(node, ast.While):
+            verdict = fold_test(node.test, enabled)
+            stack.append(node.test)
+            stack.extend(reversed(node.orelse))
+            if verdict is not False:
+                stack.extend(reversed(node.body))
+            continue
+        stack.extend(reversed(list(ast.iter_child_nodes(node))))

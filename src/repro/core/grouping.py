@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import FrozenSet, Iterable, Sequence, Set
 
+from repro.common.errors import ValidationError
 from repro.storage.shard import ShardMap
 from repro.txn.transaction import Transaction
 
@@ -40,7 +41,7 @@ class ServerGroup:
 
     def __post_init__(self) -> None:
         if self.coordinator not in self.members:
-            raise ValueError("coordinator must be a member of its group")
+            raise ValidationError("coordinator must be a member of its group")
 
     def overlaps(self, other: "ServerGroup") -> bool:
         """True iff the two groups share at least one server (Gi ∩ Gj ≠ ∅)."""
@@ -64,7 +65,7 @@ def group_for_transaction(
     """
     servers = shard_map.servers_for(txn.items_accessed())
     if not servers:
-        raise ValueError(f"transaction {txn.txn_id} accesses no known items")
+        raise ValidationError(f"transaction {txn.txn_id} accesses no known items")
     return ServerGroup(
         members=frozenset(servers), coordinator=_pick_coordinator(servers, exclude)
     )
@@ -78,7 +79,7 @@ def group_for_batch(
     for txn in transactions:
         servers.update(shard_map.servers_for(txn.items_accessed()))
     if not servers:
-        raise ValueError("batch accesses no known items")
+        raise ValidationError("batch accesses no known items")
     return ServerGroup(
         members=frozenset(servers), coordinator=_pick_coordinator(servers, exclude)
     )

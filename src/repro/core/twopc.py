@@ -14,6 +14,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.check.mutations import mutation_enabled
 from repro.common.timestamps import Timestamp
 from repro.core.tfcommit import (
     BatchBuilder,
@@ -133,7 +134,7 @@ class TwoPhaseCommitCoordinator(SimScheduledRounds):
             for resp in votes.values()
             if resp.get("ok") is False and not resp.get("unreachable")
         ]
-        if unreachable or refused:
+        if (unreachable or refused) and not mutation_enabled("pr7-2pc-vote-keyerror"):
             # A cohort crashed mid-round (its synthesised response carries no
             # vote fields) or refused a stale-view proposal: fail the round
             # exactly like TFCommit's phase-1 unreachable check instead of
@@ -151,7 +152,13 @@ class TwoPhaseCommitCoordinator(SimScheduledRounds):
         decision = BlockDecision.COMMIT
         abort_reasons: List[str] = []
         for server_id, vote in votes.items():
-            if vote.get("involved") and vote["decision"] == BlockDecision.ABORT.value:
+            if mutation_enabled("pr7-2pc-vote-keyerror"):
+                # The pre-fix tally: a bare subscript that KeyErrors on the
+                # synthesized response of a cohort that died mid-round.
+                involved = vote["involved"]
+            else:
+                involved = vote.get("involved")
+            if involved and vote["decision"] == BlockDecision.ABORT.value:
                 decision = BlockDecision.ABORT
                 if vote["reason"]:
                     abort_reasons.append(f"{server_id}: {vote['reason']}")

@@ -131,7 +131,7 @@ def verify_certificate(
         return None
     try:
         head = block_from_wire(cert.head)
-    except Exception:
+    except ValidationError:
         return None
     if head.block_hash() != cert.head_hash:
         return None

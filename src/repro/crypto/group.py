@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.common.errors import ValidationError
+
 # secp256k1 domain parameters (SEC 2, version 2.0).
 FIELD_PRIME = 0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEFFFFFC2F
 CURVE_A = 0
@@ -333,18 +335,20 @@ def generator_multiply(scalar: int) -> Point:
 def decompress_point(data: bytes) -> Point:
     """Decode a SEC1 compressed point produced by :meth:`Point.encode`.
 
-    Raises ``ValueError`` if the encoding is malformed or the x coordinate is
-    not on the curve.
+    Raises :class:`~repro.common.errors.ValidationError` if the encoding is
+    malformed or the x coordinate is not on the curve -- the input is
+    wire-carried and may come from a Byzantine peer, so the failure must stay
+    inside the library's error contract.
     """
     if data == b"\x00":
         return INFINITY
     if len(data) != 33 or data[0:1] not in (b"\x02", b"\x03"):
-        raise ValueError("malformed compressed point")
+        raise ValidationError("malformed compressed point")
     x = int.from_bytes(data[1:], "big")
     y_squared = (pow(x, 3, FIELD_PRIME) + CURVE_A * x + CURVE_B) % FIELD_PRIME
     y = pow(y_squared, (FIELD_PRIME + 1) // 4, FIELD_PRIME)
     if (y * y) % FIELD_PRIME != y_squared:
-        raise ValueError("x coordinate is not on the curve")
+        raise ValidationError("x coordinate is not on the curve")
     if (y % 2 == 1) != (data[0:1] == b"\x03"):
         y = FIELD_PRIME - y
     return Point(x, y)

@@ -26,7 +26,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.common.encoding import canonical_encode
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ConfigurationError, ValidationError
 from repro.crypto.keys import KeyPair, PublicKey
 from repro.crypto.schnorr import SchnorrSignature, schnorr_sign, schnorr_verify
 
@@ -71,7 +71,7 @@ def _decode_schnorr(blob: bytes) -> SchnorrSignature:
 
     try:
         nonce_point = decompress_point(blob[0:33])
-    except ValueError:
+    except ValidationError:
         return None
     return SchnorrSignature(nonce_point, int.from_bytes(blob[33:65], "big"))
 

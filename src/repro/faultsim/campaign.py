@@ -343,7 +343,7 @@ class CampaignRunner:
         """Recover every crashed server, consulting tampering peers *first*.
 
         Putting declared catch-up tamperers at the front of the peer order
-        guarantees their doctored ``STATE_RESPONSE`` is actually exercised
+        guarantees their doctored state response is actually exercised
         (and must be rejected) before an honest peer completes the recovery.
         """
         tamperers = [
@@ -439,7 +439,7 @@ class CampaignRunner:
 
         A crashed cohort surfaces as an *unreachable* refusal in a failed
         TFCommit round (the liveness signal); a tampering catch-up peer
-        surfaces as a rejected ``STATE_RESPONSE`` during recovery.  Neither
+        surfaces as a rejected state response during recovery.  Neither
         may appear in the audit report as a safety violation pinned on the
         target -- ``misattributed`` records whether that invariant held.
         """

@@ -295,7 +295,7 @@ def _base_scenarios(server_ids: Sequence[str]) -> List[CampaignScenario]:
         CampaignScenario(
             # One cohort crashes; another serves it doctored catch-up blocks
             # during recovery.  The recovering server must reject the
-            # tampered STATE_RESPONSE (its verification catches the forgery)
+            # tampered state response (its verification catches the forgery)
             # and complete recovery from an honest peer.  The crash fires in
             # the *decision* phase so a block commits cluster-wide that the
             # crashed server missed -- in the classic full-cluster deployment

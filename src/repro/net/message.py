@@ -15,26 +15,29 @@ from typing import Any, Optional
 
 
 class MessageType(Enum):
-    """All message kinds exchanged in Fides.
+    """All *request* message kinds exchanged in Fides.
 
     The names follow the transaction life-cycle of Figure 5 and the TFCommit
-    phases of Figure 7.
+    phases of Figure 7.  The network is synchronous-RPC
+    (:meth:`~repro.net.network.Network.send` returns the handler's result),
+    so replies -- votes, read results, state and audit responses -- travel as
+    handler *return payloads* and have no enveloped type of their own.  The
+    message-flow analyzer (``python -m repro.check.static``) enforces this:
+    every member must be sent somewhere and dispatched in
+    ``Server.handle``.
     """
 
     # Transaction execution (client <-> server), Figure 6.
     BEGIN_TRANSACTION = "begin_transaction"
     READ = "read"
-    READ_RESPONSE = "read_response"
     WRITE = "write"
-    WRITE_ACK = "write_ack"
     END_TRANSACTION = "end_transaction"
-    TXN_OUTCOME = "txn_outcome"
 
-    # TFCommit phases (coordinator <-> cohorts), Figure 7.
+    # TFCommit phases (coordinator <-> cohorts), Figure 7.  The cohort's
+    # <TxnVote, SchCommit> and <null, SchResponse> halves are the returns of
+    # GET_VOTE and CHALLENGE respectively.
     GET_VOTE = "get_vote"
-    VOTE = "vote"
     CHALLENGE = "challenge"
-    RESPONSE = "response"
     DECISION = "decision"
     #: A round that failed (refusals, bad co-sign) is abandoned explicitly so
     #: cohorts release the per-round state they buffered for it.
@@ -50,21 +53,17 @@ class MessageType(Enum):
     VIEW_CHANGE = "view_change"
     NEW_VIEW = "new_view"
 
-    # 2PC baseline phases.
+    # 2PC baseline phases (the prepare vote is PREPARE's return payload).
     PREPARE = "prepare"
-    PREPARE_VOTE = "prepare_vote"
     COMMIT_DECISION = "commit_decision"
 
     # Crash recovery: a restarted server fetches its missing block range from
     # (untrusted) peers and verifies it before applying.
     STATE_REQUEST = "state_request"
-    STATE_RESPONSE = "state_response"
 
     # Audit traffic (auditor <-> servers).
     AUDIT_LOG_REQUEST = "audit_log_request"
-    AUDIT_LOG_RESPONSE = "audit_log_response"
     AUDIT_VO_REQUEST = "audit_vo_request"
-    AUDIT_VO_RESPONSE = "audit_vo_response"
 
 
 @dataclass(frozen=True)

@@ -6,8 +6,8 @@ The subsystem behind ``DatabaseServer.crash()`` / ``recover()``:
   append-only file WAL with snapshot compaction);
 * :mod:`repro.recovery.wire` -- strict decoders for the byte boundary;
 * :mod:`repro.recovery.manager` -- restore-and-verify plus the
-  ``STATE_REQUEST``/``STATE_RESPONSE`` catch-up protocol against untrusted
-  peers.
+  ``STATE_REQUEST`` catch-up protocol against untrusted peers (each peer's
+  state response travels as the RPC return payload).
 
 See DESIGN.md section 6 for the recovery state machine and the trust
 argument.

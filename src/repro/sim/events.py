@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.check.choices import active_choices
+from repro.common.errors import ProtocolInvariantError
 
 
 @dataclass(frozen=True)
@@ -90,7 +91,9 @@ class EventLoop:
     ) -> SimEvent:
         """Schedule one event at an absolute virtual time."""
         if time < 0:
-            raise ValueError(f"cannot schedule an event at negative time {time}")
+            raise ProtocolInvariantError(
+                f"cannot schedule an event at negative time {time}"
+            )
         event = SimEvent(
             time=float(time),
             seq=self._next_seq(),

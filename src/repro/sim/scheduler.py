@@ -54,6 +54,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
+from repro.common.errors import ProtocolInvariantError
 from repro.sim.clock import VirtualClock
 from repro.sim.events import EventLoop
 
@@ -202,7 +203,7 @@ class PipelinedRoundScheduler:
         virtual start time.
         """
         if task._pending_phase is not None:
-            raise RuntimeError(
+            raise ProtocolInvariantError(
                 f"{task.label}: phase {task._pending_phase[0]!r} is still open"
             )
         start = task.ready_at
@@ -220,7 +221,7 @@ class PipelinedRoundScheduler:
     def end_phase(self, task: BlockTask, phase: str, duration: float) -> Tuple[float, float]:
         """Close the open phase with its measured/sampled duration."""
         if task._pending_phase is None or task._pending_phase[0] != phase:
-            raise RuntimeError(
+            raise ProtocolInvariantError(
                 f"{task.label}: end_phase({phase!r}) without a matching begin_phase"
             )
         _, start, kind = task._pending_phase
@@ -269,7 +270,9 @@ class PipelinedRoundScheduler:
         start = self._terminal_free.get(ORDSERV_RESOURCE, 0.0)
         if task is not None:
             if task._pending_phase is not None:
-                raise RuntimeError(f"{task.label}: delivery while a phase is open")
+                raise ProtocolInvariantError(
+                    f"{task.label}: delivery while a phase is open"
+                )
             start = max(start, task.ready_at)
         self.clock.set(start)
         self.loop.schedule(start, "phase_start", resource=ORDSERV_RESOURCE, label=label)

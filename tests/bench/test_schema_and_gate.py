@@ -166,10 +166,13 @@ class TestBenchCliExitCodes:
         assert "no result rows" in capsys.readouterr().err
 
     def test_raising_sweep_fails(self, capsys):
+        # The CLI catches the library's own error family (plus OSError);
+        # anything else is a programming bug and propagates loudly.
         from repro.bench import __main__ as cli
+        from repro.common.errors import StorageError
 
         def boom(**kwargs):
-            raise RuntimeError("sweep exploded")
+            raise StorageError("sweep exploded")
 
         original = cli.EXPERIMENT_REGISTRY.get("figure12")
         cli.EXPERIMENT_REGISTRY["figure12"] = boom

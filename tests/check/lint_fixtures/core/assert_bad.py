@@ -4,3 +4,8 @@
 def commit(height):
     assert height >= 0, "heights are non-negative"
     return height
+
+
+def checked_commit(height):
+    assert height >= 0, "explicitly exempted"  # lint: allow
+    return height

@@ -50,11 +50,16 @@ class TestFixturesAreFlagged:
     def test_bare_assert_rule_only_in_protocol_packages(self, violations):
         flagged = _by_rule(violations, "bare-assert")
         assert [v.path for v in flagged] == [str(Path("core") / "assert_bad.py")]
+        # The `# lint: allow` assert in the same file is exempt.
+        assert len(flagged) == 1
 
     def test_missing_decoder_rule(self, violations):
         flagged = _by_rule(violations, "missing-decoder")
         assert [v.path for v in flagged] == ["decoder_bad.py"]
         assert "Orphan" in flagged[0].message
+        # The `# lint: allow` marker on the class line is honored.
+        assert "ExemptedOrphan" not in flagged[0].message
+        assert len(flagged) == 1
 
     def test_cli_exit_code_and_json(self, capsys):
         code = main(

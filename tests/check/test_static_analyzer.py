@@ -1,0 +1,386 @@
+"""The static analyzer: clean on the real tree, each rule fires on a fixture.
+
+Mirrors ``test_lint.py``'s structure, but the fixtures are synthetic package
+trees written to ``tmp_path`` because the analyses key off package names
+(``core``, ``server``...) and cross-module structure (the ``MessageType``
+enum, the dispatch table), which point fixtures cannot express.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.check.lint import default_root
+from repro.check.static import run_analyses
+from repro.check.static.__main__ import main
+from repro.check.static.model import SourceTree
+from repro.check.static.report import (
+    build_report,
+    load_baseline,
+    validate_report,
+    write_baseline,
+)
+
+
+def write_tree(root: Path, files: dict) -> SourceTree:
+    for relative, source in files.items():
+        path = root / relative
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return SourceTree(root)
+
+
+#: Minimal surroundings every fixture tree shares: the enum, a dispatch
+#: table covering the enum, a send site per member, and an empty decoder
+#: registry so the missing-decoder pass has a file to read.
+def base_files(extra_members: str = "") -> dict:
+    return {
+        "net/message.py": f"""
+            class MessageType:
+                PING = "ping"
+                {extra_members}
+            """,
+        "server/server.py": """
+            from repro.net.message import MessageType
+
+            class Server:
+                def handle(self, envelope):
+                    handlers = {MessageType.PING: self._on_ping}
+                    return handlers[envelope.message_type](envelope)
+
+                def _on_ping(self, envelope):
+                    return {"ok": True}
+            """,
+        "core/driver.py": """
+            from repro.net.message import MessageType
+
+            class Driver:
+                def run(self):
+                    self.network.send("a", "b", MessageType.PING, {})
+            """,
+        "recovery/wire.py": """
+            WIRE_DECODERS = {}
+            """,
+    }
+
+
+def rules(findings):
+    return {finding.rule for finding in findings}
+
+
+def by_rule(findings, rule):
+    return [finding for finding in findings if finding.rule == rule]
+
+
+class TestRepositoryIsClean:
+    def test_src_repro_has_no_findings(self):
+        findings = run_analyses(SourceTree(default_root()))
+        assert findings == [], "\n".join(str(f) for f in findings)
+
+    def test_cli_exits_zero_on_the_repository(self, capsys):
+        assert main([]) == 0
+        assert "clean" in capsys.readouterr().out
+
+
+class TestFlowTotality:
+    def test_clean_base_tree(self, tmp_path):
+        tree = write_tree(tmp_path, base_files())
+        assert run_analyses(tree) == []
+
+    def test_unhandled_message(self, tmp_path):
+        files = base_files(extra_members='ROGUE = "rogue"')
+        files["core/rogue.py"] = """
+            from repro.net.message import MessageType
+
+            def fire(network):
+                network.broadcast("a", MessageType.ROGUE, {})
+            """
+        findings = by_rule(run_analyses(write_tree(tmp_path, files)), "unhandled-message")
+        assert [f.path for f in findings] == ["core/rogue.py"]
+        assert "ROGUE" in findings[0].message
+
+    def test_unsent_handler(self, tmp_path):
+        files = base_files(extra_members='GHOST = "ghost"')
+        files["server/server.py"] = """
+            from repro.net.message import MessageType
+
+            class Server:
+                def handle(self, envelope):
+                    handlers = {
+                        MessageType.PING: self._on_ping,
+                        MessageType.GHOST: self._on_ghost,
+                    }
+                    return handlers[envelope.message_type](envelope)
+
+                def _on_ping(self, envelope):
+                    return {"ok": True}
+
+                def _on_ghost(self, envelope):
+                    return {"ok": True}
+            """
+        findings = by_rule(run_analyses(write_tree(tmp_path, files)), "unsent-handler")
+        assert [f.path for f in findings] == ["server/server.py"]
+        assert "GHOST" in findings[0].message
+
+    def test_dead_message_type(self, tmp_path):
+        files = base_files(extra_members='UNUSED = "unused"')
+        findings = by_rule(run_analyses(write_tree(tmp_path, files)), "dead-message-type")
+        assert [f.path for f in findings] == ["net/message.py"]
+        assert "UNUSED" in findings[0].message
+
+    def test_missing_decoder(self, tmp_path):
+        files = base_files()
+        files["ledger/thing.py"] = """
+            class Thing:
+                def to_wire(self):
+                    return {}
+            """
+        findings = by_rule(run_analyses(write_tree(tmp_path, files)), "missing-decoder")
+        assert [f.path for f in findings] == ["ledger/thing.py"]
+
+    def test_syntax_error_is_a_finding(self, tmp_path):
+        files = base_files()
+        files["core/broken.py"] = "def f(:\n"
+        findings = by_rule(run_analyses(write_tree(tmp_path, files)), "syntax")
+        assert [f.path for f in findings] == ["core/broken.py"]
+
+
+class TestRoundStateLeaks:
+    def test_leaking_early_return_is_flagged(self, tmp_path):
+        files = base_files()
+        files["core/coord.py"] = """
+            from repro.net.message import MessageType
+
+            class Coordinator:
+                def commit(self, batch):
+                    votes = self.network.broadcast("c", MessageType.GET_VOTE, {})
+                    if not votes:
+                        return None  # leaks: armed cohorts never hear back
+                    self.network.broadcast("c", MessageType.DECISION, {})
+                    return votes
+            """
+        findings = by_rule(run_analyses(write_tree(tmp_path, files)), "round-state-leak")
+        assert [f.path for f in findings] == ["core/coord.py"]
+        assert "GET_VOTE" in findings[0].message
+        assert findings[0].trace, "a leak finding must carry its path trace"
+
+    def test_release_on_every_path_is_clean(self, tmp_path):
+        files = base_files()
+        files["core/coord.py"] = """
+            from repro.net.message import MessageType
+
+            class Coordinator:
+                def commit(self, batch):
+                    votes = self.network.broadcast("c", MessageType.GET_VOTE, {})
+                    if not votes:
+                        self._fail()
+                        return None
+                    self.network.broadcast("c", MessageType.DECISION, {})
+                    return votes
+
+                def _fail(self):
+                    self.network.broadcast("c", MessageType.ROUND_FAILED, {})
+            """
+        assert by_rule(run_analyses(write_tree(tmp_path, files)), "round-state-leak") == []
+
+    def test_exception_edge_leak_is_flagged(self, tmp_path):
+        files = base_files()
+        files["core/coord.py"] = """
+            from repro.net.message import MessageType
+
+            class Coordinator:
+                def commit(self, batch):
+                    votes = self.network.broadcast("c", MessageType.GET_VOTE, {})
+                    if self.tally(votes) is None:
+                        raise RuntimeError("bad tally escapes before any release")
+                    self.network.broadcast("c", MessageType.DECISION, {})
+                    return votes
+            """
+        findings = by_rule(run_analyses(write_tree(tmp_path, files)), "round-state-leak")
+        assert findings and "raise" in findings[0].message
+
+    def test_protocol_invariant_panic_is_an_allowed_exit(self, tmp_path):
+        files = base_files()
+        files["core/coord.py"] = """
+            from repro.common.errors import ProtocolInvariantError
+            from repro.net.message import MessageType
+
+            class Coordinator:
+                def commit(self, batch):
+                    votes = self.network.broadcast("c", MessageType.GET_VOTE, {})
+                    if self.tally(votes) is None:
+                        raise ProtocolInvariantError("deliberate panic")
+                    self.network.broadcast("c", MessageType.DECISION, {})
+                    return votes
+            """
+        assert by_rule(run_analyses(write_tree(tmp_path, files)), "round-state-leak") == []
+
+
+class TestExceptionEffects:
+    def test_broad_except_flagged_in_protocol_package(self, tmp_path):
+        files = base_files()
+        files["core/sloppy.py"] = """
+            def load(data):
+                try:
+                    return decode(data)
+                except Exception:
+                    return None
+            """
+        findings = by_rule(run_analyses(write_tree(tmp_path, files)), "broad-except")
+        assert [f.path for f in findings] == ["core/sloppy.py"]
+
+    def test_broad_except_ignored_outside_protocol_packages(self, tmp_path):
+        files = base_files()
+        files["bench/sloppy.py"] = """
+            def load(data):
+                try:
+                    return decode(data)
+                except Exception:
+                    return None
+            """
+        assert by_rule(run_analyses(write_tree(tmp_path, files)), "broad-except") == []
+
+    def test_unguarded_subscript_on_response_map(self, tmp_path):
+        files = base_files()
+        files["core/coord.py"] = """
+            def tally(self):
+                votes = timed_broadcast(self.network, "c", [], None, {})
+                return [vote["decision"] for vote in votes.values()]
+            """
+        findings = by_rule(run_analyses(write_tree(tmp_path, files)), "unguarded-subscript")
+        assert findings and "decision" in findings[0].message
+
+    def test_guarded_subscript_is_clean(self, tmp_path):
+        files = base_files()
+        files["core/coord.py"] = """
+            def tally(self):
+                votes = timed_broadcast(self.network, "c", [], None, {})
+                unreachable = [v for v in votes.values() if v.get("unreachable")]
+                if unreachable:
+                    return None
+                return [vote["decision"] for vote in votes.values()]
+            """
+        assert by_rule(run_analyses(write_tree(tmp_path, files)), "unguarded-subscript") == []
+
+    def test_safe_keys_are_exempt(self, tmp_path):
+        files = base_files()
+        files["core/coord.py"] = """
+            def tally(self):
+                votes = timed_broadcast(self.network, "c", [], None, {})
+                return [vote["ok"] for vote in votes.values()]
+            """
+        assert by_rule(run_analyses(write_tree(tmp_path, files)), "unguarded-subscript") == []
+
+    def test_unguarded_minmax(self, tmp_path):
+        files = base_files()
+        files["core/coord.py"] = """
+            def newest(self):
+                votes = timed_broadcast(self.network, "c", [], None, {})
+                return max(votes)
+            """
+        findings = by_rule(run_analyses(write_tree(tmp_path, files)), "unguarded-minmax")
+        assert findings and "default=" in findings[0].message
+
+    def test_minmax_with_default_is_clean(self, tmp_path):
+        files = base_files()
+        files["core/coord.py"] = """
+            def newest(self):
+                votes = timed_broadcast(self.network, "c", [], None, {})
+                return max(votes, default=0)
+            """
+        assert by_rule(run_analyses(write_tree(tmp_path, files)), "unguarded-minmax") == []
+
+    def test_escaping_raise_in_handler_reachable_code(self, tmp_path):
+        files = base_files()
+        files["server/server.py"] = """
+            from repro.net.message import MessageType
+
+            class Server:
+                def handle(self, envelope):
+                    handlers = {MessageType.PING: self._on_ping}
+                    return handlers[envelope.message_type](envelope)
+
+                def _on_ping(self, envelope):
+                    if not envelope.payload:
+                        raise ValueError("empty ping")
+                    return {"ok": True}
+            """
+        findings = by_rule(run_analyses(write_tree(tmp_path, files)), "escaping-raise")
+        assert findings and "ValueError" in findings[0].message
+
+    def test_raise_unreachable_from_dispatch_is_ignored(self, tmp_path):
+        files = base_files()
+        files["core/util.py"] = """
+            def helper(x):
+                if x < 0:
+                    raise ValueError("never called from a handler")
+                return x
+            """
+        assert by_rule(run_analyses(write_tree(tmp_path, files)), "escaping-raise") == []
+
+
+class TestSuppressionAndBaseline:
+    def test_static_allow_marker_suppresses(self, tmp_path):
+        files = base_files(extra_members='UNUSED = "unused"  # static: allow')
+        assert by_rule(run_analyses(write_tree(tmp_path, files)), "dead-message-type") == []
+
+    def test_static_allow_with_rule_list_is_selective(self, tmp_path):
+        files = base_files(
+            extra_members='UNUSED = "unused"  # static: allow[unguarded-subscript]'
+        )
+        findings = by_rule(run_analyses(write_tree(tmp_path, files)), "dead-message-type")
+        assert findings, "marker names a different rule, so the finding stays"
+
+    def test_baseline_roundtrip_and_report_schema(self, tmp_path):
+        files = base_files(extra_members='UNUSED = "unused"')
+        tree = write_tree(tmp_path, files)
+        findings = run_analyses(tree)
+        assert findings
+
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, findings)
+        baseline = load_baseline(baseline_path)
+        assert baseline == {finding.key for finding in findings}
+
+        report = build_report(findings, tmp_path, [], baseline)
+        assert validate_report(report) == []
+        assert report["new_findings"] == []
+        assert report["baselined_findings"] == sorted(baseline)
+
+    def test_cli_baseline_workflow(self, tmp_path, capsys):
+        files = base_files(extra_members='UNUSED = "unused"')
+        write_tree(tmp_path, files)
+        baseline = tmp_path / "baseline.json"
+        args = ["--root", str(tmp_path), "--baseline", str(baseline)]
+
+        assert main(args) == 1  # un-baselined finding fails
+        assert main(args + ["--update-baseline"]) == 0
+        assert main(args) == 0  # now accepted debt
+        out = capsys.readouterr().out
+        assert "[baselined]" in out
+
+        report_path = tmp_path / "report.json"
+        assert main(args + ["--json", str(report_path)]) == 0
+        report = json.loads(report_path.read_text())
+        assert validate_report(report) == []
+        assert report["counts"] == {"dead-message-type": 1}
+
+    def test_stale_baseline_entry_is_reported(self, tmp_path, capsys):
+        write_tree(tmp_path, base_files())
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({
+            "schema_version": 1,
+            "suppressions": ["gone::core/x.py::f::whatever"],
+        }))
+        assert main(["--root", str(tmp_path), "--baseline", str(baseline)]) == 0
+        assert "stale baseline entry" in capsys.readouterr().out
+
+    def test_baseline_schema_mismatch_rejected(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text(json.dumps({"schema_version": 99, "suppressions": []}))
+        with pytest.raises(ValueError):
+            load_baseline(bad)

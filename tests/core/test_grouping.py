@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.common.config import SystemConfig
+from repro.common.errors import ValidationError
 from repro.common.timestamps import Timestamp
 from repro.core.grouping import (
     ServerGroup,
@@ -41,11 +42,11 @@ class TestServerGroup:
         assert group.coordinator == "s0"
 
     def test_coordinator_must_be_member(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValidationError):
             ServerGroup(members=frozenset({"s1"}), coordinator="s9")
 
     def test_empty_transaction_rejected(self, shard_map):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValidationError):
             group_for_transaction(make_txn(), shard_map)
 
     def test_group_for_batch_unions_members(self, shard_map):

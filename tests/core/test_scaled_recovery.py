@@ -5,7 +5,7 @@ The acceptance scenario of the recovery subsystem: in a
 fails and releases its state, other groups keep committing (the ordered
 stream keeps flowing while the crashed server misses deliveries), the server
 recovers from its latest checkpoint via peer catch-up -- rejecting one
-tampered ``STATE_RESPONSE`` along the way -- rejoins, and the workload
+tampered state response along the way -- rejoins, and the workload
 completes with all servers holding identical, auditor-clean logs.
 """
 

@@ -6,6 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.common.errors import ValidationError
 from repro.crypto.group import (
     CURVE_ORDER,
     GENERATOR,
@@ -82,16 +83,16 @@ class TestPointEncoding:
         assert decompress_point(INFINITY.encode()) == INFINITY
 
     def test_malformed_prefix_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValidationError):
             decompress_point(b"\x05" + b"\x00" * 32)
 
     def test_wrong_length_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValidationError):
             decompress_point(b"\x02" + b"\x01" * 10)
 
     def test_off_curve_x_rejected(self):
         # x = 5 is not the abscissa of a curve point on secp256k1.
-        with pytest.raises(ValueError):
+        with pytest.raises(ValidationError):
             decompress_point(b"\x02" + (5).to_bytes(32, "big"))
 
     @settings(max_examples=10, deadline=None)

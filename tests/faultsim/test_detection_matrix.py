@@ -106,7 +106,7 @@ class TestViolationTypeCoverage:
 
     def test_tampered_catchup_is_rejected_during_recovery(self, campaign):
         """The decision-phase crash leaves a one-block gap; the tamperer's
-        doctored STATE_RESPONSE must be rejected before an honest peer
+        doctored state response must be rejected before an honest peer
         completes the catch-up."""
         result = campaign["tampered-catchup@always"]
         assert result.recovery_rejections == ("s1",)

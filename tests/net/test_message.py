@@ -28,7 +28,7 @@ class TestEnvelope:
         assert envelope.signature is None
 
     def test_to_wire_shape(self):
-        wire = Envelope("a", "b", MessageType.VOTE, {"x": 1}, b"s").to_wire()
+        wire = Envelope("a", "b", MessageType.GET_VOTE, {"x": 1}, b"s").to_wire()
         assert set(wire) == {"content", "signature"}
 
     def test_message_types_cover_protocol_phases(self):
@@ -39,9 +39,7 @@ class TestEnvelope:
             "write",
             "end_transaction",
             "get_vote",
-            "vote",
             "challenge",
-            "response",
             "decision",
             "prepare",
             "commit_decision",
@@ -88,6 +86,6 @@ class TestEnvelopeRoundTrips:
         rng = random.Random(seed)
         for _ in range(20):
             payload = random_payload(rng)
-            wire = Envelope("a", "b", MessageType.VOTE, payload, b"sig").to_wire()
+            wire = Envelope("a", "b", MessageType.GET_VOTE, payload, b"sig").to_wire()
             assert wire["content"]["payload"] == payload
             assert wire["signature"] == b"sig"

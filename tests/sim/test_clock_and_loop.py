@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.common.errors import ProtocolInvariantError
 from repro.sim import EventLoop, VirtualClock
 
 
@@ -51,7 +52,7 @@ class TestEventLoop:
         assert loop.horizon == 5.0
 
     def test_negative_time_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ProtocolInvariantError):
             EventLoop().schedule(-1.0, "bad")
 
     def test_callbacks_run_and_may_schedule_more(self):

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.common.errors import ProtocolInvariantError
 from repro.sim import EventLoop, PipelinedRoundScheduler
 from repro.sim.scheduler import KIND_COMPUTE, KIND_TERMINAL
 
@@ -138,13 +139,13 @@ class TestLifecycleGuards:
         scheduler = make_scheduler()
         task = scheduler.begin_block(resource="c0", label="b")
         scheduler.begin_phase(task, "get_vote")
-        with pytest.raises(RuntimeError):
+        with pytest.raises(ProtocolInvariantError):
             scheduler.begin_phase(task, "aggregate")
 
     def test_end_phase_without_begin_raises(self):
         scheduler = make_scheduler()
         task = scheduler.begin_block(resource="c0", label="b")
-        with pytest.raises(RuntimeError):
+        with pytest.raises(ProtocolInvariantError):
             scheduler.end_phase(task, "get_vote", 1.0)
 
     def test_end_block_closes_an_open_phase(self):
