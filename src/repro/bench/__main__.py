@@ -33,6 +33,7 @@ from repro.bench.experiments import EXPERIMENT_REGISTRY
 from repro.bench.reporting import format_table, rows_to_csv
 from repro.bench.schema import canonical_report
 from repro.common.errors import FidesError
+from repro.obs import Observability
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -69,6 +70,25 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="additionally write the canonical report schema as JSON (CI artifact)",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="run with span tracing enabled and write a Chrome trace-event "
+        "JSON (Perfetto-loadable) there (experiments that support it)",
+    )
+    parser.add_argument(
+        "--trace-jsonl",
+        metavar="PATH",
+        default=None,
+        help="like --trace, but the JSONL span export (the round-trip format)",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="write the run's metrics snapshot (counters/gauges/histograms) as JSON",
+    )
     return parser
 
 
@@ -93,6 +113,19 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
             return 2
         kwargs["fixed_compute_ms"] = args.fixed_compute_ms
+    observability = None
+    if args.trace or args.trace_jsonl or args.metrics:
+        if "obs" not in parameters:
+            print(
+                f"{args.experiment} does not support --trace/--trace-jsonl/--metrics",
+                file=sys.stderr,
+            )
+            return 2
+        observability = Observability(tracing=bool(args.trace or args.trace_jsonl))
+        kwargs["obs"] = observability
+    #: The report's config block must describe the sweep's *parameters*;
+    #: the observability bundle is a measurement channel, not a parameter.
+    report_config = {name: value for name, value in kwargs.items() if name != "obs"}
     try:
         rows = runner(**kwargs)
     except (FidesError, OSError):
@@ -109,12 +142,49 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(rows_to_csv(rows), end="")
     else:
         print(format_table(rows, title=args.experiment))
+    trace_problems: List[str] = []
+    if observability is not None:
+        trace_problems = observability.tracer.check_invariants()
+        for problem in trace_problems:
+            print(f"trace invariant violated: {problem}", file=sys.stderr)
+        if args.trace is not None:
+            observability.tracer.export_chrome(args.trace)
+            print(
+                f"wrote Chrome trace ({observability.tracer.span_count()} spans) "
+                f"to {args.trace}"
+            )
+        if args.trace_jsonl is not None:
+            observability.tracer.export_jsonl(args.trace_jsonl)
+            print(
+                f"wrote JSONL trace ({observability.tracer.span_count()} spans) "
+                f"to {args.trace_jsonl}"
+            )
+        if args.metrics is not None:
+            with open(args.metrics, "w", encoding="utf-8") as handle:
+                json.dump(observability.metrics.snapshot(), handle, indent=2)
+                handle.write("\n")
+            print(f"wrote metrics snapshot to {args.metrics}")
     if args.json is not None:
-        report = canonical_report(args.experiment, rows, config=kwargs)
+        report = canonical_report(
+            args.experiment,
+            rows,
+            config=report_config,
+            attribution=(
+                observability.attribution(makespan=observability.tracer.makespan())
+                if observability is not None
+                else None
+            ),
+        )
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(report, handle, indent=2, default=str)
             handle.write("\n")
         print(f"wrote {len(rows)} rows to {args.json}")
+    if trace_problems:
+        print(
+            f"{len(trace_problems)} trace invariant violation(s); failing the run",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

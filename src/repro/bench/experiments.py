@@ -285,6 +285,7 @@ def pipeline(
     num_requests: int = 32,
     smoke: bool = False,
     return_results: bool = False,
+    obs=None,
 ):
     """The event-driven pipelining sweep: depth x deployment x txns/block.
 
@@ -300,7 +301,9 @@ def pipeline(
 
     The depth-1 points are sanity anchors (speedup 1.0 by construction);
     ``smoke=True`` restricts the grid to one depth >= 2 point per
-    deployment (the CI configuration).
+    deployment (the CI configuration).  ``obs`` is the shared
+    :class:`~repro.obs.Observability` bundle the traced CLI threads through
+    every point's systems (``--trace``/``--metrics``).
     """
     depths = tuple(depths)
     deployments = tuple(deployments)
@@ -323,6 +326,7 @@ def pipeline(
                         txns_per_block=batch,
                         num_requests=num_requests,
                         num_clients=2 if scaled else 1,
+                        obs=obs,
                     )
                 )
     rows = [result.as_row() for result in results]

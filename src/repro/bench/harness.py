@@ -119,6 +119,10 @@ class ExperimentResult:
     mht_hashes_per_block: float = 0.0
     network_ms_per_block: float = 0.0
     compute_ms_per_block: float = 0.0
+    #: Wall-clock spent in crypto (sign/verify/aggregate) amortised per
+    #: block, read from the run's ``crypto.*.s`` metrics counters -- the
+    #: isolated micro-timer, not a share of the coarse phase compute.
+    crypto_ms_per_block: float = 0.0
     phase_ms: Dict[str, float] = field(default_factory=dict)
 
     def as_row(self) -> Dict[str, object]:
@@ -140,6 +144,7 @@ class ExperimentResult:
             "block latency (ms)": round(self.block_latency_ms, 3),
             "MHT update (ms)": round(self.mht_update_ms, 3),
             "MHT hashes/block": round(self.mht_hashes_per_block, 1),
+            "crypto (ms)": round(self.crypto_ms_per_block, 3),
         }
 
 
@@ -197,6 +202,15 @@ def run_experiment(
     result.compute_ms_per_block = (
         statistics.mean(r.timing.compute_time for r in block_results) * 1000.0
     )
+    # Crypto wall time comes from the isolated micro-timers around every
+    # sign/verify/aggregate call (``crypto.*.s`` counters), not from a share
+    # of the coarse phase compute -- the row previously omitted it entirely.
+    crypto_s = sum(
+        value
+        for name, value in system.sim.obs.metrics.counters_matching("crypto.").items()
+        if name.endswith(".s")
+    )
+    result.crypto_ms_per_block = crypto_s / result.blocks * 1000.0
     if result.total_time_s > 0:
         result.throughput_tps = result.committed_txns / result.total_time_s
 
@@ -414,6 +428,7 @@ def run_pipelined_experiment(
     seed: int = 2020,
     audit: bool = True,
     fixed_compute_ms: Optional[float] = 1.0,
+    obs=None,
 ) -> PipelineExperimentResult:
     """Run one workload pipelined (depth >= 2) and sequentially (depth 1).
 
@@ -429,6 +444,11 @@ def run_pipelined_experiment(
     scheduling effect and is bit-identical across repeats and machines --
     which is what the CI baseline gate compares.  Pass ``None`` to use
     measured compute instead.
+
+    ``obs`` is a shared :class:`~repro.obs.Observability` bundle (the traced
+    bench CLI passes a tracing-enabled one); each inner run becomes its own
+    trace process so the pipelined and sequential timelines stay separable
+    in the exported trace.
     """
     window = max(1, pipeline_depth) * txns_per_block
     compute_model = (
@@ -446,9 +466,14 @@ def run_pipelined_experiment(
             pipeline_depth=depth,
             seed=seed,
         )
+        if obs is not None:
+            obs.tracer.begin_process(f"{label}/d{depth}")
         if group_size:
             system = ScaledFidesSystem(
-                config, latency=lan_latency(seed=seed), compute_model=compute_model
+                config,
+                latency=lan_latency(seed=seed),
+                compute_model=compute_model,
+                obs=obs,
             )
             workload = PartitionedWorkload(
                 partitions=locality_partitions(system, group_size),
@@ -463,6 +488,7 @@ def run_pipelined_experiment(
                 protocol=PROTOCOL_TFCOMMIT,
                 latency=lan_latency(seed=seed),
                 compute_model=compute_model,
+                obs=obs,
             )
             workload = YcsbWorkload(
                 item_ids=system.shard_map.all_items(),
@@ -539,6 +565,7 @@ def run_average(config: ExperimentConfig, repeats: int = 1) -> ExperimentResult:
     merged.mht_hashes_per_block = statistics.mean(r.mht_hashes_per_block for r in runs)
     merged.network_ms_per_block = statistics.mean(r.network_ms_per_block for r in runs)
     merged.compute_ms_per_block = statistics.mean(r.compute_ms_per_block for r in runs)
+    merged.crypto_ms_per_block = statistics.mean(r.crypto_ms_per_block for r in runs)
     # Merge the per-phase means as well: a run missing a phase (e.g. a
     # repeat whose every block failed before "finalize") contributes 0.
     phase_names = {name for r in runs for name in r.phase_ms}

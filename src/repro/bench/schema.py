@@ -17,8 +17,16 @@ Schema (version 1)::
         "labels": {"<row label>": {"throughput_tps": .., "latency_ms": ..}},
         "throughput_tps": {"mean": .., "min": ..},
         "latency_ms": {"p50": .., "p95": .., "p99": ..}
-      }
+      },
+      "attribution": {...}                # optional; traced runs only
     }
+
+The optional ``attribution`` block (present when the sweep ran with the
+observability bundle attached, i.e. ``--trace``/``--metrics``) is the
+per-phase / per-subsystem breakdown built by
+:meth:`repro.obs.Observability.attribution`: summed virtual-time seconds
+per protocol phase, wall-clock crypto/storage totals, byte counts, and the
+full metrics snapshot.
 
 Sweeps report throughput and latency under sweep-specific column names
 (classic sweeps in txns/s and amortised ms, the scaled sweep as
@@ -112,9 +120,15 @@ def canonical_report(
     sweep: str,
     rows: Sequence[Dict[str, object]],
     config: Optional[Dict[str, object]] = None,
+    attribution: Optional[Dict[str, object]] = None,
 ) -> Dict[str, object]:
-    """Build one canonical report dict for a finished sweep."""
-    return {
+    """Build one canonical report dict for a finished sweep.
+
+    ``attribution`` (traced runs only) adds the per-phase / per-subsystem
+    block; untraced reports omit the key entirely so their JSON is
+    byte-identical to pre-tracing reports.
+    """
+    report: Dict[str, object] = {
         "schema_version": SCHEMA_VERSION,
         "sweep": sweep,
         "commit": current_commit(),
@@ -122,6 +136,9 @@ def canonical_report(
         "rows": list(rows),
         "metrics": summarize_rows(rows),
     }
+    if attribution is not None:
+        report["attribution"] = attribution
+    return report
 
 
 def validate_report(report: Dict[str, object]) -> List[str]:

@@ -1,15 +1,27 @@
 """AST lint pass for repo invariants ruff cannot express.
 
 Runnable as ``python -m repro.check.lint`` (wired into CI next to ruff).
-Three rules over ``src/repro``:
+The rules over ``src/repro``:
 
 ``wallclock``
     No ``time.time()`` / ``time.time_ns()`` / ``datetime.now()`` /
     ``datetime.utcnow()`` / ``date.today()`` anywhere in the library: the
     simulation's determinism (and hence the model checker's replayability)
     requires that virtual time is the only time protocol code observes.
-    ``time.perf_counter()`` stays legal -- it *measures* compute durations,
-    it never becomes protocol state.
+
+``adhoc-timing``
+    No ``time.perf_counter()`` / ``time.monotonic()`` /
+    ``time.process_time()`` in the protocol packages: compute durations are
+    measured through :class:`repro.obs.timing.Stopwatch` (the one sanctioned
+    wall-clock reader), so every measurement lands in the metrics registry
+    instead of a local variable.  Non-protocol tooling (``bench``, ``audit``,
+    ``check``) may still time itself directly.
+
+``no-print``
+    No ``print()`` in the protocol packages: run output goes through the
+    observability layer (span attributes, metrics, trace instants), never
+    to stdout -- a protocol that prints is a protocol whose behaviour CI
+    cannot diff.
 
 ``unseeded-random``
     No module-level ``random.<fn>()`` calls and no argument-less
@@ -67,6 +79,9 @@ _WALLCLOCK_CALLS = {
     ("date", "today"),
 }
 
+#: Monotonic-timer names banned in protocol packages (use obs Stopwatch).
+_ADHOC_TIMING_CALLS = {"perf_counter", "monotonic", "process_time"}
+
 _ALLOW_MARKER = "# lint: allow"
 
 
@@ -102,12 +117,13 @@ def _allowed(source_lines: Sequence[str], line: int) -> bool:
 
 class _FileChecker(ast.NodeVisitor):
     def __init__(
-        self, path: Path, relative: str, source: str, check_asserts: bool
+        self, path: Path, relative: str, source: str, protocol: bool
     ) -> None:
         self.path = path
         self.relative = relative
         self.lines = source.splitlines()
-        self.check_asserts = check_asserts
+        #: True when the file lives in a protocol package (stricter rules).
+        self.protocol = protocol
         self.violations: List[LintViolation] = []
         self.wire_classes: Dict[str, int] = {}
 
@@ -127,7 +143,22 @@ class _FileChecker(ast.NodeVisitor):
                     node,
                     "wallclock",
                     f"{dotted}() reads the wall clock; use the virtual clock "
-                    "(or time.perf_counter for compute measurement)",
+                    "(compute is measured through repro.obs.timing.Stopwatch)",
+                )
+            elif dotted == "print" and self.protocol:
+                self._report(
+                    node,
+                    "no-print",
+                    "print() in a protocol package; report through the "
+                    "observability layer (metrics / trace instants) instead",
+                )
+            elif tail[-1] in _ADHOC_TIMING_CALLS and self.protocol:
+                self._report(
+                    node,
+                    "adhoc-timing",
+                    f"{dotted}() is an ad-hoc timer; measure through "
+                    "repro.obs.timing.Stopwatch so the duration lands in the "
+                    "metrics registry",
                 )
             elif tail[0] == "random" and tail[1] != "Random":
                 self._report(
@@ -147,7 +178,7 @@ class _FileChecker(ast.NodeVisitor):
     # -- bare asserts -------------------------------------------------------------
 
     def visit_Assert(self, node: ast.Assert) -> None:
-        if self.check_asserts and not _allowed(self.lines, node.lineno):
+        if self.protocol and not _allowed(self.lines, node.lineno):
             self._report(
                 node,
                 "bare-assert",
@@ -214,7 +245,7 @@ def lint_tree(
             )
             continue
         checker = _FileChecker(
-            path, str(relative), source, check_asserts=_is_protocol_path(relative)
+            path, str(relative), source, protocol=_is_protocol_path(relative)
         )
         checker.visit(tree)
         violations.extend(checker.violations)

@@ -85,6 +85,7 @@ class FidesSystem:
         initial_value: Value = 0,
         state_store_factory=None,
         compute_model: Optional[ComputeModel] = None,
+        obs=None,
     ) -> None:
         """``state_store_factory`` maps a server id to the durable
         :class:`~repro.recovery.statestore.StateStore` backing that server's
@@ -93,7 +94,10 @@ class FidesSystem:
         measure real WAL overhead).  ``compute_model`` overrides the measured
         per-phase compute charges on the simulated timeline (pass
         :class:`~repro.sim.context.FixedCompute` for bit-identical repeated
-        runs; see DESIGN.md section 7)."""
+        runs; see DESIGN.md section 7).  ``obs`` replaces the simulation
+        context's default :class:`~repro.obs.Observability` bundle -- the
+        benchmark harness passes a shared, tracing-enabled bundle so one
+        trace covers the whole run."""
         self.config = config or SystemConfig()
         if protocol not in (PROTOCOL_TFCOMMIT, PROTOCOL_2PC):
             raise ConfigurationError(f"unknown protocol {protocol!r}")
@@ -107,6 +111,8 @@ class FidesSystem:
             pipeline_depth=self.config.pipeline_depth,
             compute_model=compute_model,
         )
+        if obs is not None:
+            self.sim.obs = obs
         self.network = Network(
             signing_scheme=make_signing_scheme(self.config.message_signing),
             latency=self.latency,
@@ -127,6 +133,7 @@ class FidesSystem:
             )
             server.attach(self.network)
             server.attach_sim_clock(self.sim.clock)
+            server.attach_obs(self.sim.obs)
             self.servers[server_id] = server
 
         self.coordinator_id = self.config.server_ids[0]

@@ -70,6 +70,12 @@ class OrderingService:
         #: Round identities already accepted (pending or finalised); see
         #: :func:`round_identity`.
         self._identities: set = set()
+        #: Observability bundle (attached by the deployment layer).
+        self._obs = None
+
+    def attach_obs(self, obs) -> None:
+        """Report publication/ordering metrics through ``obs``."""
+        self._obs = obs
 
     # -- publication ---------------------------------------------------------------
 
@@ -102,8 +108,12 @@ class OrderingService:
         """
         identity = self.round_identity(block, group)
         if identity in self._identities:
+            if self._obs is not None:
+                self._obs.metrics.counter("ordserv.duplicates_suppressed")
             return False
         self._identities.add(identity)
+        if self._obs is not None:
+            self._obs.metrics.counter("ordserv.published")
         self._pending.append(_PendingBlock(block=block, group=group, sequence=self._sequence))
         self._sequence += 1
         if len(self._pending) > self._reorder_window:
@@ -198,6 +208,9 @@ class OrderingService:
             global_height=len(self._ordered), block=chained, group=pending.group
         )
         self._ordered.append(ordered)
+        if self._obs is not None:
+            self._obs.metrics.counter("ordserv.ordered")
+            self._obs.metrics.gauge("ordserv.stream_length", float(len(self._ordered)))
         for subscriber in self._subscribers:
             subscriber(ordered)
 

@@ -170,9 +170,12 @@ class GroupTFCommitCoordinator(TFCommitCoordinator):
             # the duplicate must not enter the stream twice.
             return []
         self._system.register_inflight(
-            final_block.signing_digest(), timing, self._sim_task
+            final_block.signing_digest(), timing, self._sim_task, span=self._sim_span
         )
+        # The round's trace span crosses the handoff with the task: it stays
+        # open until the ordering service delivers the chained block.
         self._sim_task = None
+        self._sim_span = None
         self._ordering.publish(final_block, self._current_group)
         return []
 
@@ -221,6 +224,7 @@ class ScaledFidesSystem(FidesSystem):
         reorder_window: int = 0,
         state_store_factory=None,
         compute_model=None,
+        obs=None,
     ) -> None:
         self._reorder_window = reorder_window
         super().__init__(
@@ -230,18 +234,22 @@ class ScaledFidesSystem(FidesSystem):
             initial_value=initial_value,
             state_store_factory=state_store_factory,
             compute_model=compute_model,
+            obs=obs,
         )
 
     # -- wiring ---------------------------------------------------------------------
 
     def _wire_termination(self) -> None:
         self.ordering = OrderingService(reorder_window=self._reorder_window)
+        self.ordering.attach_obs(self.sim.obs)
         self._group_coordinators: Dict[ServerId, GroupTFCommitCoordinator] = {}
         #: signing digest -> the round timing awaiting its delivery charge.
         self._inflight_timings: Dict[bytes, TimingBreakdown] = {}
         #: signing digest -> the round's timeline task awaiting its terminal
         #: ``order`` phase (scheduled when the stream delivers the block).
         self._inflight_tasks: Dict[bytes, BlockTask] = {}
+        #: signing digest -> the round's open trace span, closed at delivery.
+        self._inflight_spans: Dict[bytes, int] = {}
         #: signing digest -> virtual time the ordered delivery completed.
         #: Bounded: a result is restamped at (or within the same round as)
         #: its block's delivery, so only a recent window is ever read.
@@ -360,12 +368,15 @@ class ScaledFidesSystem(FidesSystem):
         signing_digest: bytes,
         timing: TimingBreakdown,
         task: Optional[BlockTask] = None,
+        span: Optional[int] = None,
     ) -> None:
-        """Remember a published block's timing (and its timeline task) until
-        the stream delivers it."""
+        """Remember a published block's timing (and its timeline task and
+        trace span) until the stream delivers it."""
         self._inflight_timings[signing_digest] = timing
         if task is not None:
             self._inflight_tasks[signing_digest] = task
+        if span is not None:
+            self._inflight_spans[signing_digest] = span
 
     def chained_block(self, signing_digest: bytes) -> Optional[Block]:
         """The globally chained block for a group digest, once delivered."""
@@ -421,6 +432,7 @@ class ScaledFidesSystem(FidesSystem):
         # co-signing finished.  Assigning the start before the sends lets
         # fault hooks inside the apply handlers fire at the delivery's time.
         task = self._inflight_tasks.pop(digest, None)
+        span = self._inflight_spans.pop(digest, None)
         label = f"ordserv/deliver-{ordered.global_height}"
         start = self.sim.scheduler.begin_delivery(task, label)
         # A scratch breakdown lets the shared helper do the accounting even
@@ -451,6 +463,22 @@ class ScaledFidesSystem(FidesSystem):
             ),
             status="committed" if block.is_commit else "aborted",
         )
+        status = "committed" if block.is_commit else "aborted"
+        tracer = self.sim.obs.tracer
+        tracer.add_span(
+            "order",
+            "delivery",
+            ORDSERV_ID,
+            start,
+            delivered_at,
+            parent=span,
+            global_height=ordered.global_height,
+        )
+        # Close the round span handed over at publication: the ordered
+        # delivery is the round's terminal phase, so the round's causal
+        # window ends here, not at the group co-sign.
+        tracer.close_span(span, delivered_at, status=status)
+        self.sim.obs.metrics.counter(f"rounds.delivered_{status}")
         self._decided_at_by_digest[digest] = delivered_at
         while len(self._decided_at_by_digest) > 256:
             self._decided_at_by_digest.pop(next(iter(self._decided_at_by_digest)))

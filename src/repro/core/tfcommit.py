@@ -27,7 +27,6 @@ the timing model used by the benchmark harness.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -48,6 +47,7 @@ from repro.ledger.block import Block, BlockDecision, make_partial_block
 from repro.net.latency import LatencyModel
 from repro.net.message import Envelope, MessageType
 from repro.net.network import Network
+from repro.obs.timing import Stopwatch
 from repro.sim.context import SimContext
 from repro.sim.scheduler import KIND_BROADCAST, KIND_COMPUTE, KIND_TERMINAL, BlockTask
 from repro.txn.transaction import Transaction
@@ -266,6 +266,7 @@ def timed_exchange(
     task: Optional[BlockTask] = None,
     kind: str = KIND_BROADCAST,
     timeout: float = ROUND_TIMEOUT_S,
+    span: Optional[int] = None,
 ) -> Dict[str, Dict]:
     """Send one phase's (possibly per-recipient) message and charge ``timing``.
 
@@ -301,6 +302,11 @@ def timed_exchange(
     crash of the coordinator.  No reply ever travels from a dead peer, so
     the phase charges the sender the full ``timeout`` wait for it rather
     than a phantom ``outbound + 0 + inbound`` round trip.
+
+    When tracing is enabled and a task is given, the phase becomes a span
+    (parented under ``span``, the caller's round span) with one child RPC
+    span per recipient whose window is that peer's own round trip -- the
+    coordinator -> cohort causal edge in the trace.
     """
     if sim is not None and task is not None:
         sim.scheduler.begin_phase(task, phase, kind=kind)
@@ -326,6 +332,7 @@ def timed_exchange(
             }
     inbound = {recipient: latency.sample() for recipient in recipients}
     slowest = slowest_net = slowest_compute = 0.0
+    round_trips: Dict[str, float] = {}
     for recipient in recipients:
         if responses[recipient].get("unreachable"):
             # The sender waits out the round timer on a silent peer; the
@@ -338,6 +345,7 @@ def timed_exchange(
                 compute = sim.effective_compute(phase, compute)
             round_trip = outbound[recipient] + compute + inbound[recipient]
             net = outbound[recipient] + inbound[recipient]
+        round_trips[recipient] = round_trip
         if round_trip >= slowest:
             slowest = round_trip
             slowest_net = net
@@ -345,8 +353,45 @@ def timed_exchange(
     timing.phases[phase] = slowest
     timing.network_time += slowest_net
     timing.compute_time += slowest_compute
+    obs = sim.obs if sim is not None else None
+    if obs is not None:
+        obs.metrics.counter(f"phase.{phase}.count")
+        obs.metrics.observe(f"phase.{phase}.s", slowest)
+        for recipient in recipients:
+            if responses[recipient].get("unreachable"):
+                obs.metrics.counter("net.unreachable")
+            else:
+                obs.metrics.observe(f"net.rtt.{phase}_s", round_trips[recipient])
     if sim is not None and task is not None:
-        sim.scheduler.end_phase(task, phase, slowest)
+        window = sim.scheduler.end_phase(task, phase, slowest)
+        if obs is not None and obs.tracing and window is not None:
+            phase_start, phase_end = window
+            timed_out = any(
+                responses[recipient].get("timed_out") for recipient in recipients
+            )
+            phase_span = obs.tracer.add_span(
+                phase,
+                "phase",
+                sender,
+                phase_start,
+                phase_end,
+                parent=span,
+                status="timeout" if timed_out else "ok",
+            )
+            for recipient in recipients:
+                obs.tracer.add_span(
+                    f"rpc:{message_type.value}",
+                    "rpc",
+                    recipient,
+                    phase_start,
+                    phase_start + round_trips[recipient],
+                    parent=phase_span,
+                    status=(
+                        "unreachable"
+                        if responses[recipient].get("unreachable")
+                        else "ok"
+                    ),
+                )
     return responses
 
 
@@ -363,6 +408,7 @@ def timed_broadcast(
     task: Optional[BlockTask] = None,
     kind: str = KIND_BROADCAST,
     timeout: float = ROUND_TIMEOUT_S,
+    span: Optional[int] = None,
 ) -> Dict[str, Dict]:
     """Broadcast one phase's message to every recipient (same payload each).
 
@@ -382,6 +428,7 @@ def timed_broadcast(
         task=task,
         kind=kind,
         timeout=timeout,
+        span=span,
     )
 
 
@@ -398,6 +445,11 @@ class SimScheduledRounds:
     (both coordinator classes define ``_pending`` and
     ``_latest_committed_ts`` in their constructors).
     """
+
+    #: Open trace span of the current round, tracked in lockstep with
+    #: ``_sim_task`` (the scaled deployment nulls both at the ordering
+    #: handoff and closes the span at delivery instead).
+    _sim_span: Optional[int] = None
 
     def take_pending(self) -> List[Tuple[Transaction, "Envelope"]]:
         """Drain and return this coordinator's unproposed queue.
@@ -432,6 +484,7 @@ class SimScheduledRounds:
         """
         if self._sim is None:
             self._sim_task = None
+            self._sim_span = None
             return None
         self._sim_blocks += 1
         reads = frozenset(
@@ -451,6 +504,14 @@ class SimScheduledRounds:
             chained=self._sim_chained(),
             group_members=self._sim_group_members(),
         )
+        self._sim_span = self._sim.obs.tracer.open_span(
+            self._sim_task.label,
+            "round",
+            self.coordinator_id,
+            self._sim_task.ready_at,
+            txns=[txn.txn_id for txn in transactions],
+            view=getattr(self, "view", 0),
+        )
         return self._sim_task
 
     def _sim_chained(self) -> bool:
@@ -466,15 +527,35 @@ class SimScheduledRounds:
     def _end_sim_block(self, status: str) -> Optional[float]:
         """Finish the round on the timeline; returns its virtual end time."""
         task, self._sim_task = self._sim_task, None
+        span, self._sim_span = self._sim_span, None
+        if self._sim is not None:
+            self._sim.obs.metrics.counter(f"rounds.{status}")
         if task is None or self._sim is None:
             return None
-        return self._sim.scheduler.end_block(task, status=status)
+        done_at = self._sim.scheduler.end_block(task, status=status)
+        self._sim.obs.tracer.close_span(span, done_at, status=status)
+        return done_at
 
     def _effective_compute(self, phase: str, measured: float) -> float:
         """Measured coordinator compute, overridden by the sim's compute model."""
         if self._sim is None:
             return measured
         return self._sim.effective_compute(phase, measured)
+
+    def _obs_crypto(self, op: str, seconds: float) -> None:
+        """Charge one coordinator-side crypto operation to the crypto
+        micro-timer (op count + wall seconds, kept out of virtual time)."""
+        if self._sim is not None:
+            self._sim.obs.metrics.counter(f"crypto.{op}.ops")
+            self._sim.obs.metrics.counter(f"crypto.{op}.s", seconds)
+
+    def _obs_compute_phase(self, phase: str, window) -> None:
+        """Trace one coordinator compute phase (aggregate/finalize) as a span."""
+        if self._sim is not None and window is not None:
+            start, end = window
+            self._sim.obs.tracer.add_span(
+                phase, "phase", self.coordinator_id, start, end, parent=self._sim_span
+            )
 
 
 class TFCommitCoordinator(SimScheduledRounds):
@@ -586,10 +667,10 @@ class TFCommitCoordinator(SimScheduledRounds):
         # is charged to the "aggregate" phase entry together with the vote
         # aggregation below, keeping every second of coordinator work in
         # exactly one phase entry.
-        assembly_started = time.perf_counter()
+        assembly_watch = Stopwatch()
         partial_block = self._make_partial_block(transactions)
         partial_block.signing_digest()
-        assembly_elapsed = time.perf_counter() - assembly_started
+        assembly_elapsed = assembly_watch.elapsed()
         votes = self._broadcast_phase(
             "get_vote",
             MessageType.GET_VOTE,
@@ -625,7 +706,7 @@ class TFCommitCoordinator(SimScheduledRounds):
         # Phase 3: <null, SchChallenge> -- aggregate votes into the block.
         if self._sim_task is not None:
             self._sim.scheduler.begin_phase(self._sim_task, "aggregate", kind=KIND_COMPUTE)
-        coordinator_started = time.perf_counter()
+        coordinator_watch = Stopwatch()
         faults.observe_phase(
             "coordinate", partial_block.height, tuple(t.txn_id for t in transactions)
         )
@@ -658,15 +739,20 @@ class TFCommitCoordinator(SimScheduledRounds):
                 if votes[server_id]["decision"] == BlockDecision.COMMIT.value
             }
         block = partial_block.with_decision(decision, roots)
+        crypto_watch = Stopwatch()
         aggregate_commitment = aggregate_points(commitments.values())
         challenge = compute_challenge(aggregate_commitment, block.signing_digest())
+        self._obs_crypto("aggregate_commitments", crypto_watch.elapsed())
         aggregate_elapsed = self._effective_compute(
-            "aggregate", assembly_elapsed + (time.perf_counter() - coordinator_started)
+            "aggregate", assembly_elapsed + coordinator_watch.elapsed()
         )
         timing.coordinator_time += aggregate_elapsed
         timing.phases["aggregate"] = aggregate_elapsed
         if self._sim_task is not None:
-            self._sim.scheduler.end_phase(self._sim_task, "aggregate", aggregate_elapsed)
+            self._obs_compute_phase(
+                "aggregate",
+                self._sim.scheduler.end_phase(self._sim_task, "aggregate", aggregate_elapsed),
+            )
 
         # Phase 4: <null, SchResponse>.
         if faults.equivocate() and decision is BlockDecision.COMMIT:
@@ -693,13 +779,15 @@ class TFCommitCoordinator(SimScheduledRounds):
             )
 
         # Phase 5: <Decision, null> -- aggregate the collective signature.
-        coordinator_started = time.perf_counter()
+        coordinator_watch = Stopwatch()
         response_scalars = {sid: resp["response"] for sid, resp in responses.items()}
+        crypto_watch = Stopwatch()
         cosign = CollectiveSignature(
             challenge=challenge,
             response=aggregate_scalars(response_scalars.values()),
             signer_ids=tuple(sorted(response_scalars)),
         )
+        self._obs_crypto("aggregate_responses", crypto_watch.elapsed())
         final_block = block.with_cosign(cosign)
         if set(cosign.signer_ids) != set(self.server_ids):
             raise ProtocolInvariantError(
@@ -707,17 +795,20 @@ class TFCommitCoordinator(SimScheduledRounds):
                 f"but the round's cohort set is {sorted(self.server_ids)}"
             )
         public_keys = self.network.public_key_directory()
-        if not cosi_verify(cosign, final_block.signing_digest(), public_keys):
+        crypto_watch = Stopwatch()
+        verified = cosi_verify(cosign, final_block.signing_digest(), public_keys)
+        self._obs_crypto("cosi_verify", crypto_watch.elapsed())
+        if not verified:
             # Lemma 4: the coordinator checks partial signatures to identify
             # exactly which server(s) sent bogus cryptographic values.
             culprits = identify_faulty_signers(
                 commitments, response_scalars, challenge, public_keys
             )
-            self._record_finalize_time(timing, coordinator_started)
+            self._record_finalize_time(timing, coordinator_watch)
             return self._failed_result(
                 transactions, timing, block, abort_reasons, [], culprits
             )
-        self._record_finalize_time(timing, coordinator_started)
+        self._record_finalize_time(timing, coordinator_watch)
 
         decision_failures = self._deliver_block(final_block, timing)
 
@@ -779,16 +870,19 @@ class TFCommitCoordinator(SimScheduledRounds):
 
     # -- helpers -------------------------------------------------------------------------
 
-    def _record_finalize_time(self, timing: TimingBreakdown, started: float) -> None:
+    def _record_finalize_time(self, timing: TimingBreakdown, watch: Stopwatch) -> None:
         """Charge the phase-5 coordinator work (signature aggregation and
         co-sign verification) to both ``coordinator_time`` and a ``finalize``
         phase entry so :attr:`TimingBreakdown.total` accounts for it."""
-        elapsed = self._effective_compute("finalize", time.perf_counter() - started)
+        elapsed = self._effective_compute("finalize", watch.elapsed())
         timing.coordinator_time += elapsed
         timing.phases["finalize"] = timing.phases.get("finalize", 0.0) + elapsed
         if self._sim_task is not None:
             self._sim.scheduler.begin_phase(self._sim_task, "finalize", kind=KIND_COMPUTE)
-            self._sim.scheduler.end_phase(self._sim_task, "finalize", elapsed)
+            self._obs_compute_phase(
+                "finalize",
+                self._sim.scheduler.end_phase(self._sim_task, "finalize", elapsed),
+            )
 
     def _broadcast_phase(
         self,
@@ -811,6 +905,7 @@ class TFCommitCoordinator(SimScheduledRounds):
             sim=self._sim,
             task=self._sim_task,
             kind=kind,
+            span=self._sim_span,
         )
 
     def _equivocate_challenge(
@@ -855,6 +950,7 @@ class TFCommitCoordinator(SimScheduledRounds):
             "challenge",
             sim=self._sim,
             task=self._sim_task,
+            span=self._sim_span,
         )
 
     def _self_unreachable(self, unreachable: List[Dict]) -> bool:
@@ -874,6 +970,29 @@ class TFCommitCoordinator(SimScheduledRounds):
         notify_cohorts: bool = True,
     ) -> BlockCommitResult:
         reasons = [r.get("reason", "") for r in refusals] or abort_reasons
+        if self._sim is not None:
+            # Detection events: whatever made this round fail (a silent
+            # peer, a refusing cohort, an identified faulty signer) becomes
+            # a trace instant so the fault campaign's injections can be
+            # matched against the protocol's detections on one timeline.
+            obs = self._sim.obs
+            now = self._sim.clock.now
+            for culprit in culprits:
+                obs.metrics.counter("faults.culprits_identified")
+                obs.tracer.instant(
+                    f"detect:faulty-signer:{culprit}", "fault-detect", culprit, now
+                )
+            for refusal in refusals:
+                peer = refusal.get("server_id", "?")
+                event = "unreachable" if refusal.get("unreachable") else "refusal"
+                obs.metrics.counter(f"faults.detected_{event}")
+                obs.tracer.instant(
+                    f"detect:{event}:{peer}",
+                    "fault-detect",
+                    str(peer),
+                    now,
+                    reason=refusal.get("reason", ""),
+                )
         if (
             block is not None
             and notify_cohorts

@@ -10,7 +10,6 @@ only two communication rounds (prepare/vote and decision).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -32,6 +31,7 @@ from repro.ledger.block import Block, BlockDecision, make_partial_block
 from repro.net.latency import LatencyModel
 from repro.net.message import Envelope, MessageType
 from repro.net.network import Network
+from repro.obs.timing import Stopwatch
 from repro.sim.context import SimContext
 from repro.sim.scheduler import KIND_BROADCAST, KIND_COMPUTE, KIND_TERMINAL, BlockTask
 from repro.txn.transaction import Transaction
@@ -113,14 +113,14 @@ class TwoPhaseCommitCoordinator(SimScheduledRounds):
         timing = TimingBreakdown(num_txns=len(transactions))
         self._begin_sim_block(transactions)
 
-        assembly_started = time.perf_counter()
+        assembly_watch = Stopwatch()
         block = make_partial_block(
             height=self.server.log.height,
             transactions=transactions,
             previous_hash=self.server.log.head_hash,
             view=self.view,
         )
-        assembly_elapsed = time.perf_counter() - assembly_started
+        assembly_elapsed = assembly_watch.elapsed()
 
         votes = self._broadcast_phase(
             "prepare",
@@ -148,7 +148,7 @@ class TwoPhaseCommitCoordinator(SimScheduledRounds):
 
         if self._sim_task is not None:
             self._sim.scheduler.begin_phase(self._sim_task, "aggregate", kind=KIND_COMPUTE)
-        coordinator_started = time.perf_counter()
+        coordinator_watch = Stopwatch()
         decision = BlockDecision.COMMIT
         abort_reasons: List[str] = []
         for server_id, vote in votes.items():
@@ -164,12 +164,15 @@ class TwoPhaseCommitCoordinator(SimScheduledRounds):
                     abort_reasons.append(f"{server_id}: {vote['reason']}")
         final_block = block.with_decision(decision, {})
         aggregate_elapsed = self._effective_compute(
-            "aggregate", assembly_elapsed + (time.perf_counter() - coordinator_started)
+            "aggregate", assembly_elapsed + coordinator_watch.elapsed()
         )
         timing.coordinator_time += aggregate_elapsed
         timing.phases["aggregate"] = aggregate_elapsed
         if self._sim_task is not None:
-            self._sim.scheduler.end_phase(self._sim_task, "aggregate", aggregate_elapsed)
+            self._obs_compute_phase(
+                "aggregate",
+                self._sim.scheduler.end_phase(self._sim_task, "aggregate", aggregate_elapsed),
+            )
 
         self._broadcast_phase(
             "decision", MessageType.COMMIT_DECISION, {"block": final_block}, timing,
@@ -278,4 +281,5 @@ class TwoPhaseCommitCoordinator(SimScheduledRounds):
             sim=self._sim,
             task=self._sim_task,
             kind=kind,
+            span=self._sim_span,
         )

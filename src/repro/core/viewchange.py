@@ -210,6 +210,8 @@ def run_view_change(
         successor=successor_id,
         new_view=new_view,
     )
+    obs = sim.obs if sim is not None else None
+    started = clock.now if clock is not None else None
     live = [member for member in members if member != deposed]
     if clock is not None:
         # Time the stalled rounds out for real: the cohorts' deadlines are
@@ -284,4 +286,26 @@ def run_view_change(
         for key in ordered_keys
         if not already_committed(successor_log, stalled[key][0])
     ]
+    if obs is not None:
+        obs.metrics.counter("viewchange.count")
+        obs.metrics.counter(
+            "viewchange.rejected_certificates",
+            float(len(outcome.rejected_certificates)),
+        )
+        obs.metrics.counter(
+            "viewchange.stalled_reproposed", float(len(outcome.stalled_rounds))
+        )
+        if started is not None:
+            # The span covers the timeout wait plus both broadcasts; it is
+            # top-level (the stalled round it supersedes is a different
+            # coordinator's span tree).
+            obs.tracer.add_span(
+                f"view-change:v{new_view}",
+                "viewchange",
+                successor_id,
+                started,
+                clock.now,
+                deposed=deposed,
+                rejected=len(outcome.rejected_certificates),
+            )
     return outcome

@@ -32,18 +32,34 @@ from repro.crypto.schnorr import SchnorrSignature, schnorr_sign, schnorr_verify
 
 
 class SigningScheme(ABC):
-    """Interface for per-message authentication."""
+    """Interface for per-message authentication.
+
+    Schemes implement the byte-level pair (:meth:`sign_bytes` /
+    :meth:`verify_bytes`); the payload-level pair encodes once and
+    delegates.  Callers that already hold the canonical encoding (the
+    network signs *and* verifies each envelope, and also meters its wire
+    size) use the byte-level pair directly so the payload is encoded
+    exactly once per message instead of three times.
+    """
 
     #: Human-readable name (matches ``SystemConfig.message_signing``).
     name: str = "abstract"
 
     @abstractmethod
-    def sign(self, keypair: KeyPair, payload: Any) -> bytes:
-        """Return a signature over the canonical encoding of ``payload``."""
+    def sign_bytes(self, keypair: KeyPair, message: bytes) -> bytes:
+        """Return a signature over already-encoded ``message`` bytes."""
 
     @abstractmethod
+    def verify_bytes(self, public: PublicKey, message: bytes, signature: bytes) -> bool:
+        """Return True iff ``signature`` authenticates ``message`` under ``public``."""
+
+    def sign(self, keypair: KeyPair, payload: Any) -> bytes:
+        """Return a signature over the canonical encoding of ``payload``."""
+        return self.sign_bytes(keypair, canonical_encode(payload))
+
     def verify(self, public: PublicKey, payload: Any, signature: bytes) -> bool:
         """Return True iff ``signature`` authenticates ``payload`` under ``public``."""
+        return self.verify_bytes(public, canonical_encode(payload), signature)
 
 
 class SchnorrSigningScheme(SigningScheme):
@@ -51,14 +67,12 @@ class SchnorrSigningScheme(SigningScheme):
 
     name = "schnorr"
 
-    def sign(self, keypair: KeyPair, payload: Any) -> bytes:
-        message = canonical_encode(payload)
+    def sign_bytes(self, keypair: KeyPair, message: bytes) -> bytes:
         return schnorr_sign(keypair.private, message).encode()
 
-    def verify(self, public: PublicKey, payload: Any, signature: bytes) -> bool:
+    def verify_bytes(self, public: PublicKey, message: bytes, signature: bytes) -> bool:
         if not isinstance(signature, (bytes, bytearray)) or len(signature) != 65:
             return False
-        message = canonical_encode(payload)
         decoded = _decode_schnorr(bytes(signature))
         if decoded is None:
             return False
@@ -90,14 +104,12 @@ class HashSigningScheme(SigningScheme):
     def _mac_key(public: PublicKey) -> bytes:
         return hashlib.sha256(b"fides-mac:" + public.encode()).digest()
 
-    def sign(self, keypair: KeyPair, payload: Any) -> bytes:
-        message = canonical_encode(payload)
+    def sign_bytes(self, keypair: KeyPair, message: bytes) -> bytes:
         return hmac.new(self._mac_key(keypair.public), message, hashlib.sha256).digest()
 
-    def verify(self, public: PublicKey, payload: Any, signature: bytes) -> bool:
+    def verify_bytes(self, public: PublicKey, message: bytes, signature: bytes) -> bool:
         if not isinstance(signature, (bytes, bytearray)):
             return False
-        message = canonical_encode(payload)
         expected = hmac.new(self._mac_key(public), message, hashlib.sha256).digest()
         return hmac.compare_digest(expected, bytes(signature))
 

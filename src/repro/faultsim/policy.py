@@ -52,6 +52,16 @@ class PlannedFaultPolicy(FaultPolicy):
         plan = self._plans[index]
         if plan.fault not in self.fired_heights:
             self.fired_heights[plan.fault] = self.context.block_height
+            obs = getattr(self, "_obs", None)
+            if obs is not None:
+                obs.metrics.counter("faults.injected")
+                obs.tracer.instant(
+                    f"inject:{plan.fault}",
+                    "fault-inject",
+                    plan.target,
+                    self.context.sim_time or 0.0,
+                    block_height=self.context.block_height,
+                )
 
     def _fire(self, index: int, item_id: Optional[str] = None) -> bool:
         """Consult plan ``index``'s trigger; record the first firing height."""

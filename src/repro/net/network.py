@@ -24,11 +24,13 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional
 
 from repro.check.choices import choose_order
+from repro.common.encoding import canonical_encode
 from repro.common.errors import ConfigurationError, SignatureError, UnreachableError
 from repro.crypto.keys import KeyPair, PublicKey
 from repro.crypto.signing import SigningScheme, make_signing_scheme
 from repro.net.latency import LatencyModel, lan_latency
 from repro.net.message import Envelope, MessageType
+from repro.obs.timing import Stopwatch
 
 #: A message handler: receives the verified envelope, returns a response payload.
 Handler = Callable[[Envelope], Any]
@@ -50,12 +52,22 @@ class NetworkStats:
     simulated_delay: float = 0.0
     per_type: Dict[str, int] = field(default_factory=dict)
     per_node: Dict[str, int] = field(default_factory=dict)
+    #: Wire bytes (canonical-encoded signed content), total and per type --
+    #: the size every message *would* occupy on a real transport.
+    bytes_total: int = 0
+    bytes_per_type: Dict[str, int] = field(default_factory=dict)
 
-    def record(self, message_type: MessageType, recipient: str, delay: float) -> None:
+    def record(
+        self, message_type: MessageType, recipient: str, delay: float, size: int = 0
+    ) -> None:
         self.messages_sent += 1
         self.simulated_delay += delay
         self.per_type[message_type.value] = self.per_type.get(message_type.value, 0) + 1
         self.per_node[recipient] = self.per_node.get(recipient, 0) + 1
+        self.bytes_total += size
+        self.bytes_per_type[message_type.value] = (
+            self.bytes_per_type.get(message_type.value, 0) + size
+        )
 
 
 class Network:
@@ -185,22 +197,54 @@ class Network:
         ``presigned`` lets fault injection pass an envelope whose signature was
         produced over different content (forgery attempt); the receiver-side
         verification then rejects it.
+
+        The signed content is canonically encoded exactly once here: the
+        same bytes feed the sender-side signature, the receiver-side
+        verification, and the wire-size accounting.
         """
-        envelope = presigned or self.sign_envelope(
-            Envelope(sender=sender, recipient=recipient, message_type=message_type, payload=payload)
-        )
+        obs = self._sim.obs if self._sim is not None else None
+        if presigned is not None:
+            envelope = presigned
+            encoded = canonical_encode(envelope.signed_content())
+        else:
+            keypair = self._keypairs.get(sender)
+            if keypair is None:
+                raise ConfigurationError(f"sender {sender!r} has no registered key")
+            envelope = Envelope(
+                sender=sender, recipient=recipient, message_type=message_type, payload=payload
+            )
+            encoded = canonical_encode(envelope.signed_content())
+            watch = Stopwatch()
+            envelope = envelope.with_signature(self._scheme.sign_bytes(keypair, encoded))
+            if obs is not None:
+                obs.metrics.counter("crypto.envelope_sign.ops")
+                obs.metrics.counter("crypto.envelope_sign.s", watch.elapsed())
         handler = self._handlers.get(recipient)
         if handler is None:
             if recipient in self._departed:
                 self.stats.messages_undeliverable += 1
                 raise UnreachableError(f"participant {recipient!r} is down (crashed)")
             raise ConfigurationError(f"recipient {recipient!r} has no registered handler")
-        if not self.verify_envelope(envelope):
+        public = self._public_keys.get(envelope.sender)
+        watch = Stopwatch()
+        verified = (
+            envelope.signature is not None
+            and public is not None
+            and self._scheme.verify_bytes(public, encoded, envelope.signature)
+        )
+        if obs is not None:
+            obs.metrics.counter("crypto.envelope_verify.ops")
+            obs.metrics.counter("crypto.envelope_verify.s", watch.elapsed())
+        if not verified:
             self.stats.messages_rejected += 1
             raise SignatureError(
                 f"envelope from {envelope.sender!r} to {recipient!r} failed signature verification"
             )
-        self.stats.record(message_type, recipient, self._latency.sample())
+        self.stats.record(message_type, recipient, self._latency.sample(), size=len(encoded))
+        if obs is not None:
+            obs.metrics.counter("net.messages")
+            obs.metrics.counter("net.bytes_total", len(encoded))
+            obs.metrics.counter(f"net.bytes.{message_type.value}", len(encoded))
         if self._sim is not None:
             self._sim.loop.schedule(
                 self._sim.clock.now,

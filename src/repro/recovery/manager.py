@@ -29,7 +29,6 @@ collision to make a recovering server accept a wrong block.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -43,6 +42,7 @@ from repro.ledger.block import Block
 from repro.ledger.log import TransactionLog, verify_block_cosign
 from repro.net.message import MessageType
 from repro.net.network import Network
+from repro.obs.timing import Stopwatch
 from repro.recovery.statestore import PersistedState, StateStore
 from repro.recovery.wire import block_from_wire
 from repro.storage.apply import block_local_writes, block_store_commits
@@ -234,7 +234,7 @@ def recover_server_state(
     :class:`RecoveryError` when the persisted state is unusable or no peer
     could be caught up with (every response rejected/unreachable).
     """
-    started = time.perf_counter()
+    watch = Stopwatch()
     state = state_store.load()
     if state.server_id != server_id:
         raise RecoveryError(
@@ -254,5 +254,5 @@ def recover_server_state(
         raise RecoveryError(
             f"{server_id} could not catch up with any peer: {result.rejected}"
         )
-    result.wall_time_s = time.perf_counter() - started
+    result.wall_time_s = watch.elapsed()
     return store, log, state.checkpoint, result

@@ -334,6 +334,59 @@ def txn_outcome_from_wire(data: Mapping) -> "TxnOutcome":
         raise _fail("transaction outcome", exc) from None
 
 
+def histogram_from_wire(data: Mapping) -> "Histogram":
+    """Inverse of :meth:`repro.obs.metrics.Histogram.to_wire`.
+
+    ``mean`` is derived state and deliberately recomputed, not decoded.
+    """
+    from repro.obs.metrics import Histogram
+
+    try:
+        histogram = Histogram(bounds=tuple(float(bound) for bound in data["bounds"]))
+        buckets = [int(count) for count in data["buckets"]]
+        if len(buckets) != len(histogram.buckets):
+            raise ValidationError("histogram bucket count does not match its bounds")
+        histogram.buckets = buckets
+        histogram.count = int(data["count"])
+        histogram.total = float(data["sum"])
+        histogram.minimum = float(data["min"]) if data["min"] is not None else None
+        histogram.maximum = float(data["max"]) if data["max"] is not None else None
+        return histogram
+    except ValidationError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise _fail("metrics histogram", exc) from None
+
+
+def span_from_wire(data: Mapping) -> "Span":
+    """Inverse of :meth:`repro.obs.trace.Span.to_wire` (strict variant).
+
+    :meth:`Span.from_wire` tolerates missing optional fields (it also loads
+    Chrome-trace conversions); this decoder is the WAL/peer-boundary strict
+    twin the registry requires.
+    """
+    from repro.obs.trace import Span
+
+    try:
+        parent = data["parent"]
+        end = data["end"]
+        return Span(
+            span_id=int(data["id"]),
+            parent=int(parent) if parent is not None else None,
+            kind=str(data["kind"]),
+            name=str(data["name"]),
+            category=str(data["cat"]),
+            resource=str(data["resource"]),
+            pid=int(data["pid"]),
+            start=float(data["start"]),
+            end=float(end) if end is not None else None,
+            status=str(data["status"]),
+            attrs=dict(data["attrs"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise _fail("trace span", exc) from None
+
+
 #: Every ``to_wire`` class in the library, keyed by class name, mapped to its
 #: strict decoder.  ``repro.check.lint`` extracts the keys of this dict
 #: *statically* (a literal dict, parsed via AST, no import needed) to enforce
@@ -345,11 +398,13 @@ WIRE_DECODERS = {
     "CollectiveSignature": cosign_from_wire,
     "Envelope": envelope_from_wire,
     "FrontierCertificate": frontier_certificate_from_wire,
+    "Histogram": histogram_from_wire,
     "ReadOp": operation_from_wire,
     "ReadResult": read_result_from_wire,
     "ReadSetEntry": read_entry_from_wire,
     "RecordVersion": record_version_from_wire,
     "ServerGroup": server_group_from_wire,
+    "Span": span_from_wire,
     "Transaction": transaction_from_wire,
     "TxnOutcome": txn_outcome_from_wire,
     "VerificationObject": verification_object_from_wire,

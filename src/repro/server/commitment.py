@@ -25,7 +25,6 @@ latency accounting (see DESIGN.md).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
@@ -37,6 +36,7 @@ from repro.crypto.group import decompress_point
 from repro.crypto.keys import KeyPair, PublicKey
 from repro.ledger.block import Block, BlockDecision
 from repro.ledger.log import TransactionLog
+from repro.obs.timing import Stopwatch
 from repro.server.faults import FaultPolicy, HonestBehavior
 from repro.storage.apply import block_local_writes, block_store_commits
 from repro.storage.datastore import DataStore
@@ -142,6 +142,8 @@ class CommitmentLayer:
         self._group_views: Dict[Optional[Tuple[ServerId, ...]], int] = {}
         #: Virtual clock of the deployment (if any); arms round deadlines.
         self._clock = None
+        #: Observability bundle (if any); storage metrics report through it.
+        self._obs = None
         #: Durability hook: called with each block after it is appended and
         #: applied, so the server can persist it to its state store.
         self._on_block_applied = on_block_applied
@@ -154,6 +156,16 @@ class CommitmentLayer:
     def attach_clock(self, clock) -> None:
         """Thread the deployment's virtual clock in (round timers need it)."""
         self._clock = clock
+
+    def attach_obs(self, obs) -> None:
+        """Report Merkle-sweep sizes and timings through ``obs``."""
+        self._obs = obs
+
+    def _obs_mht(self, hashes: int, seconds: float) -> None:
+        if self._obs is not None and hashes:
+            self._obs.metrics.counter("storage.mht_hashes", float(hashes))
+            self._obs.metrics.observe("storage.mht_sweep_hashes", float(hashes))
+            self._obs.metrics.counter("storage.mht_s", seconds)
 
     def _now(self) -> Optional[float]:
         return self._clock.now if self._clock is not None else None
@@ -192,7 +204,7 @@ class CommitmentLayer:
 
     # -- TFCommit phase 2: <Vote, SchCommitment> ----------------------------------
 
-    def _stale_view_refusal(self, block: Block, started: float) -> Dict[str, object]:
+    def _stale_view_refusal(self, block: Block, watch: Stopwatch) -> Dict[str, object]:
         """Refusal for a proposal from a view this cohort already moved past."""
         return {
             "server_id": self.server_id,
@@ -202,7 +214,7 @@ class CommitmentLayer:
                 f"proposal view {block.view} is below this cohort's current view "
                 f"{self.current_view(block.group)}"
             ),
-            "compute_time": time.perf_counter() - started,
+            "compute_time": watch.elapsed(),
         }
 
     def handle_get_vote(
@@ -227,14 +239,14 @@ class CommitmentLayer:
         honouring the deposed coordinator would let two coordinators drive
         rounds concurrently.
         """
-        started = time.perf_counter()
+        watch = Stopwatch()
         self._faults.observe_phase(
             "vote", partial_block.height, tuple(t.txn_id for t in partial_block.transactions)
         )
         self._maybe_crash()
         self._expire_stale_rounds()
         if partial_block.view < self.current_view(partial_block.group):
-            return self._stale_view_refusal(partial_block, started)
+            return self._stale_view_refusal(partial_block, watch)
         if (
             partial_block.group is None
             and partial_block.height != self._log.height
@@ -273,11 +285,12 @@ class CommitmentLayer:
                         abort_reason = outcome.reason()
                         break
             if decision is BlockDecision.COMMIT:
-                mht_started = time.perf_counter()
+                mht_watch = Stopwatch()
                 speculative_root, mht_hashes = self._store.speculative_root(
                     self._local_writes(partial_block.transactions)
                 )
-                mht_time = time.perf_counter() - mht_started
+                mht_time = mht_watch.elapsed()
+                self._obs_mht(mht_hashes, mht_time)
                 root = self._faults.corrupt_root(speculative_root)
 
         self._round_generation += 1
@@ -301,7 +314,7 @@ class CommitmentLayer:
             decision=decision.value,
             commitment=commitment.encode(),
             root=root,
-            compute_time=time.perf_counter() - started,
+            compute_time=watch.elapsed(),
             mht_time=mht_time,
             mht_hashes=mht_hashes,
             abort_reason=abort_reason,
@@ -324,7 +337,7 @@ class CommitmentLayer:
         * the challenge does not equal ``H(X_sch || block)`` for the block it
           actually received (Lemma 5, equivocation detection).
         """
-        started = time.perf_counter()
+        watch = Stopwatch()
         self._faults.observe_phase(
             "challenge", block.height, tuple(t.txn_id for t in block.transactions)
         )
@@ -342,7 +355,7 @@ class CommitmentLayer:
                 "ok": False,
                 "reason": reason,
                 "response": None,
-                "compute_time": time.perf_counter() - started,
+                "compute_time": watch.elapsed(),
             }
 
         if not self._faults.collude_on_challenge():
@@ -367,7 +380,7 @@ class CommitmentLayer:
             "ok": True,
             "reason": "",
             "response": response,
-            "compute_time": time.perf_counter() - started,
+            "compute_time": watch.elapsed(),
         }
 
     # -- TFCommit phase 5: <Decision, null> ----------------------------------------
@@ -389,7 +402,7 @@ class CommitmentLayer:
         ``cosi_verify`` checks only the signers the signature itself lists,
         so without this a lone signer could forge "group" blocks.
         """
-        started = time.perf_counter()
+        watch = Stopwatch()
         self._faults.observe_phase(
             "decision", block.height, tuple(t.txn_id for t in block.transactions)
         )
@@ -408,12 +421,14 @@ class CommitmentLayer:
                 "server_id": self.server_id,
                 "ok": False,
                 "reason": reason,
-                "compute_time": time.perf_counter() - started,
+                "compute_time": watch.elapsed(),
             }
         self._log.append(block, verify_link=self._faults.maintains_log_integrity())
         mht_hashes = 0
         if block.is_commit:
+            mht_watch = Stopwatch()
             mht_hashes = self._apply_block(block)
+            self._obs_mht(mht_hashes, mht_watch.elapsed())
         if self._on_block_applied is not None:
             self._on_block_applied(block)
         corruption = self._faults.post_commit_corruption()
@@ -426,7 +441,7 @@ class CommitmentLayer:
             "ok": True,
             "reason": "",
             "mht_hashes": mht_hashes,
-            "compute_time": time.perf_counter() - started,
+            "compute_time": watch.elapsed(),
             "state_known": state is not None,
         }
 
@@ -545,7 +560,7 @@ class CommitmentLayer:
         # which must not be a prerequisite of the server package.
         from repro.core.viewchange import FrontierCertificate
 
-        started = time.perf_counter()
+        watch = Stopwatch()
         self._faults.observe_phase("view-change", self._log.height, ())
         self._maybe_crash()
         head = self._log.last_block()
@@ -569,7 +584,7 @@ class CommitmentLayer:
             "view": self.current_view(group),
             "certificate": certificate.to_wire(),
             "stalled": stalled,
-            "compute_time": time.perf_counter() - started,
+            "compute_time": watch.elapsed(),
         }
 
     def handle_new_view(
@@ -585,7 +600,7 @@ class CommitmentLayer:
         the successor re-proposes the stalled ones under fresh round keys, so
         the old entries can never receive a legitimate decision again.
         """
-        started = time.perf_counter()
+        watch = Stopwatch()
         self._faults.observe_phase("new-view", self._log.height, ())
         self._maybe_crash()
         key = tuple(group) if group is not None else None
@@ -619,7 +634,7 @@ class CommitmentLayer:
             "ok": True,
             "view": self._group_views[key],
             "released": dropped,
-            "compute_time": time.perf_counter() - started,
+            "compute_time": watch.elapsed(),
         }
 
     # -- 2PC baseline (Section 6.1) --------------------------------------------------
@@ -637,14 +652,14 @@ class CommitmentLayer:
         change must collect (the paper's baseline enjoys the same liveness
         fix, keeping the comparison apples-to-apples).
         """
-        started = time.perf_counter()
+        watch = Stopwatch()
         self._faults.observe_phase(
             "vote", block.height, tuple(t.txn_id for t in block.transactions)
         )
         self._maybe_crash()
         self._expire_stale_rounds()
         if block.view < self.current_view(block.group):
-            return self._stale_view_refusal(block, started)
+            return self._stale_view_refusal(block, watch)
         decision = BlockDecision.COMMIT
         reason = ""
         involved = any(self._local_items(txn) for txn in block.transactions)
@@ -675,12 +690,12 @@ class CommitmentLayer:
             "involved": involved,
             "decision": decision.value,
             "reason": reason,
-            "compute_time": time.perf_counter() - started,
+            "compute_time": watch.elapsed(),
         }
 
     def handle_2pc_decision(self, block: Block) -> Dict[str, object]:
         """2PC decision: append the (unsigned) block and apply writes if commit."""
-        started = time.perf_counter()
+        watch = Stopwatch()
         self._faults.observe_phase(
             "decision", block.height, tuple(t.txn_id for t in block.transactions)
         )
@@ -694,5 +709,5 @@ class CommitmentLayer:
         return {
             "server_id": self.server_id,
             "ok": True,
-            "compute_time": time.perf_counter() - started,
+            "compute_time": watch.elapsed(),
         }

@@ -74,6 +74,14 @@ class FaultPolicy:
         """
         self._sim_clock = clock
 
+    def attach_obs(self, obs) -> None:
+        """Report fault activity through an observability bundle.
+
+        Plan-driven policies (see :mod:`repro.faultsim`) record each
+        injection as a trace instant and a counter; ``None`` detaches.
+        """
+        self._obs = obs
+
     def observe_phase(
         self,
         phase: str,

@@ -85,6 +85,9 @@ class DatabaseServer:
         #: re-attached to whatever fault policy is active so time-based
         #: triggers fire on the event timeline.
         self._sim_clock = None
+        #: Observability bundle (if any); like the clock, it survives
+        #: crashes and is re-attached to the rebuilt layers on recovery.
+        self._obs = None
         #: Coordinator role (TFCommit or 2PC) if this server is the designated
         #: coordinator; set via :meth:`set_coordinator_role`.
         self.coordinator_role = None
@@ -113,9 +116,17 @@ class DatabaseServer:
         self.faults.attach_clock(clock)
         self.commitment.attach_clock(clock)
 
+    def attach_obs(self, obs) -> None:
+        """Thread the deployment's observability bundle into both layers
+        (re-attached across crash/recovery, like the virtual clock)."""
+        self._obs = obs
+        self.faults.attach_obs(obs)
+        self.commitment.attach_obs(obs)
+
     def set_faults(self, faults: FaultPolicy) -> None:
         """Swap in a (possibly malicious) behaviour policy for both layers."""
         faults.attach_clock(self._sim_clock)
+        faults.attach_obs(self._obs)
         self.execution.set_faults(faults)
         self.commitment.set_faults(faults)
 
@@ -126,6 +137,8 @@ class DatabaseServer:
     def _persist_block(self, block) -> None:
         """Durability hook: record each applied block + resulting shard root."""
         self.state_store.record_block(block, self.store.merkle_root())
+        if self._obs is not None:
+            self._obs.metrics.counter("recovery.wal_appends")
 
     # -- crash / recovery life-cycle -------------------------------------------
 
@@ -181,6 +194,13 @@ class DatabaseServer:
             on_block_applied=self._persist_block,
         )
         self.commitment.attach_clock(self._sim_clock)
+        if self._obs is not None:
+            self.attach_obs(self._obs)
+            self._obs.metrics.counter("recovery.recoveries")
+            self._obs.metrics.observe(
+                "recovery.replayed_blocks",
+                float(result.replayed_blocks + result.fetched_blocks),
+            )
         self.crashed = False
         self.attach(self._network, rejoin=True)
         return result

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from repro.obs import Observability
 from repro.sim.clock import VirtualClock
 from repro.sim.events import EventLoop
 from repro.sim.scheduler import PipelinedRoundScheduler
@@ -56,6 +57,10 @@ class SimContext:
             self.loop, clock=self.clock, pipeline_depth=pipeline_depth
         )
         self.compute_model = compute_model
+        #: The observability bundle every sim-threaded component reports
+        #: through (metrics always on, tracing off until enabled); the
+        #: deployment layer may replace it with a shared bench-run bundle.
+        self.obs = Observability()
 
     @property
     def pipeline_depth(self) -> int:

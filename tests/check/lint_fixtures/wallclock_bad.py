@@ -7,7 +7,7 @@ from datetime import datetime
 def stamp():
     started = time.time()
     when = datetime.now()
-    measured = time.perf_counter()  # legal: compute measurement only
+    measured = time.perf_counter()  # legal here: not a protocol package
     return started, when, measured
 
 

@@ -41,6 +41,20 @@ class TestFixturesAreFlagged:
         # `# lint: allow` line are not.
         assert len(flagged) == 2
 
+    def test_no_print_rule_only_in_protocol_packages(self, violations):
+        flagged = _by_rule(violations, "no-print")
+        assert [v.path for v in flagged] == [str(Path("core") / "print_bad.py")]
+        # The `# lint: allow` print in the same file is exempt.
+        assert len(flagged) == 1
+
+    def test_adhoc_timing_rule_only_in_protocol_packages(self, violations):
+        flagged = _by_rule(violations, "adhoc-timing")
+        # perf_counter, monotonic, and the bare-name process_time call are
+        # flagged inside core/; the perf_counter in wallclock_bad.py (not a
+        # protocol package) and the `# lint: allow` line are not.
+        assert {v.path for v in flagged} == {str(Path("core") / "timing_bad.py")}
+        assert len(flagged) == 3
+
     def test_unseeded_random_rule(self, violations):
         flagged = _by_rule(violations, "unseeded-random")
         assert {v.path for v in flagged} == {"random_bad.py"}
@@ -77,6 +91,8 @@ class TestFixturesAreFlagged:
         report = json.loads(capsys.readouterr().out)
         assert {entry["rule"] for entry in report} == {
             "wallclock",
+            "adhoc-timing",
+            "no-print",
             "unseeded-random",
             "bare-assert",
             "missing-decoder",

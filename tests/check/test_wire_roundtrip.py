@@ -25,6 +25,8 @@ from repro.crypto.merkle import VerificationObject
 from repro.ledger.block import Block, BlockDecision
 from repro.ledger.checkpoint import Checkpoint
 from repro.net.message import Envelope, MessageType
+from repro.obs.metrics import Histogram
+from repro.obs.trace import Span
 from repro.recovery.wire import WIRE_DECODERS
 from repro.server.commitment import VoteResult
 from repro.storage.datastore import ReadResult
@@ -57,6 +59,14 @@ _WRITE = WriteSetEntry(
 _TXN = Transaction(
     txn_id="t1", client_id="c1", commit_ts=_TS2, read_set=(_READ,), write_set=(_WRITE,)
 )
+
+
+def _build_histogram() -> Histogram:
+    histogram = Histogram()
+    histogram.observe(0.002)
+    histogram.observe(0.5)
+    return histogram
+
 
 #: One representative instance per wire class (decoder-equality checked).
 BUILDERS = {
@@ -92,12 +102,26 @@ BUILDERS = {
         head_hash=b"\x0b" * 32,
         head=BUILDERS["Block"]().to_wire(),
     ),
+    "Histogram": _build_histogram,
     "ReadOp": lambda: ReadOp(item_id="x1"),
     "ReadResult": lambda: ReadResult(item_id="x1", value=7, rts=_TS, wts=_TS2),
     "ReadSetEntry": lambda: _READ,
     "RecordVersion": lambda: RecordVersion(value=7, wts=_TS, rts=_TS2),
     "ServerGroup": lambda: ServerGroup(
         members=frozenset({"s0", "s1"}), coordinator="s0"
+    ),
+    "Span": lambda: Span(
+        span_id=7,
+        parent=3,
+        kind="span",
+        name="get_vote",
+        category="phase",
+        resource="s0",
+        pid=1,
+        start=0.5,
+        end=0.75,
+        status="ok",
+        attrs={"view": 1},
     ),
     "Transaction": lambda: _TXN,
     "TxnOutcome": lambda: TxnOutcome(
