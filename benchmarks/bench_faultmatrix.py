@@ -26,7 +26,7 @@ def bench_faultmatrix_smoke(benchmark):
         smoke=True,
         return_results=True,
     )
-    assert len(rows) == 18
+    assert len(rows) == 19
     for result in results:
         assert result.detected, f"{result.scenario} went undetected"
         assert result.culprit_correct, f"{result.scenario} blamed {result.culprits}"

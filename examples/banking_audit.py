@@ -20,7 +20,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import FidesSystem, SystemConfig
+from repro.api import FidesSystem, SystemConfig
 from repro.server.faults import StaleReadFault
 from repro.txn.operations import ReadOp, WriteOp
 

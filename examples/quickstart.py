@@ -15,7 +15,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import FidesSystem, SystemConfig
+from repro.api import FidesSystem, SystemConfig
 from repro.txn.operations import WriteOp
 
 

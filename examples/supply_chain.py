@@ -22,7 +22,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import FidesSystem, SystemConfig
+from repro.api import FidesSystem, SystemConfig
 
 DOMAINS = {"s0": "manufacturer", "s1": "shipping company", "s2": "retailer"}
 STAGES = ("manufactured", "in-transit", "delivered")

@@ -1,0 +1,82 @@
+"""The supported public surface of the reproduction (DESIGN.md §13).
+
+Everything an external caller -- a notebook, a script, the examples under
+``examples/`` -- needs lives behind this one module, so internal layout can
+keep moving without breaking users:
+
+- **Deployments**: :class:`FidesSystem` (classic single-coordinator
+  TFCommit, plus the 2PC baseline via ``protocol="2pc"``) and
+  :class:`ScaledFidesSystem` (dynamic groups over a pluggable ordering
+  layer), both configured with :class:`SystemConfig`.
+- **Sequencing**: the :class:`Sequencer` protocol and its two
+  implementations -- the classic single-lane :class:`OrderingService` and
+  the :class:`ShardedOrderingService` -- with the
+  :func:`single_sequencer` / :func:`sharded_sequencer` factories that
+  ``ScaledFidesSystem(sequencer=...)`` accepts, and
+  :class:`OrderingShardMap` for key-range -> shard placement.
+- **Experiments**: :func:`run` executes one :class:`ExperimentConfig`
+  point, choosing the deployment from ``config.deployment`` -- the single
+  entrypoint that replaced the per-deployment runner functions (which stay
+  importable here for callers that want them explicitly).
+
+Quickstart::
+
+    from repro.api import ExperimentConfig, run
+
+    result = run(ExperimentConfig(num_servers=5, num_requests=50))
+    print(result.throughput)
+
+Scale-out (paper §4.6 + the sharded sequencer)::
+
+    from repro.api import ScaledFidesSystem, SystemConfig, sharded_sequencer
+
+    system = ScaledFidesSystem(
+        SystemConfig(num_servers=8, items_per_shard=100, txns_per_block=2),
+        sequencer=sharded_sequencer(4),
+    )
+"""
+
+from __future__ import annotations
+
+from repro.audit.auditor import Auditor
+from repro.audit.report import AuditReport
+from repro.bench.experiments import run
+from repro.bench.harness import (
+    ExperimentConfig,
+    run_experiment,
+    run_scaled_from_config,
+)
+from repro.common.config import SystemConfig
+from repro.core.fides import FidesSystem
+from repro.core.ordserv import OrderedBlock, OrderingService
+from repro.core.scaled import ScaledFidesSystem
+from repro.core.sequencing import (
+    OrderingShardMap,
+    Sequencer,
+    SequencerFactory,
+    ShardedOrderingService,
+    sharded_sequencer,
+    single_sequencer,
+)
+from repro.ledger.anchor import EpochAnchor
+
+__all__ = [
+    "AuditReport",
+    "Auditor",
+    "EpochAnchor",
+    "ExperimentConfig",
+    "FidesSystem",
+    "OrderedBlock",
+    "OrderingService",
+    "OrderingShardMap",
+    "ScaledFidesSystem",
+    "Sequencer",
+    "SequencerFactory",
+    "ShardedOrderingService",
+    "SystemConfig",
+    "run",
+    "run_experiment",
+    "run_scaled_from_config",
+    "sharded_sequencer",
+    "single_sequencer",
+]

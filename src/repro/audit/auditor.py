@@ -330,6 +330,83 @@ class Auditor:
                 )
             )
 
+    # -- epoch-anchor verification (sharded ordering, DESIGN.md section 13) -----------------
+
+    def check_epoch_anchors(
+        self,
+        reference: TransactionLog,
+        anchors: Sequence,
+        ordering_shard_map,
+        report: AuditReport,
+    ) -> None:
+        """Replay the reference log's per-shard chains against the anchor chain.
+
+        A sharded ordering service never sees the whole log through one
+        sequencer; its epoch anchors are what vouch for the merge.  The
+        auditor recomputes every ordering shard's hash chain from the
+        *reference log's global order* and the shard mapping -- entirely
+        independent of the sequencer's own bookkeeping -- and checks each
+        anchor's per-shard heights/heads and the anchors' own hash chain.
+        A sequencer that reordered, dropped, or invented blocks inside an
+        epoch cannot produce a matching chain.
+        """
+        from repro.ledger.anchor import GENESIS_SHARD_HEAD, fold_shard_head, verify_anchor_chain
+
+        reason = verify_anchor_chain(anchors)
+        if reason is not None:
+            report.add(
+                Violation(
+                    kind=ViolationType.ANCHOR_MISMATCH,
+                    description=f"epoch-anchor chain is malformed: {reason}",
+                    culprits=("ordserv",),
+                )
+            )
+            return
+        blocks = list(reference)
+        num_shards = ordering_shard_map.num_shards
+        heights = [0] * num_shards
+        heads = [GENESIS_SHARD_HEAD] * num_shards
+        replayed = 0
+        for anchor in anchors:
+            if anchor.end_height > len(blocks):
+                report.add(
+                    Violation(
+                        kind=ViolationType.ANCHOR_MISMATCH,
+                        description=(
+                            f"anchor {anchor.epoch} covers heights up to "
+                            f"{anchor.end_height} but the reference log ends at "
+                            f"{len(blocks)}"
+                        ),
+                        culprits=("ordserv",),
+                        block_height=len(blocks),
+                    )
+                )
+                return
+            while replayed < anchor.end_height:
+                block = blocks[replayed]
+                members = block.group if block.group is not None else ()
+                for shard in ordering_shard_map.shards_of(members):
+                    heights[shard] += 1
+                    heads[shard] = fold_shard_head(heads[shard], block)
+                replayed += 1
+            if (
+                tuple(heights) != anchor.shard_heights
+                or tuple(heads) != anchor.shard_heads
+            ):
+                report.add(
+                    Violation(
+                        kind=ViolationType.ANCHOR_MISMATCH,
+                        description=(
+                            f"anchor {anchor.epoch} disagrees with the per-shard "
+                            f"chains replayed from the reference log at height "
+                            f"{anchor.end_height}"
+                        ),
+                        culprits=("ordserv",),
+                        block_height=anchor.end_height,
+                    )
+                )
+                return
+
     # -- datastore authentication (Lemma 2) -------------------------------------------------
 
     def check_datastores(
@@ -467,6 +544,8 @@ class Auditor:
         logs: Optional[Mapping[str, TransactionLog]] = None,
         check_datastore: bool = True,
         datastore_mode: str = "latest",
+        epoch_anchors: Optional[Sequence] = None,
+        ordering_shard_map=None,
     ) -> AuditReport:
         """Run a complete offline audit and return the report.
 
@@ -474,7 +553,9 @@ class Auditor:
         holding a :class:`~repro.core.fides.FidesSystem` can simply pass its
         server map; logs and verification objects are always fetched over the
         network so the audit exercises the same signed message paths a real
-        external auditor would.
+        external auditor would.  ``epoch_anchors`` + ``ordering_shard_map``
+        (sharded ordering deployments) additionally run
+        :meth:`check_epoch_anchors` against the reference log.
         """
         started = time.perf_counter()
         report = AuditReport()
@@ -490,6 +571,8 @@ class Auditor:
             report.audit_wall_time_s = time.perf_counter() - started
             return report
         self.check_transactions(reference, report)
+        if epoch_anchors is not None and ordering_shard_map is not None:
+            self.check_epoch_anchors(reference, epoch_anchors, ordering_shard_map, report)
         if check_datastore:
             self.check_datastores(reference, report, mode=datastore_mode)
         report.audit_wall_time_s = time.perf_counter() - started

@@ -33,6 +33,9 @@ class ViolationType(Enum):
     INVALID_COSIGN = "invalid-cosign"
     #: A commit block is missing an involved server's root, or an abort block has all roots.
     MALFORMED_BLOCK = "malformed-block"
+    #: The sharded sequencer's epoch-anchor chain does not match the per-shard
+    #: chains replayed from the reference log (DESIGN.md section 13).
+    ANCHOR_MISMATCH = "epoch-anchor-mismatch"
 
 
 @dataclass(frozen=True)

@@ -23,13 +23,34 @@ from repro.bench.harness import (
     run_experiment,
     run_pipelined_experiment,
     run_scaled_experiment,
+    run_scaled_from_config,
 )
+from repro.common.errors import ConfigurationError
 from repro.core.fides import PROTOCOL_2PC, PROTOCOL_TFCOMMIT
 from repro.net.latency import lan_latency, wan_latency
 
 
 def _rows(results: Sequence[ExperimentResult]) -> List[Dict[str, object]]:
     return [result.as_row() for result in results]
+
+
+def run(config: ExperimentConfig, latency=None):
+    """Run one experiment point; the deployment is chosen by the config.
+
+    This is the single entrypoint the :mod:`repro.api` facade exports:
+    ``config.deployment`` selects the runner (``"classic"`` -> one
+    coordinator over the whole cluster, ``"scaled"`` -> dynamic groups plus
+    the ordering service), so callers no longer pick between
+    :func:`run_experiment` and the historical ``run_scaled_experiment``
+    keyword-per-knob signature.
+    """
+    if config.deployment == "classic":
+        return run_experiment(config, latency=latency)
+    if config.deployment == "scaled":
+        return run_scaled_from_config(config, latency=latency)
+    raise ConfigurationError(
+        f"unknown deployment {config.deployment!r} (expected 'classic' or 'scaled')"
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -273,6 +294,98 @@ def scaledgroups(
                     )
                 )
     rows = [result.as_row() for result in results]
+    return (results, rows) if return_results else rows
+
+
+def scaleout(
+    shard_counts: Iterable[int] = (1, 4, 16),
+    cross_shard_ratios: Iterable[float] = (0.0, 0.1),
+    num_servers: int = 128,
+    group_size: int = 1,
+    items_per_shard: int = 64,
+    txns_per_block: int = 16,
+    ops_per_txn: int = 2,
+    num_clients: int = 4,
+    home_skew_theta: float = 0.6,
+    epoch_max_blocks: int = 32,
+    num_requests: Optional[int] = None,
+    fixed_compute_ms: Optional[float] = None,
+    smoke: bool = False,
+    return_results: bool = False,
+):
+    """Hundreds-of-groups ordering scale-out: shards x cross-shard traffic.
+
+    Every point drives a Zipfian-skewed (``home_skew_theta``)
+    locality-partitioned workload through 128 single-server groups and the
+    :class:`~repro.core.sequencing.Sequencer` selected by ``shard_counts``:
+    1 is the classic single-lane ordering service (the pre-sharding
+    saturation point), more swap in the sharded service whose lanes order
+    single-shard blocks independently (DESIGN.md section 13).
+    ``cross_shard_ratios`` sets the fraction of transactions spanning two
+    home partitions; each ratio's 1-shard point is the reference for that
+    ratio's ``speedup vs 1 shard`` column, and ``ordserv busy`` reports the
+    busiest lane's utilisation (the saturation the sharding removes).
+    There is deliberately no single-coordinator baseline run: dragging 128
+    servers through one coordinator per block is not a useful reference at
+    this scale -- the 1-shard scaled run is.
+
+    The full sweep defaults to ~10^6 transactions (6 points x 170k);
+    ``smoke=True`` keeps the three shard counts at one non-zero ratio and
+    ~38k requests per point (>= 10^5 transactions and >= 128 distinct
+    groups total, the CI configuration).  ``fixed_compute_ms`` makes the
+    throughputs deterministic for the baseline gate.
+    """
+    shard_counts = tuple(sorted(shard_counts))
+    cross_shard_ratios = tuple(cross_shard_ratios)
+    if smoke:
+        nonzero = tuple(r for r in cross_shard_ratios if r > 0)
+        cross_shard_ratios = nonzero[:1] or cross_shard_ratios[:1]
+        if num_requests is None:
+            num_requests = 38_400
+    if num_requests is None:
+        num_requests = 170_000
+    results: List[ScaledExperimentResult] = []
+    rows: List[Dict[str, object]] = []
+    reference_tps: Dict[float, float] = {}
+    for ratio in cross_shard_ratios:
+        for shards in shard_counts:
+            config = ExperimentConfig(
+                label=f"scaleout-{num_servers}s-sh{shards}-x{ratio}",
+                deployment="scaled",
+                num_servers=num_servers,
+                items_per_shard=items_per_shard,
+                txns_per_block=txns_per_block,
+                ops_per_txn=ops_per_txn,
+                num_requests=num_requests,
+                num_clients=num_clients,
+                group_size=group_size,
+                locality=1.0 - ratio,
+                home_skew_theta=home_skew_theta,
+                ordering_shards=shards,
+                epoch_max_blocks=epoch_max_blocks,
+                fixed_compute_ms=fixed_compute_ms,
+            )
+            result = run_scaled_from_config(config, baseline=False)
+            results.append(result)
+            reference = reference_tps.setdefault(ratio, result.scaled_tps)
+            rows.append(
+                {
+                    "label": config.label,
+                    "servers": num_servers,
+                    "shards": shards,
+                    "cross ratio": ratio,
+                    "requests": num_requests,
+                    "committed": result.committed_txns,
+                    "groups": result.distinct_groups,
+                    "epochs": result.epochs,
+                    "scaled tps": round(result.scaled_tps, 1),
+                    "ordserv busy": round(result.ordering_busy_frac, 3),
+                    "speedup vs 1 shard": (
+                        round(result.scaled_tps / reference, 2) if reference > 0 else 0.0
+                    ),
+                    "makespan (s)": round(result.scaled_time_s, 4),
+                }
+            )
     return (results, rows) if return_results else rows
 
 
@@ -631,6 +744,7 @@ EXPERIMENT_REGISTRY = {
     "faultmatrix": faultmatrix,
     "pipeline": pipeline,
     "scaledgroups": scaledgroups,
+    "scaleout": scaleout,
     "recovery": recovery,
     "failover": failover,
     "ablation-latency": ablation_latency_regime,

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import math
 import statistics
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -62,6 +63,23 @@ class ExperimentConfig:
     #: deterministic across machines (DESIGN.md section 7).
     fixed_compute_ms: Optional[float] = None
     seed: int = 2020
+    #: ``"classic"`` (one coordinator) or ``"scaled"`` (dynamic groups +
+    #: ordering service).  :func:`repro.bench.experiments.run` dispatches on
+    #: this instead of callers picking a runner function by name.
+    deployment: str = "classic"
+    # -- scaled-deployment knobs (ignored by the classic deployment) --------
+    #: Servers per workload home partition (group formation granularity).
+    group_size: int = 2
+    #: Probability a transaction stays within its home partition.
+    locality: float = 1.0
+    #: Zipfian skew over home partitions (0.0 = uniform round-robin).
+    home_skew_theta: float = 0.0
+    #: Reorder window of the single-lane ordering service.
+    reorder_window: int = 0
+    #: Ordering shards; > 1 swaps in the sharded sequencer (DESIGN.md §13).
+    ordering_shards: int = 1
+    #: Per-lane buffer bound of the sharded sequencer.
+    epoch_max_blocks: int = 32
 
     def system_config(self) -> SystemConfig:
         return SystemConfig(
@@ -249,6 +267,13 @@ class ScaledExperimentResult:
     baseline_tps: float = 0.0
     speedup: float = 0.0
     txn_latency_ms: float = 0.0
+    #: Ordering shards the run used (1 = classic single-lane sequencer).
+    ordering_shards: int = 1
+    #: Busiest ordering lane's busy time over the makespan -- how saturated
+    #: the ordering layer is (the scale-out sweep's headline bottleneck metric).
+    ordering_busy_frac: float = 0.0
+    #: Epoch anchors sealed (0 under the single-lane sequencer).
+    epochs: int = 0
 
     def as_row(self) -> Dict[str, object]:
         return {
@@ -280,6 +305,113 @@ def locality_partitions(system, group_size: int) -> List[List[str]]:
     return partitions
 
 
+def run_scaled_from_config(
+    config: ExperimentConfig,
+    latency: Optional[LatencyModel] = None,
+    baseline: bool = True,
+) -> ScaledExperimentResult:
+    """Run one scaled-deployment point described by an :class:`ExperimentConfig`.
+
+    ``config.ordering_shards`` selects the sequencer: 1 keeps the classic
+    single-lane :class:`~repro.core.ordserv.OrderingService` (with
+    ``config.reorder_window``), more swaps in the sharded service.  With
+    ``baseline=True`` the same locality-partitioned workload also runs on a
+    classic single-coordinator :class:`FidesSystem` -- each with its own
+    seed-matched latency model, since sharing one instance would let the
+    first run advance the RNG stream the second samples from.  The scale-out
+    sweep passes ``baseline=False``: dragging 100+ servers through a
+    single-coordinator round per block is not a useful baseline there (the
+    1-shard scaled run is).
+    """
+    from repro.core.sequencing import sharded_sequencer, single_sequencer
+
+    system_config = config.system_config()
+    compute_model = (
+        FixedCompute(config.fixed_compute_ms / 1000.0)
+        if config.fixed_compute_ms is not None
+        else None
+    )
+    sequencer = (
+        sharded_sequencer(config.ordering_shards, epoch_max_blocks=config.epoch_max_blocks)
+        if config.ordering_shards > 1
+        else single_sequencer(config.reorder_window)
+    )
+    scaled = ScaledFidesSystem(
+        system_config,
+        latency=latency or lan_latency(seed=config.seed),
+        reorder_window=config.reorder_window,
+        compute_model=compute_model,
+        sequencer=sequencer,
+    )
+    workload = PartitionedWorkload(
+        partitions=locality_partitions(scaled, config.group_size),
+        ops_per_txn=config.ops_per_txn,
+        locality=config.locality,
+        conflict_free_window=config.txns_per_block,
+        seed=config.seed,
+        home_skew_theta=config.home_skew_theta,
+    )
+    specs = workload.generate(config.num_requests)
+    outcome = scaled.run_workload(specs, num_clients=config.num_clients)
+
+    result = ScaledExperimentResult(
+        label=config.label,
+        num_servers=config.num_servers,
+        group_size=config.group_size,
+        locality=config.locality,
+        txns_per_block=config.txns_per_block,
+        ordering_shards=config.ordering_shards,
+    )
+    result.committed_txns = outcome.committed
+    result.aborted_txns = outcome.aborted
+    result.group_coordinators = len(scaled.active_group_coordinators)
+    result.distinct_groups = len(scaled.groups_used())
+    result.epochs = len(getattr(scaled.ordering, "epoch_anchors", ()))
+
+    block_latencies = []
+    txn_latencies = []
+    for coordinator in scaled._coordinators():
+        finished = [r for r in coordinator.results if r.status in ("committed", "aborted")]
+        block_latencies.extend(r.timing.total for r in finished)
+        txn_latencies.extend(r.timing.per_txn_latency for r in finished)
+    result.blocks = len(block_latencies)
+    result.scaled_time_s = scaled.sim.makespan
+    if result.scaled_time_s > 0:
+        result.scaled_tps = result.committed_txns / result.scaled_time_s
+        busy = scaled.sim.scheduler.delivery_busy()
+        if busy:
+            result.ordering_busy_frac = max(busy.values()) / result.scaled_time_s
+    if txn_latencies:
+        result.txn_latency_ms = statistics.mean(txn_latencies) * 1000.0
+
+    if not baseline:
+        return result
+
+    baseline_system = FidesSystem(
+        config=system_config,
+        protocol=PROTOCOL_TFCOMMIT,
+        latency=lan_latency(seed=config.seed),
+        compute_model=compute_model,
+    )
+    baseline_workload = PartitionedWorkload(
+        partitions=locality_partitions(baseline_system, config.group_size),
+        ops_per_txn=config.ops_per_txn,
+        locality=config.locality,
+        conflict_free_window=config.txns_per_block,
+        seed=config.seed,
+        home_skew_theta=config.home_skew_theta,
+    )
+    baseline_outcome = baseline_system.run_workload(
+        baseline_workload.generate(config.num_requests), num_clients=config.num_clients
+    )
+    baseline_time = baseline_system.sim.makespan
+    if baseline_time > 0:
+        result.baseline_tps = baseline_outcome.committed / baseline_time
+    if result.baseline_tps > 0:
+        result.speedup = result.scaled_tps / result.baseline_tps
+    return result
+
+
 def run_scaled_experiment(
     label: str,
     num_servers: int = 4,
@@ -293,84 +425,34 @@ def run_scaled_experiment(
     reorder_window: int = 0,
     seed: int = 2020,
 ) -> ScaledExperimentResult:
-    """Run one scaled-deployment point and its single-coordinator baseline.
+    """Deprecated shim: build an :class:`ExperimentConfig` and delegate.
 
-    Both systems execute the *same* locality-partitioned workload, each with
-    its own seed-matched latency model (sharing one model instance would let
-    the first run advance the RNG stream the second one samples from); the
-    baseline is a classic :class:`FidesSystem` whose one coordinator drags
-    every server into every round.
+    Kept for callers of the historical keyword-per-knob signature; new code
+    should construct an ``ExperimentConfig(deployment="scaled", ...)`` and
+    call :func:`repro.bench.experiments.run` (or
+    :func:`run_scaled_from_config` directly).
     """
-    system_config = SystemConfig(
+    warnings.warn(
+        "run_scaled_experiment(label, ...) is deprecated; use "
+        "repro.bench.experiments.run(ExperimentConfig(deployment='scaled', ...))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    config = ExperimentConfig(
+        label=label,
+        deployment="scaled",
         num_servers=num_servers,
         items_per_shard=items_per_shard,
         txns_per_block=txns_per_block,
         ops_per_txn=ops_per_txn,
-        multi_versioned=False,
-        message_signing="hash",
-        seed=seed,
-    )
-    scaled = ScaledFidesSystem(
-        system_config,
-        latency=lan_latency(seed=seed),
-        reorder_window=reorder_window,
-    )
-    workload = PartitionedWorkload(
-        partitions=locality_partitions(scaled, group_size),
-        ops_per_txn=ops_per_txn,
-        locality=locality,
-        conflict_free_window=txns_per_block,
-        seed=seed,
-    )
-    specs = workload.generate(num_requests)
-    outcome = scaled.run_workload(specs, num_clients=num_clients)
-
-    result = ScaledExperimentResult(
-        label=label,
-        num_servers=num_servers,
+        num_requests=num_requests,
+        num_clients=num_clients,
         group_size=group_size,
         locality=locality,
-        txns_per_block=txns_per_block,
-    )
-    result.committed_txns = outcome.committed
-    result.aborted_txns = outcome.aborted
-    result.group_coordinators = len(scaled.active_group_coordinators)
-    result.distinct_groups = len(scaled.groups_used())
-
-    block_latencies = []
-    txn_latencies = []
-    for coordinator in scaled._coordinators():
-        finished = [r for r in coordinator.results if r.status in ("committed", "aborted")]
-        block_latencies.extend(r.timing.total for r in finished)
-        txn_latencies.extend(r.timing.per_txn_latency for r in finished)
-    result.blocks = len(block_latencies)
-    result.scaled_time_s = scaled.sim.makespan
-    if result.scaled_time_s > 0:
-        result.scaled_tps = result.committed_txns / result.scaled_time_s
-    if txn_latencies:
-        result.txn_latency_ms = statistics.mean(txn_latencies) * 1000.0
-
-    baseline_system = FidesSystem(
-        config=system_config,
-        protocol=PROTOCOL_TFCOMMIT,
-        latency=lan_latency(seed=seed),
-    )
-    baseline_workload = PartitionedWorkload(
-        partitions=locality_partitions(baseline_system, group_size),
-        ops_per_txn=ops_per_txn,
-        locality=locality,
-        conflict_free_window=txns_per_block,
+        reorder_window=reorder_window,
         seed=seed,
     )
-    baseline_outcome = baseline_system.run_workload(
-        baseline_workload.generate(num_requests), num_clients=num_clients
-    )
-    baseline_time = baseline_system.sim.makespan
-    if baseline_time > 0:
-        result.baseline_tps = baseline_outcome.committed / baseline_time
-    if result.baseline_tps > 0:
-        result.speedup = result.scaled_tps / result.baseline_tps
-    return result
+    return run_scaled_from_config(config)
 
 
 @dataclass

@@ -348,9 +348,16 @@ def check_pipeline_conformance(record: RunRecord) -> List[Violation]:
                         (*window, f"{task.label}/{phase}")
                     )
                 elif phase == "order":
-                    serialized.setdefault((ORDSERV_RESOURCE, "terminal"), []).append(
-                        (*window, f"{task.label}/{phase}")
-                    )
+                    # The delivery occupied the lane(s) the scheduler
+                    # recorded: one shared resource for the single
+                    # sequencer, one per involved ordering shard for the
+                    # sharded service (a cross-shard delivery serializes
+                    # on every lane it names).
+                    lanes = task.delivery_resources or (ORDSERV_RESOURCE,)
+                    for lane in lanes:
+                        serialized.setdefault((lane, "terminal"), []).append(
+                            (*window, f"{task.label}/{phase}")
+                        )
         if scheduler.pipeline_depth == 1:
             for previous, task in zip(tasks, tasks[1:]):
                 if not (task.chained and previous.done_at is not None):

@@ -80,6 +80,7 @@ DEPLOYMENT_MODULES: Dict[str, Tuple[str, ...]] = {
         "core/viewchange.py",
         "core/scaled.py",
         "core/ordserv.py",
+        "core/sequencing.py",
     ),
     "twopc": (
         "client/",

@@ -97,6 +97,19 @@ def canonical_encode(value: Any) -> bytes:
         return b"".join(parts)
     to_wire = getattr(value, "to_wire", None)
     if callable(to_wire):
+        # Immutable wire objects (frozen dataclasses that are never mutated,
+        # only rebuilt via ``dataclasses.replace``) can opt into a
+        # per-instance encoding cache by setting ``CANONICAL_CACHEABLE``.
+        # The scaled deployment broadcasts the same Block object to every
+        # server, so without the cache one ordered-block delivery re-encodes
+        # the block once per recipient.
+        if getattr(value, "CANONICAL_CACHEABLE", False):
+            cached = value.__dict__.get("_canonical_cache")
+            if cached is not None:
+                return cached
+            encoded = canonical_encode(to_wire())
+            object.__setattr__(value, "_canonical_cache", encoded)
+            return encoded
         return canonical_encode(to_wire())
     raise TypeError(f"cannot canonically encode object of type {type(value).__name__}")
 

@@ -22,8 +22,8 @@ substitution table): a sequencer that
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Callable, List
+from dataclasses import dataclass, field, replace
+from typing import Callable, List, Sequence, Tuple
 
 from repro.check.choices import choose
 from repro.common.errors import ProtocolInvariantError
@@ -34,15 +34,42 @@ from repro.ledger.block import Block
 
 @dataclass(frozen=True)
 class OrderedBlock:
-    """A block as finalised by the ordering service."""
+    """A block as finalised by the ordering service.
+
+    ``shards`` names the ordering shards the block involved (empty for the
+    single-sequencer service, where the stream has no shard structure); the
+    deployment layer uses it to charge the delivery to per-shard timeline
+    resources.
+    """
 
     global_height: int
     block: Block
     group: ServerGroup
+    shards: Tuple[int, ...] = field(default=())
 
     @property
     def block_hash(self) -> bytes:
         return self.block.block_hash()
+
+
+def stream_respects_dependencies(ordered: Sequence[OrderedBlock]) -> bool:
+    """Check a finalised stream never reorders dependent blocks.
+
+    For every pair of ordered blocks from overlapping groups, the data
+    dependencies must point forward in the stream.  Shared by every
+    :class:`~repro.core.sequencing.Sequencer` implementation's
+    ``verify_dependency_order`` and by the test suites.
+    """
+    for later_index, later in enumerate(ordered):
+        for earlier in ordered[:later_index]:
+            if earlier.group.overlaps(later.group):
+                if dependency_between(
+                    later.block.transactions, earlier.block.transactions
+                ) and not dependency_between(
+                    earlier.block.transactions, later.block.transactions
+                ):
+                    return False
+    return True
 
 
 @dataclass
@@ -231,17 +258,7 @@ class OrderingService:
     def verify_dependency_order(self) -> bool:
         """Check that the finalised stream never reorders dependent blocks.
 
-        Used by tests and by the auditor-style sanity check: for every pair of
-        ordered blocks from overlapping groups, the data dependencies must
-        point forward in the stream.
+        Used by tests and by the auditor-style sanity check; see
+        :func:`stream_respects_dependencies`.
         """
-        for later_index, later in enumerate(self._ordered):
-            for earlier in self._ordered[:later_index]:
-                if earlier.group.overlaps(later.group):
-                    if dependency_between(
-                        later.block.transactions, earlier.block.transactions
-                    ) and not dependency_between(
-                        earlier.block.transactions, later.block.transactions
-                    ):
-                        return False
-        return True
+        return stream_respects_dependencies(self._ordered)

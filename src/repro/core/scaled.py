@@ -37,15 +37,17 @@ from repro.common.types import ServerId, Value
 from repro.core.fides import PROTOCOL_TFCOMMIT, FidesSystem
 from repro.core.grouping import ServerGroup, group_for_batch, group_for_transaction
 from repro.core.ordserv import OrderedBlock, OrderingService
+from repro.core.sequencing import Sequencer, SequencerFactory, single_sequencer
 from repro.core.tfcommit import TFCommitCoordinator, TimingBreakdown, timed_broadcast
 from repro.core.viewchange import ViewChangeOutcome, elect_successor, run_view_change
 from repro.crypto.keys import keypair_for
+from repro.ledger.anchor import EpochAnchor
 from repro.ledger.block import Block, make_group_partial_block
 from repro.net.latency import LatencyModel
 from repro.net.message import Envelope, MessageType
 from repro.net.network import Network
 from repro.sim.context import SimContext
-from repro.sim.scheduler import BlockTask
+from repro.sim.scheduler import ORDSERV_RESOURCE, BlockTask
 from repro.storage.shard import ShardMap
 from repro.txn.transaction import Transaction
 
@@ -69,7 +71,7 @@ class GroupTFCommitCoordinator(TFCommitCoordinator):
         server,
         network: Network,
         shard_map: ShardMap,
-        ordering: OrderingService,
+        ordering: Sequencer,
         system: "ScaledFidesSystem",
         txns_per_block: int = 1,
         latency: Optional[LatencyModel] = None,
@@ -211,9 +213,16 @@ class ScaledFidesSystem(FidesSystem):
     disjoint shard sets commit through distinct group coordinators and the
     global log is produced by the ordering service's atomic broadcast.
 
-    ``reorder_window`` is forwarded to the :class:`OrderingService`: 0 keeps
-    submission order; larger windows let blocks of disjoint groups be
-    reordered, exercising the freedom the paper grants OrdServ.
+    The ordering layer is pluggable through ``sequencer``, a
+    :data:`~repro.core.sequencing.SequencerFactory` called with the system's
+    config once the server set is known.  The default,
+    ``single_sequencer(reorder_window)``, reproduces the classic
+    single-lane :class:`OrderingService` bit-for-bit;
+    :func:`~repro.core.sequencing.sharded_sequencer` swaps in the sharded
+    service (DESIGN.md §13).  ``reorder_window`` only applies to the
+    default factory: 0 keeps submission order; larger windows let blocks of
+    disjoint groups be reordered, exercising the freedom the paper grants
+    OrdServ.
     """
 
     def __init__(
@@ -225,8 +234,10 @@ class ScaledFidesSystem(FidesSystem):
         state_store_factory=None,
         compute_model=None,
         obs=None,
+        sequencer: Optional[SequencerFactory] = None,
     ) -> None:
         self._reorder_window = reorder_window
+        self._sequencer_factory = sequencer
         super().__init__(
             config=config,
             protocol=PROTOCOL_TFCOMMIT,
@@ -240,7 +251,8 @@ class ScaledFidesSystem(FidesSystem):
     # -- wiring ---------------------------------------------------------------------
 
     def _wire_termination(self) -> None:
-        self.ordering = OrderingService(reorder_window=self._reorder_window)
+        factory = self._sequencer_factory or single_sequencer(self._reorder_window)
+        self.ordering: Sequencer = factory(self.config)
         self.ordering.attach_obs(self.sim.obs)
         self._group_coordinators: Dict[ServerId, GroupTFCommitCoordinator] = {}
         #: signing digest -> the round timing awaiting its delivery charge.
@@ -270,6 +282,9 @@ class ScaledFidesSystem(FidesSystem):
             ORDSERV_ID, keypair_for(ORDSERV_ID, seed=self.config.seed)
         )
         self.ordering.subscribe(self._deliver_ordered)
+        subscribe_anchors = getattr(self.ordering, "subscribe_anchors", None)
+        if subscribe_anchors is not None:
+            subscribe_anchors(self._broadcast_anchor)
         for server_id, server in self.servers.items():
             server.set_coordinator_role(GroupDispatcher(self, server_id))
         #: No single designated coordinator exists in the scaled deployment.
@@ -434,7 +449,13 @@ class ScaledFidesSystem(FidesSystem):
         task = self._inflight_tasks.pop(digest, None)
         span = self._inflight_spans.pop(digest, None)
         label = f"ordserv/deliver-{ordered.global_height}"
-        start = self.sim.scheduler.begin_delivery(task, label)
+        # A sharded sequencer stamps the block's ordering shards: its
+        # delivery occupies only those lanes' timeline resources, so
+        # disjoint shards interleave and a cross-shard block barriers.
+        resources = tuple(
+            f"{ORDSERV_RESOURCE}/s{shard}" for shard in ordered.shards
+        ) or (ORDSERV_RESOURCE,)
+        start = self.sim.scheduler.begin_delivery(task, label, resources=resources)
         # A scratch breakdown lets the shared helper do the accounting even
         # when no round timing is registered (blocks published directly by
         # tests); the charge is transferred to the originating round's if any.
@@ -462,13 +483,19 @@ class ScaledFidesSystem(FidesSystem):
                 entry.item_id for txn in block.transactions for entry in txn.write_set
             ),
             status="committed" if block.is_commit else "aborted",
+            resources=resources,
         )
         status = "committed" if block.is_commit else "aborted"
         tracer = self.sim.obs.tracer
+        span_actor = (
+            f"{ORDSERV_ID}/s" + "+".join(str(shard) for shard in ordered.shards)
+            if ordered.shards
+            else ORDSERV_ID
+        )
         tracer.add_span(
             "order",
             "delivery",
-            ORDSERV_ID,
+            span_actor,
             start,
             delivered_at,
             parent=span,
@@ -495,6 +522,41 @@ class ScaledFidesSystem(FidesSystem):
         result = self._pending_results.pop(digest, None)
         if result is not None:
             self._restamp_result(result, block)
+
+    def _broadcast_anchor(self, anchor: EpochAnchor) -> None:
+        """Publish one sealed epoch anchor to every server.
+
+        Servers record the anchor chain so a later audit (or an external
+        verifier holding only the thin chain) can check the per-shard
+        ordering without trusting the sequencer; crashed servers are
+        skipped -- anchor gaps are tolerated by the handler and the
+        auditor verifies against the service's full chain.
+        """
+        responses = self.network.broadcast(
+            ORDSERV_ID,
+            list(self.config.server_ids),
+            MessageType.EPOCH_ANCHOR,
+            {"anchor": anchor},
+            skip_unreachable=True,
+        )
+        self.delivery_failures.extend(
+            response for response in responses.values() if not response.get("ok")
+        )
+
+    def audit(self):
+        """Run the full offline audit, including epoch-anchor verification.
+
+        With the default single sequencer this is exactly the base audit;
+        a sharded sequencer additionally has its anchor chain replayed
+        against the reference log (DESIGN.md §13).
+        """
+        anchors = getattr(self.ordering, "epoch_anchors", None)
+        shard_map = getattr(self.ordering, "shard_map", None)
+        if not anchors or shard_map is None:
+            return super().audit()
+        return self.auditor().run_audit(
+            self.servers, epoch_anchors=anchors, ordering_shard_map=shard_map
+        )
 
     # -- workload-engine hooks ----------------------------------------------------------
 

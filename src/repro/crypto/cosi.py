@@ -236,17 +236,29 @@ def cosi_verify(
     if not isinstance(signature, CollectiveSignature):
         return False
     try:
-        aggregate_key = aggregate_points(public_keys[s].point for s in signature.signer_ids)
+        key_points = tuple(public_keys[s].point for s in signature.signer_ids)
     except KeyError:
         return False
+    # Verification is a pure function of (signature, record, signer keys).
+    # In the scaled deployment every server verifies the same Block object's
+    # co-sign on ordered delivery, so memoise the last verdict per signature
+    # instance; a different record or key set misses the cache and re-runs
+    # the full check.
+    record_bytes = bytes(record)
+    cache_key = (record_bytes, key_points)
+    cached = signature.__dict__.get("_verify_cache")
+    if cached is not None and cached[0] == cache_key:
+        return cached[1]
+    aggregate_key = aggregate_points(key_points)
     # The aggregate public key is the same for every block signed by the same
     # server set, so the cached window table makes repeated verifications cheap.
     reconstructed = point_add(
         generator_multiply(signature.response),
         cached_scalar_multiply(signature.challenge, aggregate_key),
     )
-    expected_challenge = compute_challenge(reconstructed, bytes(record))
-    return expected_challenge == signature.challenge
+    verdict = compute_challenge(reconstructed, record_bytes) == signature.challenge
+    object.__setattr__(signature, "_verify_cache", (cache_key, verdict))
+    return verdict
 
 
 def verify_partial(

@@ -162,7 +162,16 @@ class CampaignRunner:
 
     # -- system / workload plumbing ------------------------------------------
 
-    def build_system(self) -> FidesSystem:
+    def build_system(self, deployment: str = "classic") -> FidesSystem:
+        if deployment == "sharded":
+            from repro.core.scaled import ScaledFidesSystem
+            from repro.core.sequencing import sharded_sequencer
+
+            return ScaledFidesSystem(
+                self.config.system_config(),
+                latency=ConstantLatency(self.config.latency_s),
+                sequencer=sharded_sequencer(2, epoch_max_blocks=4),
+            )
         return FidesSystem(
             self.config.system_config(),
             latency=ConstantLatency(self.config.latency_s),
@@ -213,10 +222,10 @@ class CampaignRunner:
         return system.server_ids[1]
 
     def _run_probe(self, system: FidesSystem, scenario: CampaignScenario) -> None:
-        reserved = self.reserved_items(system)
-        item = reserved[self._probe_server(system, scenario)]
         if scenario.probe == "none":
             return
+        reserved = self.reserved_items(system)
+        item = reserved[self._probe_server(system, scenario)]
         if scenario.probe == "stale-txn":
             self._probe_stale_txn(system, item, reserved)
             return
@@ -270,11 +279,16 @@ class CampaignRunner:
         return self._honest_audit_time
 
     def run_scenario(self, scenario: CampaignScenario) -> DetectionResult:
-        system = self.build_system()
+        system = self.build_system(scenario.deployment)
         reserved = self.reserved_items(system)
         policies: Dict[str, PlannedFaultPolicy] = {}
         by_target: Dict[str, List[FaultPlan]] = {}
+        # Anchor faults target the ordering service, which has no
+        # FaultPolicy hooks; the runner applies them after the workload.
+        anchor_plans = [p for p in scenario.plans if p.fault == "anchor-tamper"]
         for plan in scenario.plans:
+            if plan.fault == "anchor-tamper":
+                continue
             by_target.setdefault(plan.target, []).append(self._resolve(plan, reserved))
         for target, plans in by_target.items():
             policy = PlannedFaultPolicy(plans)
@@ -289,15 +303,21 @@ class CampaignRunner:
         # up (or still lying): the view change re-proposes the stalled
         # rounds and the probe below must commit under the successor.
         failover_outcome = system.fail_over() if scenario.failover else None
-        pre_probe_results = len(system.coordinator.results)
+        pre_probe_results = (
+            len(system.coordinator.results) if system.coordinator is not None else 0
+        )
         self._run_probe(system, scenario)
         if scenario.liveness:
             # A late trigger (height/phase not reached until the probe) can
             # crash the target mid-probe; recover again so the audit runs on
             # a live cluster.
             recoveries.update(self._recover_crashed(system, scenario))
+        if anchor_plans:
+            self._tamper_anchors(system)
 
-        report = system.auditor().run_audit(system.servers, datastore_mode="all")
+        report = system.auditor().run_audit(
+            system.servers, datastore_mode="all", **self._audit_kwargs(system)
+        )
 
         result = DetectionResult(
             scenario=scenario.name,
@@ -360,6 +380,37 @@ class CampaignRunner:
             ]
             recoveries[server_id] = system.recover_server(server_id, peer_order=peers)
         return recoveries
+
+    @staticmethod
+    def _audit_kwargs(system) -> Dict[str, object]:
+        """Anchor-verification arguments for sharded-sequencer deployments."""
+        ordering = getattr(system, "ordering", None)
+        if ordering is None:
+            return {}
+        anchors = getattr(ordering, "epoch_anchors", None)
+        shard_map = getattr(ordering, "shard_map", None)
+        if not anchors or shard_map is None:
+            return {}
+        return {"epoch_anchors": anchors, "ordering_shard_map": shard_map}
+
+    @staticmethod
+    def _tamper_anchors(system) -> None:
+        """Doctor the sharded sequencer's last epoch anchor (shard heads).
+
+        The signed blocks themselves stay untouched -- only the service's
+        anchor chain lies, which is exactly the misbehaviour the auditor's
+        per-shard replay must pin on ``ordserv``.
+        """
+        from dataclasses import replace as dc_replace
+
+        service = system.ordering
+        if not service.epoch_anchors:
+            system.flush()
+        anchors = service._anchors
+        last = anchors[-1]
+        anchors[-1] = dc_replace(
+            last, shard_heads=tuple(b"\x00" * 32 for _ in last.shard_heads)
+        )
 
     @staticmethod
     def _resolve(plan: FaultPlan, reserved: Dict[str, str]) -> FaultPlan:

@@ -62,6 +62,12 @@ FAULT_KINDS: Dict[str, Dict[str, object]] = {
     # cohorts' challenge refusals (protocol), recovery is the view change
     # electing an honest successor that commits where the liar could not.
     "byzantine-coordinator": {"hook": "equivocate", "scope": "coordinator", "detected_by": "protocol"},
+    # -- ordering service ------------------------------------------------------
+    # A misbehaving sharded ordering service publishing an epoch anchor that
+    # does not match the per-shard chains of the blocks it delivered.  Not a
+    # server-side FaultPolicy hook: the campaign runner doctors the service's
+    # anchor chain directly after the workload (DESIGN.md section 13).
+    "anchor-tamper": {"hook": "tamper_anchor", "scope": "ordserv", "detected_by": "audit"},
     # -- log ------------------------------------------------------------------
     "log-tamper": {"hook": "tamper_log", "scope": "log", "detected_by": "audit"},
     "log-truncate": {"hook": "tamper_log", "scope": "log", "detected_by": "audit"},
@@ -143,6 +149,11 @@ class CampaignScenario:
     #: coordinator via ``system.fail_over()`` after recovery, then verify
     #: that post-view-change commits succeed under the elected successor.
     failover: bool = False
+    #: Which deployment the scenario runs against: ``"classic"`` (the
+    #: default single-coordinator FidesSystem) or ``"sharded"`` (a
+    #: ScaledFidesSystem with the sharded sequencer -- the only deployment
+    #: where epoch anchors, and hence anchor faults, exist).
+    deployment: str = "classic"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "plans", tuple(self.plans))
@@ -282,6 +293,19 @@ def _base_scenarios(server_ids: Sequence[str]) -> List[CampaignScenario]:
             expected_culprits=(cohort,),
         ),
         CampaignScenario(
+            # The sharded ordering service publishes a doctored epoch anchor
+            # (its sealed per-shard chain heads do not match the blocks it
+            # delivered).  The auditor replays the reference log's per-shard
+            # chains and pins the mismatch on the ordering service itself --
+            # the one participant whose misbehaviour no server co-sign covers.
+            name="anchor-tamper",
+            plans=(plan("anchor-tamper", "ordserv"),),
+            probe="none",
+            expected_violation=ViolationType.ANCHOR_MISMATCH,
+            expected_culprits=("ordserv",),
+            deployment="sharded",
+        ),
+        CampaignScenario(
             # The cohort crashes mid-round (vote phase, one-shot): the round
             # fails with the cohort unreachable, the runner recovers it via
             # peer catch-up, and the probe + audit then succeed cleanly.
@@ -393,6 +417,7 @@ def build_fault_matrix(
                     deterministic=deterministic and scenario.deterministic,
                     liveness=scenario.liveness,
                     failover=scenario.failover,
+                    deployment=scenario.deployment,
                 )
             )
     return matrix

@@ -77,6 +77,11 @@ class Block:
     coordinator cannot replay its old proposals into a newer view.
     """
 
+    #: Blocks are immutable once built (tampering goes through
+    #: ``dataclasses.replace``), so :func:`canonical_encode` may cache the
+    #: wire encoding per instance -- see ``repro.common.encoding``.
+    CANONICAL_CACHEABLE = True
+
     height: int
     transactions: Tuple[Transaction, ...]
     roots: Mapping[ServerId, bytes]

@@ -120,11 +120,14 @@ class StateStore:
         return False
 
     def record_block(self, block: Block, shard_root: bytes) -> None:
-        """Persist one applied block and the shard root it produced."""
+        """Persist one applied block and the shard root it produced.
+
+        The block is passed to the encoder as the object (not pre-flattened
+        with ``to_wire()``) so its cached canonical encoding is reused when
+        many servers persist the same delivered block.
+        """
         self._append(
-            canonical_encode(
-                {"kind": "block", "block": block.to_wire(), "shard_root": shard_root}
-            )
+            canonical_encode({"kind": "block", "block": block, "shard_root": shard_root})
         )
 
     def install_checkpoint(

@@ -22,6 +22,7 @@ from repro.common.errors import ValidationError
 from repro.common.timestamps import Timestamp
 from repro.crypto.cosi import CollectiveSignature
 from repro.crypto.merkle import VerificationObject
+from repro.ledger.anchor import EpochAnchor
 from repro.ledger.block import Block, BlockDecision
 from repro.ledger.checkpoint import Checkpoint
 from repro.storage.datastore import ReadResult
@@ -267,6 +268,26 @@ def read_result_from_wire(data: Mapping) -> ReadResult:
         raise _fail("read result", exc) from None
 
 
+def epoch_anchor_from_wire(data: Mapping) -> EpochAnchor:
+    """Inverse of :meth:`EpochAnchor.to_wire`."""
+    try:
+        heads = data["shard_heads"]
+        if not all(isinstance(head, bytes) for head in heads):
+            raise ValidationError("anchor shard_heads must be bytes")
+        if not isinstance(data["previous"], bytes):
+            raise ValidationError("anchor previous must be bytes")
+        return EpochAnchor(
+            epoch=int(data["epoch"]),
+            start_height=int(data["start_height"]),
+            end_height=int(data["end_height"]),
+            shard_heights=tuple(int(height) for height in data["shard_heights"]),
+            shard_heads=tuple(heads),
+            previous=data["previous"],
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise _fail("epoch anchor", exc) from None
+
+
 def server_group_from_wire(data: Mapping) -> "ServerGroup":
     """Inverse of :meth:`ServerGroup.to_wire`."""
     # Deferred: repro.core imports recovery.manager, which imports us.
@@ -395,6 +416,7 @@ def span_from_wire(data: Mapping) -> "Span":
 WIRE_DECODERS = {
     "Block": block_from_wire,
     "Checkpoint": checkpoint_from_wire,
+    "EpochAnchor": epoch_anchor_from_wire,
     "CollectiveSignature": cosign_from_wire,
     "Envelope": envelope_from_wire,
     "FrontierCertificate": frontier_certificate_from_wire,

@@ -21,7 +21,7 @@ the catch-up performs.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.common.errors import (
     ProtocolError,
@@ -78,6 +78,10 @@ class DatabaseServer:
         #: Latest collectively signed checkpoint this server's log was
         #: truncated under (None until one is installed).
         self.latest_checkpoint: Optional[Checkpoint] = None
+        #: Epoch anchors received from a sharded ordering service, in epoch
+        #: order (possibly with gaps if this server was down when one was
+        #: broadcast); volatile, like the rest of the unlogged message state.
+        self.epoch_anchors: List = []
         self.crashed = False
         self._network: Optional[Network] = None
         #: Virtual clock of the deployment's simulation context (if any);
@@ -163,6 +167,7 @@ class DatabaseServer:
         self.log = None
         self.execution = None
         self.commitment = None
+        self.epoch_anchors = []
 
     def recover(self, peers: Sequence[ServerId] = ()) -> RecoveryResult:
         """Restore from the state store, catch up from ``peers``, and rejoin.
@@ -238,6 +243,7 @@ class DatabaseServer:
             MessageType.DECISION: self._on_decision,
             MessageType.ROUND_FAILED: self._on_round_failed,
             MessageType.ORDERED_BLOCK: self._on_ordered_block,
+            MessageType.EPOCH_ANCHOR: self._on_epoch_anchor,
             MessageType.PREPARE: self._on_prepare,
             MessageType.COMMIT_DECISION: self._on_2pc_decision,
             MessageType.VIEW_CHANGE: self._on_view_change,
@@ -347,6 +353,33 @@ class DatabaseServer:
         if response.get("ok"):
             self.execution.finish_many(txn.txn_id for txn in block.transactions)
         return response
+
+    def _on_epoch_anchor(self, envelope: Envelope):
+        """Record one sealed ordering-epoch anchor (DESIGN.md §13).
+
+        The server keeps the chain it can vouch for: a stale or replayed
+        epoch is rejected, and a directly consecutive anchor must extend
+        the previous one's hash.  Anchors arriving after a gap (this server
+        was crashed during the missed epochs) are accepted -- chain
+        linkage across the gap is the auditor's job, not the server's.
+        """
+        anchor = envelope.payload["anchor"]
+        last = self.epoch_anchors[-1] if self.epoch_anchors else None
+        if last is not None:
+            if anchor.epoch <= last.epoch:
+                return {
+                    "ok": False,
+                    "server_id": self.server_id,
+                    "error": f"stale epoch anchor {anchor.epoch} (have {last.epoch})",
+                }
+            if anchor.epoch == last.epoch + 1 and anchor.previous != last.anchor_hash():
+                return {
+                    "ok": False,
+                    "server_id": self.server_id,
+                    "error": f"epoch anchor {anchor.epoch} breaks the anchor chain",
+                }
+        self.epoch_anchors.append(anchor)
+        return {"ok": True, "server_id": self.server_id, "epoch": anchor.epoch}
 
     # -- 2PC baseline messages ----------------------------------------------------------
 

@@ -52,7 +52,7 @@ Dependency rules (documented in DESIGN.md section 7):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.common.errors import ProtocolInvariantError
 from repro.sim.clock import VirtualClock
@@ -93,6 +93,9 @@ class BlockTask:
     chain_ready_at: Optional[float] = None
     done_at: Optional[float] = None
     status: str = "in-flight"
+    #: The ordering resource(s) the task's delivery occupied (per-shard
+    #: lanes under a sharded sequencer); None until the delivery closes.
+    delivery_resources: Optional[Tuple[str, ...]] = None
     _pending_phase: Optional[Tuple[str, float, str]] = None
 
     @property
@@ -137,6 +140,8 @@ class PipelinedRoundScheduler:
         self._terminal_free: Dict[str, float] = {}
         #: Completed ordered deliveries: (read items, write items, end time).
         self._deliveries: List[Tuple[FrozenSet[str], FrozenSet[str], float]] = []
+        #: Cumulative busy seconds per ordering resource (saturation metric).
+        self._delivery_busy: Dict[str, float] = {}
         self.blocks_scheduled = 0
 
     # -- block life-cycle ----------------------------------------------------------
@@ -260,14 +265,27 @@ class PipelinedRoundScheduler:
 
     # -- ordered deliveries (scaled deployment) ---------------------------------------
 
-    def begin_delivery(self, task: Optional[BlockTask], label: str) -> float:
-        """Start an ordered-stream delivery on the shared ordering resource.
+    def begin_delivery(
+        self,
+        task: Optional[BlockTask],
+        label: str,
+        resources: Sequence[str] = (ORDSERV_RESOURCE,),
+    ) -> float:
+        """Start an ordered-stream delivery on the given ordering resource(s).
 
-        Deliveries serialize globally (the ordering service emits one
-        stream), and a block cannot be delivered before its own co-signing
-        finished (``task.ready_at``).
+        With the single sequencer all deliveries share ``ORDSERV_RESOURCE``
+        and serialize globally (the ordering service emits one stream).  A
+        sharded sequencer passes one ``ordserv/s<i>`` resource per involved
+        ordering shard: single-shard deliveries serialize only within their
+        lane, so shards genuinely interleave on the timeline, while a
+        cross-shard delivery names every involved lane and acts as a
+        barrier (it starts once *all* of them are free).  Either way a block
+        cannot be delivered before its own co-signing finished
+        (``task.ready_at``).
         """
-        start = self._terminal_free.get(ORDSERV_RESOURCE, 0.0)
+        if not resources:
+            resources = (ORDSERV_RESOURCE,)
+        start = max(self._terminal_free.get(resource, 0.0) for resource in resources)
         if task is not None:
             if task._pending_phase is not None:
                 raise ProtocolInvariantError(
@@ -275,7 +293,7 @@ class PipelinedRoundScheduler:
                 )
             start = max(start, task.ready_at)
         self.clock.set(start)
-        self.loop.schedule(start, "phase_start", resource=ORDSERV_RESOURCE, label=label)
+        self.loop.schedule(start, "phase_start", resource=resources[0], label=label)
         return start
 
     def end_delivery(
@@ -288,15 +306,23 @@ class PipelinedRoundScheduler:
         write_items: FrozenSet[str] = frozenset(),
         phase: str = "order",
         status: str = "committed",
+        resources: Sequence[str] = (ORDSERV_RESOURCE,),
     ) -> Tuple[float, float]:
         """Close an ordered delivery and record the cross-group frontier."""
+        if not resources:
+            resources = (ORDSERV_RESOURCE,)
         end = start + max(0.0, duration)
-        self._terminal_free[ORDSERV_RESOURCE] = end
+        for resource in resources:
+            self._terminal_free[resource] = end
+            self._delivery_busy[resource] = (
+                self._delivery_busy.get(resource, 0.0) + (end - start)
+            )
         self._deliveries.append((frozenset(read_items), frozenset(write_items), end))
         del self._deliveries[:-_DELIVERY_WINDOW]
         self.clock.set(end)
-        self.loop.schedule(end, "phase_end", resource=ORDSERV_RESOURCE, label=label)
+        self.loop.schedule(end, "phase_end", resource=resources[0], label=label)
         if task is not None:
+            task.delivery_resources = tuple(resources)
             task.phases[phase] = (start, end)
             task.ready_at = end
             self.end_block(task, status=status)
@@ -324,6 +350,14 @@ class PipelinedRoundScheduler:
     def resources(self) -> List[str]:
         """Every resource that ever hosted a block task, sorted."""
         return sorted(self._tasks)
+
+    def delivery_busy(self) -> Dict[str, float]:
+        """Cumulative busy virtual-seconds per ordering resource.
+
+        The scale-out sweep divides the busiest lane by the makespan to
+        report how saturated the ordering layer is pre- vs post-sharding.
+        """
+        return dict(self._delivery_busy)
 
     def all_tasks(self) -> Dict[str, List[BlockTask]]:
         """Task histories by resource (bounded by the retention window).

@@ -22,7 +22,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.common.errors import ConfigurationError
 from repro.txn.operations import Operation, ReadOp, WriteOp
-from repro.workload.distributions import KeyDistribution, UniformKeys
+from repro.workload.distributions import KeyDistribution, UniformKeys, ZipfianKeys
 
 
 @dataclass(frozen=True)
@@ -170,6 +170,13 @@ class PartitionedWorkload:
         batches of that size never conflict.
     seed:
         RNG seed for deterministic workloads.
+    home_skew_theta:
+        Zipfian skew over *home partitions*: 0.0 (the default) keeps the
+        historical round-robin assignment bit-for-bit; > 0 draws each
+        transaction's home from a Zipfian over the partition indices, so a
+        few partitions (and their group coordinators / ordering lanes)
+        become hotspots -- what the scale-out sweep uses to stress the
+        ordering layer unevenly.
     """
 
     partitions: Sequence[Sequence[str]]
@@ -177,6 +184,7 @@ class PartitionedWorkload:
     locality: float = 1.0
     conflict_free_window: int = 0
     seed: int = 2020
+    home_skew_theta: float = 0.0
     _value_counter: int = field(default=0, repr=False)
 
     def __post_init__(self) -> None:
@@ -186,16 +194,32 @@ class PartitionedWorkload:
             raise ConfigurationError("locality must be within [0, 1]")
         if self.ops_per_txn < 1:
             raise ConfigurationError("ops_per_txn must be >= 1")
+        if self.home_skew_theta < 0.0:
+            raise ConfigurationError("home_skew_theta must be >= 0")
         self._rng = random.Random(self.seed)
+        self._home_distribution = None
+        if self.home_skew_theta > 0.0 and len(self.partitions) > 1:
+            self._home_distribution = ZipfianKeys(
+                list(range(len(self.partitions))),
+                seed=self.seed + 1,
+                theta=self.home_skew_theta,
+            )
         #: Per-partition items already used in the current conflict-free window.
         self._window_used: Dict[int, set] = {i: set() for i in range(len(self.partitions))}
         self._window_progress: Dict[int, int] = {i: 0 for i in range(len(self.partitions))}
 
     def generate(self, num_transactions: int) -> List[TransactionSpec]:
-        """Generate ``num_transactions`` specs, homes assigned round-robin."""
+        """Generate ``num_transactions`` specs.
+
+        Homes are assigned round-robin, or Zipfian-skewed when
+        ``home_skew_theta`` > 0.
+        """
         specs: List[TransactionSpec] = []
         for index in range(num_transactions):
-            home = index % len(self.partitions)
+            if self._home_distribution is not None:
+                home = self._home_distribution.sample()
+            else:
+                home = index % len(self.partitions)
             pools = [(home, list(self.partitions[home]))]
             if len(self.partitions) > 1 and self._rng.random() >= self.locality:
                 neighbour = (home + 1) % len(self.partitions)

@@ -47,7 +47,7 @@ class TestFigureSweeps:
         from repro.bench.experiments import faultmatrix
 
         rows = faultmatrix(num_requests=2, smoke=True)
-        assert len(rows) == 18  # one per fault kind, always-trigger grid
+        assert len(rows) == 19  # one per fault kind, always-trigger grid
         for row in rows:
             assert {"scenario", "detected", "blocks-to-detect", "audit overhead (x)"} <= set(row)
 
@@ -62,6 +62,24 @@ class TestFigureSweeps:
         assert results[0].scaled_tps > 0
         assert results[0].baseline_tps > 0
 
+    def test_scaleout_tiny_rows(self):
+        from repro.bench.experiments import scaleout
+
+        results, rows = scaleout(
+            shard_counts=(1, 2),
+            cross_shard_ratios=(0.1,),
+            num_servers=8,
+            num_requests=32,
+            fixed_compute_ms=1.0,
+            return_results=True,
+        )
+        assert [row["shards"] for row in rows] == [1, 2]
+        for row in rows:
+            assert {"scaled tps", "ordserv busy", "speedup vs 1 shard", "epochs"} <= set(row)
+        # The 1-shard point anchors the per-ratio speedup column at 1.0.
+        assert rows[0]["speedup vs 1 shard"] == 1.0
+        assert all(result.committed_txns > 0 for result in results)
+
     def test_registry_covers_every_figure(self):
         assert {
             "figure12",
@@ -70,10 +88,43 @@ class TestFigureSweeps:
             "figure15",
             "faultmatrix",
             "scaledgroups",
+            "scaleout",
             "pipeline",
             "recovery",
             "failover",
         } <= set(EXPERIMENT_REGISTRY)
+
+
+class TestRunFacade:
+    def test_classic_dispatch(self):
+        from repro.api import ExperimentConfig, run
+
+        result = run(ExperimentConfig(
+            num_servers=3, items_per_shard=100, num_requests=4,
+            txns_per_block=2, ops_per_txn=2,
+            message_signing="hash", fixed_compute_ms=1.0,
+        ))
+        assert result.committed_txns == 4
+
+    def test_scaled_dispatch(self):
+        from repro.api import ExperimentConfig, run
+
+        result = run(ExperimentConfig(
+            deployment="scaled", num_servers=4, group_size=1,
+            items_per_shard=60, num_requests=4, locality=1.0,
+            ordering_shards=2, message_signing="hash", fixed_compute_ms=1.0,
+        ))
+        assert result.committed_txns == 4
+        assert result.ordering_shards == 2
+
+    def test_unknown_deployment_rejected(self):
+        import pytest
+
+        from repro.api import ExperimentConfig, run
+        from repro.common.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            run(ExperimentConfig(deployment="galactic"))
 
 
 class TestCli:
@@ -103,7 +154,7 @@ class TestCli:
         assert data["sweep"] == "faultmatrix"
         assert data["commit"]
         assert data["config"] == {"num_requests": 2, "smoke": True}
-        assert len(data["rows"]) == 18
+        assert len(data["rows"]) == 19
         assert all(row["detected"] for row in data["rows"])
         # Fault-matrix rows carry no throughput, so nothing is gateable.
         assert data["metrics"]["labels"] == {}

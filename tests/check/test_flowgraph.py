@@ -44,7 +44,12 @@ TFCOMMIT_EDGES = [
 CLASSIC_EDGES = sorted(COMMON_EDGES + TFCOMMIT_EDGES)
 
 SCALED_EDGES = sorted(
-    COMMON_EDGES + TFCOMMIT_EDGES + ["ORDERED_BLOCK -> _on_ordered_block"]
+    COMMON_EDGES
+    + TFCOMMIT_EDGES
+    + [
+        "EPOCH_ANCHOR -> _on_epoch_anchor",
+        "ORDERED_BLOCK -> _on_ordered_block",
+    ]
 )
 
 TWOPC_EDGES = sorted(
@@ -73,7 +78,10 @@ class TestGoldenEdgeSets:
     def test_scaled_is_classic_plus_ordering_service(self):
         g = graph()
         extra = deployment_edges(g, "scaled") - deployment_edges(g, "classic")
-        assert format_edges(extra) == ["ORDERED_BLOCK -> _on_ordered_block"]
+        assert format_edges(extra) == [
+            "EPOCH_ANCHOR -> _on_epoch_anchor",
+            "ORDERED_BLOCK -> _on_ordered_block",
+        ]
 
     def test_deployments_cover_every_message_type(self):
         g = graph()

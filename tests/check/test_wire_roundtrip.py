@@ -22,6 +22,7 @@ from repro.core.tfcommit import TxnOutcome
 from repro.core.viewchange import FrontierCertificate
 from repro.crypto.cosi import CollectiveSignature
 from repro.crypto.merkle import VerificationObject
+from repro.ledger.anchor import EpochAnchor
 from repro.ledger.block import Block, BlockDecision
 from repro.ledger.checkpoint import Checkpoint
 from repro.net.message import Envelope, MessageType
@@ -88,6 +89,14 @@ BUILDERS = {
         cosign=_COSIGN,
     ),
     "CollectiveSignature": lambda: _COSIGN,
+    "EpochAnchor": lambda: EpochAnchor(
+        epoch=2,
+        start_height=5,
+        end_height=8,
+        shard_heights=(3, 5),
+        shard_heads=(b"\x0c" * 32, b"\x0d" * 32),
+        previous=b"\x0e" * 32,
+    ),
     "Envelope": lambda: Envelope(
         sender="s0",
         recipient="s1",

@@ -110,6 +110,7 @@ def make_scaled_system():
         seed: int = 11,
         reorder_window: int = 0,
         latency_s: float = 0.0002,
+        sequencer=None,
     ) -> ScaledFidesSystem:
         config = SystemConfig(
             num_servers=num_servers,
@@ -124,6 +125,7 @@ def make_scaled_system():
             config,
             latency=ConstantLatency(latency_s),
             reorder_window=reorder_window,
+            sequencer=sequencer,
         )
 
     return build

@@ -185,7 +185,7 @@ class TestFaultPlans:
 
     def test_matrix_enumerates_kind_x_trigger_grid(self):
         matrix = build_fault_matrix(["s0", "s1", "s2"])
-        assert len(matrix) == 18 * 3
+        assert len(matrix) == 19 * 3
         assert len({scenario.name for scenario in matrix}) == len(matrix)
 
 
